@@ -1,0 +1,49 @@
+// Reproduces Figure 5: expected total runtime of the ILP-selected design
+// vs Greedy(m,k) [5] across space budgets, on the SSB 13-query workload
+// with CORADD's candidate pool. The paper reports ILP 20-40% better at
+// most budgets, converging at very tight budgets where Greedy's exhaustive
+// phase suffices.
+#include "cost/correlation_cost_model.h"
+#include "bench/bench_util.h"
+#include "ilp/branch_and_bound.h"
+#include "ilp/domination.h"
+#include "ilp/greedy_mk.h"
+#include "ilp/problem_builder.h"
+#include "mv/candidate_generator.h"
+
+using namespace coradd;
+using namespace coradd::bench;
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 0.02);
+  Fixture f = MakeSsbFixture(scale, 1024);
+  CorrelationCostModel model(&f.context->registry());
+  CandidateGeneratorOptions gopt = BenchCoraddOptions().candidates;
+  MvCandidateGenerator generator(f.catalog.get(), &f.context->registry(),
+                                 &model, gopt);
+  CandidateSet candidates = generator.Generate(f.workload);
+  std::printf("Candidate pool: %zu MVs (SSB 13 queries, scale %.3f)\n",
+              candidates.mvs.size(), scale);
+
+  PrintHeader("Figure 5: optimal (ILP) versus Greedy(m,k)",
+              {"budget", "ILP[s]", "Greedy(m,k)[s]", "greedy/ilp",
+               "ilp_nodes"});
+  for (uint64_t budget : BudgetGrid(f.fact_heap_bytes)) {
+    BuiltProblem built = BuildSelectionProblem(
+        f.workload, candidates.mvs, model, f.context->registry(), budget);
+    const auto mask = DominatedMask(built.problem);
+    const SelectionProblem pruned = CompactProblem(built.problem, mask);
+
+    const SelectionResult ilp = SolveSelectionExact(pruned);
+    const SelectionResult greedy = SolveSelectionGreedyMk(pruned);
+    PrintRow({HumanBytes(budget), StrFormat("%.3f", ilp.expected_cost),
+              StrFormat("%.3f", greedy.expected_cost),
+              StrFormat("%.2fx", greedy.expected_cost /
+                                     std::max(1e-12, ilp.expected_cost)),
+              std::to_string(ilp.nodes_explored)});
+  }
+  std::printf(
+      "\nPaper shape check: greedy/ilp ~1.0 at tight budgets (exhaustive\n"
+      "phase optimal), rising to ~1.2-1.4x at mid budgets.\n");
+  return 0;
+}

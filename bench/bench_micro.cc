@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the substrate hot paths: B+Tree
+// range lookups, secondary-index lookups, CM lookups, fragment coalescing,
+// AE estimation, k-means, and the simplex solver. These guard the designer
+// runtime budget (§7.2 reports CORADD at 7.5h on paper hardware; our
+// reproduction must stay interactive).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ilp/lp.h"
+#include "mv/kmeans.h"
+#include "stats/ae_estimator.h"
+#include "storage/clustered_table.h"
+#include "storage/layout.h"
+#include "storage/secondary_index.h"
+
+namespace coradd {
+namespace {
+
+std::unique_ptr<ClusteredTable> MakeTable(size_t rows) {
+  ColumnDef k1{"k1", ValueType::kInt, 4, {}};
+  ColumnDef k2{"k2", ValueType::kInt, 4, {}};
+  ColumnDef v{"v", ValueType::kInt, 4, {}};
+  auto t = std::make_unique<Table>(Schema({k1, k2, v}), "t");
+  Rng rng(1);
+  t->Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    t->AppendRow({static_cast<int64_t>(rng.Uniform(1000)),
+                  static_cast<int64_t>(rng.Uniform(100)),
+                  static_cast<int64_t>(rng.Uniform(1 << 20))});
+  }
+  return std::make_unique<ClusteredTable>(std::move(t),
+                                          std::vector<int>{0, 1}, 8192);
+}
+
+void BM_ClusteredEqualRange(benchmark::State& state) {
+  auto ct = MakeTable(static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ct->EqualRange({static_cast<int64_t>(rng.Uniform(1000))}));
+  }
+}
+BENCHMARK(BM_ClusteredEqualRange)->Arg(100000)->Arg(1000000);
+
+void BM_SecondaryLookupRange(benchmark::State& state) {
+  auto ct = MakeTable(static_cast<size_t>(state.range(0)));
+  SecondaryBTreeIndex idx(ct.get(), 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    const int64_t lo = static_cast<int64_t>(rng.Uniform(1 << 20));
+    benchmark::DoNotOptimize(idx.LookupRange(lo, lo + 1000));
+  }
+}
+BENCHMARK(BM_SecondaryLookupRange)->Arg(100000)->Arg(1000000);
+
+void BM_CoalescePages(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint64_t> pages;
+  for (int i = 0; i < state.range(0); ++i) pages.push_back(rng.Uniform(100000));
+  std::sort(pages.begin(), pages.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoalescePages(pages, 4));
+  }
+}
+BENCHMARK(BM_CoalescePages)->Arg(1000)->Arg(100000);
+
+void BM_AeEstimate(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<int64_t> sample;
+  for (int i = 0; i < state.range(0); ++i) {
+    sample.push_back(static_cast<int64_t>(rng.Uniform(5000)));
+  }
+  std::sort(sample.begin(), sample.end());
+  for (auto _ : state) {
+    const auto profile =
+        SampleFrequencyProfile::FromSortedValues(sample, 10000000);
+    benchmark::DoNotOptimize(EstimateDistinctAe(profile));
+  }
+}
+BENCHMARK(BM_AeEstimate)->Arg(1024)->Arg(8192);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng gen(6);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 52; ++i) {
+    std::vector<double> p(static_cast<size_t>(state.range(0)));
+    for (auto& x : p) x = gen.UniformDouble();
+    points.push_back(std::move(p));
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KMeans(points, 8, &rng));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(40)->Arg(80);
+
+void BM_SimplexSmall(benchmark::State& state) {
+  Rng rng(8);
+  LinearProgram lp;
+  const int n = static_cast<int>(state.range(0));
+  lp.num_vars = n;
+  for (int j = 0; j < n; ++j) {
+    lp.objective.push_back(-1.0 - static_cast<double>(rng.Uniform(10)));
+  }
+  for (int i = 0; i < n / 2; ++i) {
+    std::vector<double> row(static_cast<size_t>(n));
+    for (auto& v : row) v = static_cast<double>(rng.Uniform(4));
+    lp.AddRow(std::move(row), 40.0 + static_cast<double>(rng.Uniform(40)));
+  }
+  lp.upper_bounds.assign(static_cast<size_t>(n), 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLp(lp));
+  }
+}
+BENCHMARK(BM_SimplexSmall)->Arg(30)->Arg(100);
+
+}  // namespace
+}  // namespace coradd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Reproduces Tables 1 and 2: selectivity vectors of SSB Q1.1-Q1.3 before
+// and after Selectivity Propagation, plus the correlation strengths the
+// propagation uses. Run: bench_table1_2_selectivity [--scale=0.02]
+#include "bench/bench_util.h"
+#include "mv/selectivity_vector.h"
+
+using namespace coradd;
+using namespace coradd::bench;
+
+int main(int argc, char** argv) {
+  const double scale = FlagDouble(argc, argv, "scale", 0.02);
+  Fixture f = MakeSsbFixture(scale, 1024);
+  const UniverseStats* stats = f.context->StatsForFact("lineorder");
+  const Universe& u = stats->universe();
+
+  const std::vector<std::string> attrs = {"d_year", "d_yearmonthnum",
+                                          "d_weeknuminyear", "lo_discount",
+                                          "lo_quantity"};
+  SelectivityVectorBuilder builder(stats);
+
+  PrintHeader("Table 1: selectivity vectors of SSB (before propagation)",
+              {"query", "year", "yearmonth", "weeknum", "discount", "qty"});
+  for (int qi = 0; qi < 3; ++qi) {
+    const Query& q = f.workload.queries[static_cast<size_t>(qi)];
+    const auto v = builder.Raw(q);
+    std::vector<std::string> row = {q.id};
+    for (const auto& a : attrs) {
+      row.push_back(StrFormat("%.4f", v[static_cast<size_t>(u.ColumnIndex(a))]));
+    }
+    PrintRow(row);
+  }
+
+  const CorrelationCatalog& corr = stats->correlations();
+  const int year = u.ColumnIndex("d_year");
+  const int ymn = u.ColumnIndex("d_yearmonthnum");
+  const int week = u.ColumnIndex("d_weeknuminyear");
+  std::printf("\nStrength(yearmonth -> year)          = %.3f\n",
+              corr.Strength(ymn, year));
+  std::printf("Strength(year -> yearmonth)          = %.3f\n",
+              corr.Strength(year, ymn));
+  std::printf("Strength(weeknum -> yearmonth)       = %.3f\n",
+              corr.Strength(week, ymn));
+  std::printf("Strength(yearmonth -> year,weeknum)  = %.3f\n",
+              corr.Strength(std::vector<int>{ymn}, std::vector<int>{year, week}));
+
+  PrintHeader("Table 2: selectivity vectors after propagation",
+              {"query", "year", "yearmonth", "weeknum", "discount", "qty"});
+  for (int qi = 0; qi < 3; ++qi) {
+    const Query& q = f.workload.queries[static_cast<size_t>(qi)];
+    const auto v = builder.Propagated(q);
+    std::vector<std::string> row = {q.id};
+    for (const auto& a : attrs) {
+      row.push_back(StrFormat("%.4f", v[static_cast<size_t>(u.ColumnIndex(a))]));
+    }
+    PrintRow(row);
+  }
+  std::printf(
+      "\nPaper shape check: after propagation Q1.2's `year` and Q1.3's\n"
+      "`yearmonth` drop from 1.0 to ~the determining attribute's level.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Budget sweep: the workflow a database administrator would actually run —
+// sweep the space budget, compare the three designers (CORADD, Naive,
+// commercial-style), and read off the knee of the cost/space curve. This is
+// the Figure 9/11 methodology as a user-facing tool.
+//
+//   $ ./examples/budget_sweep
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/baseline_designers.h"
+#include "core/coradd_designer.h"
+#include "core/evaluator.h"
+#include "ssb/ssb.h"
+
+using namespace coradd;
+
+int main() {
+  ssb::SsbOptions data_options;
+  data_options.scale_factor = 0.01;
+  auto catalog = ssb::MakeCatalog(data_options);
+  Workload workload = ssb::MakeWorkload();
+  StatsOptions sopt;
+  sopt.disk.page_size_bytes = 1024;
+  sopt.disk.seek_seconds = 0.0055 / 8.0;
+  DesignContext context(catalog.get(), workload, sopt);
+
+  CoraddOptions copt;
+  copt.candidates.grouping.restarts = 1;
+  copt.feedback.max_iterations = 1;
+  CoraddDesigner coradd(&context, copt);
+  NaiveDesigner naive(&context);
+  CommercialDesigner commercial(&context);
+  DesignEvaluator evaluator(&context, 48);
+
+  std::printf("%12s %12s %12s %12s %10s\n", "budget", "CORADD", "Naive",
+              "Commercial", "objects");
+  for (double mb : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const uint64_t budget = static_cast<uint64_t>(mb * (1 << 20));
+    const DatabaseDesign dc = coradd.Design(workload, budget);
+    const DatabaseDesign dn = naive.Design(workload, budget);
+    const DatabaseDesign dm = commercial.Design(workload, budget);
+    const double tc = evaluator.Run(dc, workload, coradd.model()).total_seconds;
+    const double tn = evaluator.Run(dn, workload, naive.model()).total_seconds;
+    const double tm =
+        evaluator.Run(dm, workload, commercial.model()).total_seconds;
+    std::printf("%12s %12s %12s %12s %10zu\n", HumanBytes(budget).c_str(),
+                HumanSeconds(tc).c_str(), HumanSeconds(tn).c_str(),
+                HumanSeconds(tm).c_str(), dc.objects.size());
+  }
+  std::printf("\nReading the curve: the budget where CORADD's runtime "
+              "flattens is the\npoint past which extra space buys little — "
+              "the paper's Figures 9/11 knee.\n");
+  return 0;
+}

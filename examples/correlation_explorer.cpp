@@ -1,0 +1,94 @@
+// Correlation explorer: discover soft functional dependencies in a star
+// schema the way CORADD's statistics layer does — strengths from distinct
+// counts (AE over a synopsis), Gibbons distinct sampling, and what those
+// correlations buy: compact correlation maps instead of dense B+Trees
+// (the A-1 People(city,state) example, on real SSB data).
+//
+//   $ ./examples/correlation_explorer
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "cm/cm_designer.h"
+#include "exec/materialize.h"
+#include "ssb/ssb.h"
+#include "stats/distinct_sampler.h"
+
+using namespace coradd;
+
+int main() {
+  ssb::SsbOptions options;
+  options.scale_factor = 0.01;
+  auto catalog = ssb::MakeCatalog(options);
+  Universe universe(*catalog, *catalog->GetFactInfo("lineorder"));
+  StatsOptions sopt;
+  sopt.disk.page_size_bytes = 1024;
+  sopt.disk.seek_seconds = 0.0055 / 8.0;
+  UniverseStats stats(&universe, sopt);
+
+  // --- 1. Distinct sampling (Gibbons) vs exact counts.
+  std::printf("Distinct-value estimation (Gibbons sampler, capacity 256):\n");
+  for (const char* col : {"lo_orderdate", "c_city", "p_brand1", "d_year"}) {
+    const int ucol = universe.ColumnIndex(col);
+    DistinctSampler sampler(256);
+    for (RowId r = 0; r < universe.NumRows(); ++r) {
+      sampler.Add(universe.Value(r, ucol));
+    }
+    std::printf("  %-14s exact=%-8zu estimated=%-10.0f level=%d\n", col,
+                universe.DistinctCount(ucol), sampler.EstimateDistinct(),
+                sampler.level());
+  }
+
+  // --- 2. Correlation strengths (the CORDS measure CORADD uses).
+  struct Pair {
+    const char* from;
+    const char* to;
+  };
+  std::printf("\nCorrelation strengths  strength(A->B) = |A| / |A,B|:\n");
+  for (const Pair p : {Pair{"c_city", "c_nation"},
+                       Pair{"c_nation", "c_region"},
+                       Pair{"p_brand1", "p_category"},
+                       Pair{"d_yearmonthnum", "d_year"},
+                       Pair{"lo_orderdate", "lo_commitdate"},
+                       Pair{"lo_orderdate", "d_year"},
+                       Pair{"lo_discount", "lo_quantity"}}) {
+    const double s = stats.correlations().Strength(
+        universe.ColumnIndex(p.from), universe.ColumnIndex(p.to));
+    std::printf("  %-16s -> %-16s %6.3f %s\n", p.from, p.to, s,
+                s > 0.5 ? "(strong)" : s > 0.05 ? "(weak)" : "(none)");
+  }
+
+  // --- 3. What correlations buy: CM vs dense B+Tree on the fact table
+  //        clustered by orderdate (correlated with date attributes).
+  MvSpec spec;
+  spec.name = "lineorder_by_orderdate";
+  spec.fact_table = "lineorder";
+  for (size_t c = 0; c < universe.fact_table().schema().NumColumns(); ++c) {
+    spec.columns.push_back(universe.fact_table().schema().Column(c).name);
+  }
+  spec.clustered_key = {"lo_orderdate"};
+  spec.is_fact_recluster = true;
+
+  Materializer materializer(&universe, sopt.disk);
+  CmSpec cm_commit;
+  cm_commit.key_columns = {"lo_commitdate"};
+  CmSpec cm_year;
+  cm_year.key_columns = {"d_year"};
+  auto obj =
+      materializer.Materialize(spec, {cm_commit, cm_year}, {"lo_commitdate"});
+
+  std::printf("\nSecondary access structures on lineorder(clustered by "
+              "lo_orderdate):\n");
+  std::printf("  dense B+Tree on lo_commitdate : %s\n",
+              HumanBytes(obj->btrees[0]->SizeBytes()).c_str());
+  std::printf("  CM on lo_commitdate           : %s  (%llu pairs)\n",
+              HumanBytes(obj->cms[0]->SizeBytes()).c_str(),
+              static_cast<unsigned long long>(obj->cms[0]->NumPairs()));
+  std::printf("  CM on d_year                  : %s  (%llu pairs)\n",
+              HumanBytes(obj->cms[1]->SizeBytes()).c_str(),
+              static_cast<unsigned long long>(obj->cms[1]->NumPairs()));
+  std::printf("\nThe correlated CMs are orders of magnitude smaller than the "
+              "dense index\nwhile steering the executor to the same heap "
+              "regions (A-1).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Custom schema: using the public API end to end on your own star schema —
+// define tables, register the fact table, write queries, and let CORADD
+// design MVs + clustered indexes + correlation maps for it. The schema here
+// is the paper's running example: People-style geography where city
+// determines state (Section 1).
+//
+//   $ ./examples/custom_schema
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/rng.h"
+#include "core/coradd_designer.h"
+#include "core/evaluator.h"
+
+using namespace coradd;
+
+namespace {
+
+ColumnDef Int(const std::string& name, uint32_t bytes = 4) {
+  ColumnDef c;
+  c.name = name;
+  c.byte_size = bytes;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. Schema: a sales fact with a geography dimension where
+  // city -> state -> region is a hard hierarchy (50 cities per state).
+  auto catalog = std::make_unique<Catalog>();
+  {
+    Schema s;
+    s.AddColumn(Int("g_key"));
+    s.AddColumn(Int("g_city", 10));
+    s.AddColumn(Int("g_state", 2));
+    s.AddColumn(Int("g_region", 1));
+    auto geo = std::make_unique<Table>(std::move(s), "geo");
+    for (int64_t k = 0; k < 500; ++k) {
+      geo->AppendRow({k, k, k / 50, k / 250});
+    }
+    catalog->AddTable(std::move(geo));
+  }
+  {
+    Schema s;
+    s.AddColumn(Int("s_id", 8));
+    s.AddColumn(Int("s_geo"));
+    s.AddColumn(Int("s_day"));      // 1..365, correlated with s_week
+    s.AddColumn(Int("s_week", 1));  // s_day / 7
+    s.AddColumn(Int("s_amount"));
+    auto sales = std::make_unique<Table>(std::move(s), "sales");
+    Rng rng(1234);
+    for (int64_t i = 0; i < 200000; ++i) {
+      const int64_t day = static_cast<int64_t>(rng.Uniform(365)) + 1;
+      sales->AppendRow({i, static_cast<int64_t>(rng.Uniform(500)), day,
+                        (day - 1) / 7 + 1,
+                        static_cast<int64_t>(rng.Uniform(1000))});
+    }
+    catalog->AddTable(std::move(sales));
+  }
+  FactTableInfo fact;
+  fact.name = "sales";
+  fact.primary_key = {"s_id"};
+  fact.foreign_keys = {{"s_geo", "geo", "g_key"}};
+  catalog->RegisterFactTable(fact);
+
+  // --- 2. Workload: three analytic queries over correlated attributes.
+  Workload workload;
+  workload.name = "sales_demo";
+  {
+    Query q;
+    q.id = "ByState";
+    q.fact_table = "sales";
+    q.predicates = {Predicate::Eq("g_state", 3)};
+    q.group_by = {"g_city"};
+    q.aggregates = {{"s_amount", ""}};
+    workload.queries.push_back(q);
+  }
+  {
+    Query q;
+    q.id = "ByWeek";
+    q.fact_table = "sales";
+    q.predicates = {Predicate::Range("s_week", 10, 12),
+                    Predicate::Eq("g_region", 1)};
+    q.aggregates = {{"s_amount", ""}};
+    workload.queries.push_back(q);
+  }
+  {
+    Query q;
+    q.id = "CityDay";
+    q.fact_table = "sales";
+    q.predicates = {Predicate::In("g_city", {42, 43, 44}),
+                    Predicate::Range("s_day", 100, 120)};
+    q.group_by = {"g_city"};
+    q.aggregates = {{"s_amount", ""}};
+    workload.queries.push_back(q);
+  }
+
+  // --- 3. Design and evaluate.
+  StatsOptions sopt;
+  sopt.disk.page_size_bytes = 1024;
+  sopt.disk.seek_seconds = 0.0055 / 8.0;
+  DesignContext context(catalog.get(), workload, sopt);
+  CoraddDesigner designer(&context);
+  const DatabaseDesign design = designer.Design(workload, 4ull << 20);
+
+  std::printf("Design for the custom schema (budget 4 MB):\n");
+  for (const auto& obj : design.objects) {
+    std::printf("  %s\n", obj.spec.ToString().c_str());
+    for (const auto& cm : obj.cms) std::printf("    +%s\n", cm.ToString().c_str());
+  }
+  DesignEvaluator evaluator(&context);
+  const WorkloadRunResult run =
+      evaluator.Run(design, workload, designer.model());
+  for (const auto& rec : run.per_query) {
+    std::printf("  %-8s on %-24s measured %s\n", rec.query_id.c_str(),
+                rec.object_name.c_str(),
+                HumanSeconds(rec.real_seconds).c_str());
+  }
+  std::printf("total measured: %s\n", HumanSeconds(run.total_seconds).c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: generate a small SSB instance, run the CORADD designer under
+// a space budget, inspect the recommended design, and execute the workload
+// against it on the storage simulator.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/coradd_designer.h"
+#include "core/ddl_export.h"
+#include "core/evaluator.h"
+#include "ssb/ssb.h"
+
+using namespace coradd;
+
+int main() {
+  // 1. Data + workload: the Star Schema Benchmark at a laptop-scale factor.
+  ssb::SsbOptions data_options;
+  data_options.scale_factor = 0.01;  // 60k lineorder rows
+  std::unique_ptr<Catalog> catalog = ssb::MakeCatalog(data_options);
+  Workload workload = ssb::MakeWorkload();  // the 13 SSB queries
+  std::printf("Loaded SSB: %zu lineorder rows, %zu queries\n",
+              catalog->GetTable("lineorder")->NumRows(),
+              workload.queries.size());
+
+  // 2. Statistics (one scan: histograms, synopsis, correlations).
+  StatsOptions stats_options;
+  stats_options.disk.page_size_bytes = 1024;  // scaled page geometry
+  stats_options.disk.seek_seconds = 0.0055 / 8.0;
+  DesignContext context(catalog.get(), workload, stats_options);
+
+  // 3. Design within a space budget.
+  const uint64_t budget = 16ull << 20;  // 16 MB of additional objects
+  CoraddDesigner designer(&context);
+  DatabaseDesign design = designer.Design(workload, budget);
+  std::printf("\n%s\n", design.ToString().c_str());
+  for (const auto& obj : design.objects) {
+    std::printf("  %s\n", obj.spec.ToString().c_str());
+    for (const auto& cm : obj.cms) {
+      std::printf("     +%s\n", cm.ToString().c_str());
+    }
+  }
+
+  // 4. Execute the workload on the design and compare with the estimate.
+  DesignEvaluator evaluator(&context);
+  const WorkloadRunResult run =
+      evaluator.Run(design, workload, designer.model());
+  std::printf("\n%-6s %-28s %12s %12s\n", "query", "served by", "expected",
+              "measured");
+  for (const auto& rec : run.per_query) {
+    std::printf("%-6s %-28s %12s %12s\n", rec.query_id.c_str(),
+                rec.object_name.c_str(),
+                HumanSeconds(rec.expected_seconds).c_str(),
+                HumanSeconds(rec.real_seconds).c_str());
+  }
+  std::printf("\nworkload total: expected %s, measured %s\n",
+              HumanSeconds(run.expected_seconds).c_str(),
+              HumanSeconds(run.total_seconds).c_str());
+
+  // 5. Export the design as DDL a DBA could apply.
+  std::printf("\n%s", ExportDdl(design, workload).c_str());
+  return 0;
+}

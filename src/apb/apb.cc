@@ -1,0 +1,194 @@
+#include "apb/apb.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace coradd {
+namespace apb {
+
+namespace {
+
+ColumnDef IntCol(std::string name, uint32_t bytes = 4) {
+  ColumnDef c;
+  c.name = std::move(name);
+  c.type = ValueType::kInt;
+  c.byte_size = bytes;
+  return c;
+}
+
+}  // namespace
+
+ProductHierarchy ProductHierarchy::For(uint64_t num_products) {
+  ProductHierarchy h;
+  h.codes = std::max<uint64_t>(num_products, 60);
+  h.classes = std::max<uint64_t>(h.codes / 3, 20);
+  h.groups = std::max<uint64_t>(h.classes / 4, 12);
+  h.families = std::max<uint64_t>(h.groups / 5, 8);
+  h.lines = std::max<uint64_t>(h.families / 4, 4);
+  h.divisions = std::max<uint64_t>(h.lines / 3, 2);
+  return h;
+}
+
+std::unique_ptr<Catalog> MakeCatalog(const ApbOptions& options) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(options.seed);
+  const ProductHierarchy h = ProductHierarchy::For(options.num_products);
+
+  // ---- time dimension: 24 months over 1995-1996 ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("t_monthkey"));   // yyyymm
+    s.AddColumn(IntCol("t_month"));      // 1..12
+    s.AddColumn(IntCol("t_quarter"));    // 1..4 within year
+    s.AddColumn(IntCol("t_quarterkey")); // absolute 1..8
+    s.AddColumn(IntCol("t_halfyear"));   // 1..2 within year
+    s.AddColumn(IntCol("t_year"));
+    auto t = std::make_unique<Table>(std::move(s), "time");
+    for (int i = 0; i < kNumMonths; ++i) {
+      const int year = kFirstYear + i / 12;
+      const int month = i % 12 + 1;
+      t->AppendRow({static_cast<int64_t>(year) * 100 + month, month,
+                    (month - 1) / 3 + 1, i / 3 + 1, (month - 1) / 6 + 1,
+                    year});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- product dimension: 6-level hierarchy ----
+  // code c determines class = c * classes / codes, and so on upward; each
+  // level functionally determines all its ancestors (strength 1 upward).
+  {
+    Schema s;
+    s.AddColumn(IntCol("pr_code"));
+    s.AddColumn(IntCol("pr_class"));
+    s.AddColumn(IntCol("pr_group"));
+    s.AddColumn(IntCol("pr_family"));
+    s.AddColumn(IntCol("pr_line"));
+    s.AddColumn(IntCol("pr_division"));
+    auto t = std::make_unique<Table>(std::move(s), "product");
+    t->Reserve(h.codes);
+    for (uint64_t c = 0; c < h.codes; ++c) {
+      const int64_t cls = static_cast<int64_t>(c * h.classes / h.codes);
+      const int64_t grp = cls * static_cast<int64_t>(h.groups) /
+                          static_cast<int64_t>(h.classes);
+      const int64_t fam = grp * static_cast<int64_t>(h.families) /
+                          static_cast<int64_t>(h.groups);
+      const int64_t lin = fam * static_cast<int64_t>(h.lines) /
+                          static_cast<int64_t>(h.families);
+      const int64_t div = lin * static_cast<int64_t>(h.divisions) /
+                          static_cast<int64_t>(h.lines);
+      t->AppendRow({static_cast<int64_t>(c), cls, grp, fam, lin, div});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- customer dimension: store -> retailer ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("cu_store"));
+    s.AddColumn(IntCol("cu_retailer"));
+    auto t = std::make_unique<Table>(std::move(s), "customer");
+    t->Reserve(options.num_stores);
+    for (uint64_t st = 0; st < options.num_stores; ++st) {
+      t->AppendRow({static_cast<int64_t>(st), static_cast<int64_t>(st / 10)});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- channel dimension ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("ch_key"));
+    s.AddColumn(IntCol("ch_group"));  // 10 channels in ~3 groups.
+    auto t = std::make_unique<Table>(std::move(s), "channel");
+    for (uint64_t c = 0; c < options.num_channels; ++c) {
+      t->AppendRow({static_cast<int64_t>(c), static_cast<int64_t>(c / 4)});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- actuals fact ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("a_product"));
+    s.AddColumn(IntCol("a_store"));
+    s.AddColumn(IntCol("a_channel"));
+    s.AddColumn(IntCol("a_month"));
+    s.AddColumn(IntCol("a_unitssold"));
+    s.AddColumn(IntCol("a_dollarsales"));
+    s.AddColumn(IntCol("a_cost"));
+    auto t = std::make_unique<Table>(std::move(s), "actuals");
+    const uint64_t n = options.ActualsRows();
+    t->Reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      // Product popularity is skewed (a few products sell everywhere);
+      // stores/channels/months are uniform, as in APB's dense cube slices.
+      const int64_t prod = static_cast<int64_t>(rng.Zipf(h.codes, 0.6));
+      const int64_t month_idx = static_cast<int64_t>(rng.Uniform(kNumMonths));
+      const int64_t monthkey =
+          (kFirstYear + month_idx / 12) * 100 + month_idx % 12 + 1;
+      const int64_t units = 1 + static_cast<int64_t>(rng.Uniform(100));
+      const int64_t price = 5 + prod % 95;
+      t->AppendRow({prod,
+                    static_cast<int64_t>(rng.Uniform(options.num_stores)),
+                    static_cast<int64_t>(rng.Uniform(options.num_channels)),
+                    monthkey, units, units * price,
+                    units * price * 7 / 10});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- budget fact (channel-independent, coarser) ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("b_product"));
+    s.AddColumn(IntCol("b_store"));
+    s.AddColumn(IntCol("b_month"));
+    s.AddColumn(IntCol("b_budgetunits"));
+    s.AddColumn(IntCol("b_budgetdollars"));
+    auto t = std::make_unique<Table>(std::move(s), "budget");
+    const uint64_t n = options.BudgetRows();
+    t->Reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t prod = static_cast<int64_t>(rng.Zipf(h.codes, 0.6));
+      const int64_t month_idx = static_cast<int64_t>(rng.Uniform(kNumMonths));
+      const int64_t monthkey =
+          (kFirstYear + month_idx / 12) * 100 + month_idx % 12 + 1;
+      const int64_t units = 1 + static_cast<int64_t>(rng.Uniform(120));
+      t->AppendRow({prod,
+                    static_cast<int64_t>(rng.Uniform(options.num_stores)),
+                    monthkey, units, units * (5 + prod % 95)});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  {
+    FactTableInfo fact;
+    fact.name = "actuals";
+    fact.primary_key = {"a_product", "a_store", "a_channel", "a_month"};
+    fact.foreign_keys = {
+        {"a_product", "product", "pr_code"},
+        {"a_store", "customer", "cu_store"},
+        {"a_channel", "channel", "ch_key"},
+        {"a_month", "time", "t_monthkey"},
+    };
+    catalog->RegisterFactTable(std::move(fact));
+  }
+  {
+    FactTableInfo fact;
+    fact.name = "budget";
+    fact.primary_key = {"b_product", "b_store", "b_month"};
+    fact.foreign_keys = {
+        {"b_product", "product", "pr_code"},
+        {"b_store", "customer", "cu_store"},
+        {"b_month", "time", "t_monthkey"},
+    };
+    catalog->RegisterFactTable(std::move(fact));
+  }
+  return catalog;
+}
+
+}  // namespace apb
+}  // namespace coradd

@@ -1,0 +1,158 @@
+// The 31 APB-1-like template queries. APB-1's logical operations aggregate
+// sales/budget measures at varying product/customer/time granularities with
+// channel restrictions; the mix below spans every hierarchy level, includes
+// both fact tables (queries touching actuals-vs-budget are pre-split into
+// independent per-fact queries, as §7.1 does), and carries the benchmark's
+// frequency-weighted distribution via Query::frequency.
+#include "apb/apb.h"
+
+#include "common/string_util.h"
+
+namespace coradd {
+namespace apb {
+
+namespace {
+
+Query ActualsQuery(int num, std::vector<Predicate> preds,
+                   std::vector<std::string> group_by,
+                   std::vector<Aggregate> aggs, double freq = 1.0) {
+  Query q;
+  q.id = StrFormat("A%02d", num);
+  q.fact_table = "actuals";
+  q.predicates = std::move(preds);
+  q.group_by = std::move(group_by);
+  q.aggregates = std::move(aggs);
+  q.frequency = freq;
+  return q;
+}
+
+Query BudgetQuery(int num, std::vector<Predicate> preds,
+                  std::vector<std::string> group_by,
+                  std::vector<Aggregate> aggs, double freq = 1.0) {
+  Query q;
+  q.id = StrFormat("B%02d", num);
+  q.fact_table = "budget";
+  q.predicates = std::move(preds);
+  q.group_by = std::move(group_by);
+  q.aggregates = std::move(aggs);
+  q.frequency = freq;
+  return q;
+}
+
+}  // namespace
+
+Workload MakeWorkload(const ApbOptions& options) {
+  const ProductHierarchy h = ProductHierarchy::For(options.num_products);
+  Workload w;
+  w.name = "apb31";
+  auto add = [&w](Query q) { w.queries.push_back(std::move(q)); };
+
+  const Aggregate kSales{"a_dollarsales", ""};
+  const Aggregate kUnits{"a_unitssold", ""};
+  const Aggregate kCost{"a_cost", ""};
+  const Aggregate kBudget{"b_budgetdollars", ""};
+  const Aggregate kBudgetUnits{"b_budgetunits", ""};
+
+  // ---- Channel x time rollups at each product level (APB "multi-dim
+  // aggregate" operations). Channel scans are frequent in APB's mix.
+  add(ActualsQuery(1, {Predicate::Eq("ch_key", 2), Predicate::Eq("t_year", 1995)},
+                   {"pr_division"}, {kSales}, 2.0));
+  add(ActualsQuery(2, {Predicate::Eq("ch_key", 5), Predicate::Eq("t_quarterkey", 3)},
+                   {"pr_line"}, {kSales, kUnits}));
+  add(ActualsQuery(3, {Predicate::Eq("ch_key", 0), Predicate::Eq("t_monthkey", 199506)},
+                   {"pr_family"}, {kSales}));
+  add(ActualsQuery(4, {Predicate::In("ch_key", {1, 3, 7}), Predicate::Eq("t_year", 1996)},
+                   {"pr_group"}, {kUnits}, 1.5));
+  add(ActualsQuery(5, {Predicate::Eq("ch_key", 4),
+                       Predicate::Range("t_monthkey", 199601, 199606)},
+                   {"pr_class"}, {kSales, kCost}));
+
+  // ---- Product-level drill-downs with time restrictions.
+  add(ActualsQuery(6, {Predicate::Eq("pr_division", 1), Predicate::Eq("t_year", 1995)},
+                   {"t_quarterkey"}, {kSales}, 2.0));
+  add(ActualsQuery(7, {Predicate::Eq("pr_line", static_cast<int64_t>(h.lines / 2))},
+                   {"t_monthkey"}, {kSales}));
+  add(ActualsQuery(8, {Predicate::Eq("pr_family", static_cast<int64_t>(h.families / 3)),
+                       Predicate::Eq("t_halfyear", 1)},
+                   {"t_monthkey", "ch_key"}, {kUnits}));
+  add(ActualsQuery(9, {Predicate::Eq("pr_group", static_cast<int64_t>(h.groups / 2)),
+                       Predicate::Eq("t_year", 1996)},
+                   {"t_quarter"}, {kSales}));
+  add(ActualsQuery(10, {Predicate::Eq("pr_class", static_cast<int64_t>(h.classes / 4)),
+                        Predicate::Eq("t_quarterkey", 6)},
+                   {"t_monthkey"}, {kSales, kUnits}));
+  add(ActualsQuery(11, {Predicate::Range("pr_code", 100, 160),
+                        Predicate::Eq("t_year", 1995)},
+                   {"t_monthkey"}, {kSales}));
+
+  // ---- Customer rollups (retailer -> store) with product/channel cuts.
+  add(ActualsQuery(12, {Predicate::Eq("cu_retailer", 7), Predicate::Eq("t_year", 1995)},
+                   {"cu_store", "t_quarter"}, {kSales}, 1.5));
+  add(ActualsQuery(13, {Predicate::Eq("cu_retailer", 23),
+                        Predicate::Eq("pr_division", 0)},
+                   {"t_monthkey"}, {kSales}));
+  add(ActualsQuery(14, {Predicate::Eq("cu_store", 123),
+                        Predicate::Range("t_monthkey", 199501, 199512)},
+                   {"pr_line"}, {kUnits}));
+  add(ActualsQuery(15, {Predicate::In("cu_retailer", {2, 4, 8}),
+                        Predicate::Eq("ch_key", 6)},
+                   {"t_quarterkey", "pr_division"}, {kSales}));
+
+  // ---- Mixed slices (channel + product + time), the APB "report" shapes.
+  add(ActualsQuery(16, {Predicate::Eq("ch_key", 3),
+                        Predicate::Eq("pr_division", 2),
+                        Predicate::Eq("t_year", 1996)},
+                   {"pr_line", "t_quarter"}, {kSales}, 2.0));
+  add(ActualsQuery(17, {Predicate::Eq("ch_key", 8),
+                        Predicate::Eq("pr_line", static_cast<int64_t>(h.lines - 1)),
+                        Predicate::Eq("t_quarterkey", 2)},
+                   {"pr_family"}, {kSales, kCost}));
+  add(ActualsQuery(18, {Predicate::In("ch_key", {0, 9}),
+                        Predicate::Eq("pr_family", 5),
+                        Predicate::Range("t_monthkey", 199604, 199609)},
+                   {"pr_group", "t_monthkey"}, {kUnits}));
+  add(ActualsQuery(19, {Predicate::Eq("ch_group", 1),
+                        Predicate::Eq("pr_group", static_cast<int64_t>(h.groups / 3))},
+                   {"t_year"}, {kSales}));
+  add(ActualsQuery(20, {Predicate::Eq("ch_key", 7),
+                        Predicate::Eq("cu_retailer", 40),
+                        Predicate::Eq("t_year", 1995)},
+                   {"pr_division", "t_quarter"}, {kSales}));
+
+  // ---- Top-level scans with coarse cuts (year-long channel reports).
+  add(ActualsQuery(21, {Predicate::Eq("t_year", 1995)},
+                   {"pr_division", "t_quarter"}, {kSales}, 1.5));
+  add(ActualsQuery(22, {Predicate::Eq("t_quarterkey", 8)},
+                   {"ch_key", "pr_division"}, {kSales, kUnits}));
+  add(ActualsQuery(23, {Predicate::Eq("t_monthkey", 199612)},
+                   {"ch_key", "pr_line"}, {kSales}));
+  add(ActualsQuery(24, {Predicate::Range("pr_division", 0, 1),
+                        Predicate::Eq("t_halfyear", 2)},
+                   {"pr_line", "t_monthkey"}, {kCost}));
+
+  // ---- Budget-side queries (including the budget halves of the
+  // actual-vs-budget comparisons, split per fact table).
+  add(BudgetQuery(25, {Predicate::Eq("t_year", 1995)},
+                  {"pr_division", "t_quarter"}, {kBudget}, 1.5));
+  add(BudgetQuery(26, {Predicate::Eq("pr_division", 1),
+                       Predicate::Eq("t_year", 1995)},
+                  {"t_quarterkey"}, {kBudget}));
+  add(BudgetQuery(27, {Predicate::Eq("pr_line", static_cast<int64_t>(h.lines / 2))},
+                  {"t_monthkey"}, {kBudget, kBudgetUnits}));
+  add(BudgetQuery(28, {Predicate::Eq("cu_retailer", 7),
+                       Predicate::Eq("t_year", 1995)},
+                  {"cu_store", "t_quarter"}, {kBudget}));
+  add(BudgetQuery(29, {Predicate::Eq("pr_family", static_cast<int64_t>(h.families / 3)),
+                       Predicate::Eq("t_halfyear", 1)},
+                  {"t_monthkey"}, {kBudgetUnits}));
+  add(BudgetQuery(30, {Predicate::Eq("pr_group", static_cast<int64_t>(h.groups / 2)),
+                       Predicate::Eq("t_year", 1996)},
+                  {"t_quarter"}, {kBudget}));
+  add(BudgetQuery(31, {Predicate::Eq("t_monthkey", 199512)},
+                  {"pr_division"}, {kBudget, kBudgetUnits}));
+
+  return w;
+}
+
+}  // namespace apb
+}  // namespace coradd

@@ -1,0 +1,50 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace coradd {
+
+Table* Catalog::AddTable(std::unique_ptr<Table> table) {
+  CORADD_CHECK(table != nullptr);
+  const std::string name = table->name();
+  CORADD_CHECK(!name.empty());
+  CORADD_CHECK(tables_.find(name) == tables_.end());
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+void Catalog::RegisterFactTable(FactTableInfo info) {
+  CORADD_CHECK(GetTable(info.name) != nullptr);
+  for (const auto& fk : info.foreign_keys) {
+    CORADD_CHECK(GetTable(fk.dim_table) != nullptr);
+  }
+  facts_.push_back(std::move(info));
+}
+
+const FactTableInfo* Catalog::GetFactInfo(const std::string& fact_name) const {
+  for (const auto& f : facts_) {
+    if (f.name == fact_name) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace coradd

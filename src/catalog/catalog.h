@@ -1,0 +1,54 @@
+// The database catalog: named tables plus star-schema metadata (which tables
+// are facts, their foreign keys into dimensions, and primary keys).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+
+namespace coradd {
+
+/// A foreign-key edge from a fact table into a dimension table.
+struct ForeignKey {
+  std::string fact_column;    ///< FK column in the fact table.
+  std::string dim_table;      ///< Referenced dimension table.
+  std::string dim_pk_column;  ///< Primary-key column of the dimension.
+};
+
+/// Star-schema metadata for one fact table.
+struct FactTableInfo {
+  std::string name;
+  /// Primary key columns of the fact table (used for the default clustering
+  /// and for charging the PK secondary index when re-clustering, cf. §4.3).
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKey> foreign_keys;
+};
+
+/// Owns tables and star metadata. Not thread-safe (the designer is
+/// single-threaded, matching the paper's offline tool setting).
+class Catalog {
+ public:
+  /// Adds a table, taking ownership. Precondition: name not already present.
+  Table* AddTable(std::unique_ptr<Table> table);
+
+  /// Returns the table or nullptr.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Registers star metadata for a fact table already in the catalog.
+  void RegisterFactTable(FactTableInfo info);
+
+  const std::vector<FactTableInfo>& fact_tables() const { return facts_; }
+  const FactTableInfo* GetFactInfo(const std::string& fact_name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<FactTableInfo> facts_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,58 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+std::string ColumnDef::Render(int64_t code) const {
+  if (type == ValueType::kString) {
+    if (code >= 0 && static_cast<size_t>(code) < dictionary.size()) {
+      return dictionary[static_cast<size_t>(code)];
+    }
+    return StrFormat("<str:%lld>", static_cast<long long>(code));
+  }
+  return std::to_string(code);
+}
+
+Schema::Schema(std::vector<ColumnDef> columns) {
+  for (auto& c : columns) AddColumn(std::move(c));
+}
+
+void Schema::AddColumn(ColumnDef col) {
+  CORADD_CHECK(index_.find(col.name) == index_.end());
+  index_[col.name] = static_cast<int>(columns_.size());
+  columns_.push_back(std::move(col));
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+uint32_t Schema::RowWidthBytes() const {
+  uint32_t w = 0;
+  for (const auto& c : columns_) w += c.byte_size;
+  return w;
+}
+
+Schema Schema::Project(const std::vector<int>& column_indices) const {
+  Schema out;
+  for (int idx : column_indices) {
+    CORADD_CHECK(idx >= 0 && static_cast<size_t>(idx) < columns_.size());
+    out.AddColumn(columns_[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(StrFormat("%s:%s(%u)", c.name.c_str(),
+                              c.type == ValueType::kInt ? "int" : "str",
+                              c.byte_size));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace coradd

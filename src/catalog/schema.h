@@ -1,0 +1,70 @@
+// Schema metadata: column definitions with declared on-disk byte widths.
+//
+// All column data in this library is stored as 64-bit integer codes; string
+// domains are dictionary-encoded with the dictionary kept in the ColumnDef.
+// The declared `byte_size` is the width the value would occupy in an on-disk
+// row (e.g. 4 for an int, 10 for CHAR(10)), which drives every size estimate
+// (heap pages, B+Tree entries, MV space accounting) exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coradd {
+
+/// Logical value domain of a column. Representation is always int64 codes;
+/// the type controls rendering and dictionary usage.
+enum class ValueType { kInt = 0, kString = 1 };
+
+/// A single column: name, logical type, and on-disk byte width.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  /// Bytes one value occupies in a stored row; drives size estimation.
+  uint32_t byte_size = 4;
+  /// For kString columns: code -> string. May be empty for kInt.
+  std::vector<std::string> dictionary;
+
+  /// Renders a stored code as a display string.
+  std::string Render(int64_t code) const;
+};
+
+/// An ordered list of columns with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  /// Appends a column. Precondition: name not already present.
+  void AddColumn(ColumnDef col);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& Column(size_t i) const { return columns_[i]; }
+  ColumnDef* MutableColumn(size_t i) { return &columns_[i]; }
+
+  /// Returns the index of `name`, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// True iff a column called `name` exists.
+  bool HasColumn(const std::string& name) const {
+    return ColumnIndex(name) >= 0;
+  }
+
+  /// Total declared row width in bytes (sum of column byte sizes).
+  uint32_t RowWidthBytes() const;
+
+  /// Returns the subset schema for the given column indices (in that order).
+  Schema Project(const std::vector<int>& column_indices) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,72 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace coradd {
+
+void Table::Reserve(size_t rows) {
+  for (auto& c : columns_) c.reserve(rows);
+}
+
+void Table::AppendRow(const std::vector<int64_t>& row) {
+  CORADD_CHECK(row.size() == columns_.size());
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].push_back(row[i]);
+}
+
+std::vector<RowId> Table::SortByColumns(const std::vector<int>& sort_cols) {
+  const size_t n = NumRows();
+  std::vector<RowId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](RowId a, RowId b) {
+    for (int c : sort_cols) {
+      const int64_t va = columns_[static_cast<size_t>(c)][a];
+      const int64_t vb = columns_[static_cast<size_t>(c)][b];
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+  // Apply the permutation to every column.
+  for (auto& col : columns_) {
+    std::vector<int64_t> next(n);
+    for (size_t i = 0; i < n; ++i) next[i] = col[perm[i]];
+    col = std::move(next);
+  }
+  return perm;
+}
+
+size_t Table::DistinctCount(size_t col) const {
+  std::unordered_set<int64_t> seen;
+  seen.reserve(NumRows() / 4 + 16);
+  for (int64_t v : columns_[col]) seen.insert(v);
+  return seen.size();
+}
+
+size_t Table::DistinctCountComposite(const std::vector<int>& cols) const {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(NumRows() / 4 + 16);
+  const size_t n = NumRows();
+  for (size_t r = 0; r < n; ++r) {
+    uint64_t h = 0x12345678abcdef01ULL;
+    for (int c : cols) {
+      h = HashCombine(h, static_cast<uint64_t>(columns_[static_cast<size_t>(c)][r]));
+    }
+    seen.insert(h);
+  }
+  return seen.size();
+}
+
+std::string Table::RenderRow(RowId row) const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    parts.push_back(schema_.Column(c).Render(Value(row, c)));
+  }
+  return "[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace coradd

@@ -1,0 +1,69 @@
+// In-memory columnar table. Data is stored column-major as int64 codes;
+// the schema carries the declared on-disk widths used for size accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace coradd {
+
+/// Row identifier within a table (position in the current physical order).
+using RowId = uint32_t;
+
+/// A columnar in-memory table.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema, std::string name = "")
+      : name_(std::move(name)), schema_(std::move(schema)) {
+    columns_.resize(schema_.NumColumns());
+  }
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Reserves capacity in every column.
+  void Reserve(size_t rows);
+
+  /// Appends one row. Precondition: row.size() == NumColumns().
+  void AppendRow(const std::vector<int64_t>& row);
+
+  int64_t Value(RowId row, size_t col) const { return columns_[col][row]; }
+  void SetValue(RowId row, size_t col, int64_t v) { columns_[col][row] = v; }
+
+  const std::vector<int64_t>& ColumnData(size_t col) const {
+    return columns_[col];
+  }
+  std::vector<int64_t>* MutableColumnData(size_t col) { return &columns_[col]; }
+
+  /// Sorts rows lexicographically by the given column indices (stable).
+  /// Returns the permutation applied: perm[new_pos] = old_pos.
+  std::vector<RowId> SortByColumns(const std::vector<int>& sort_cols);
+
+  /// Exact number of distinct values in a column (scans the column).
+  size_t DistinctCount(size_t col) const;
+
+  /// Exact number of distinct joint values across `cols`.
+  size_t DistinctCountComposite(const std::vector<int>& cols) const;
+
+  /// Declared on-disk size in bytes (rows * row width), ignoring page slack.
+  uint64_t DataBytes() const {
+    return static_cast<uint64_t>(NumRows()) * schema_.RowWidthBytes();
+  }
+
+  /// Renders row `row` for debugging.
+  std::string RenderRow(RowId row) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<int64_t>> columns_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,141 @@
+#include "cm/cm_designer.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "stats/ae_estimator.h"
+
+namespace coradd {
+
+std::string CmSpec::ToString() const {
+  return StrFormat("CM{(%s), key_width=%lld, %s, for %s}",
+                   Join(key_columns, ",").c_str(),
+                   static_cast<long long>(bucketing.key_bucket_width),
+                   HumanBytes(est_size_bytes).c_str(),
+                   designed_for_query.c_str());
+}
+
+CmDesigner::CmDesigner(const StatsRegistry* registry,
+                       const CorrelationCostModel* model,
+                       CmDesignerOptions options)
+    : registry_(registry), model_(model), options_(std::move(options)) {
+  CORADD_CHECK(registry != nullptr);
+  CORADD_CHECK(model != nullptr);
+}
+
+uint64_t CmDesigner::EstimateCmSize(const MvSpec& spec,
+                                    const std::vector<std::string>& key_columns,
+                                    const CmBucketing& bucketing) const {
+  const UniverseStats* stats = registry_->ForFact(spec.fact_table);
+  CORADD_CHECK(stats != nullptr);
+  const Synopsis& syn = stats->synopsis();
+  const size_t n = syn.sample_rows();
+  if (n == 0) return 0;
+
+  // Clustered-order rank of each synopsis row (approximates its position,
+  // hence its page and clustered bucket, in the hypothetical MV).
+  std::vector<int> cluster_cols;
+  for (const auto& c : spec.clustered_key) {
+    cluster_cols.push_back(stats->universe().ColumnIndex(c));
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (int c : cluster_cols) {
+      const int64_t va = syn.Values(c)[a];
+      const int64_t vb = syn.Values(c)[b];
+      if (va != vb) return va < vb;
+    }
+    return a < b;
+  });
+  std::vector<uint32_t> rank(n);
+  for (size_t pos = 0; pos < n; ++pos) rank[order[pos]] = static_cast<uint32_t>(pos);
+
+  const DiskParams& disk = stats->options().disk;
+  const double pages = static_cast<double>(MvHeapPages(spec, *stats, disk));
+  const double num_buckets =
+      std::max(1.0, pages / bucketing.clustered_bucket_pages);
+
+  std::vector<int> key_cols;
+  uint32_t key_bytes = 0;
+  for (const auto& c : key_columns) {
+    const int idx = stats->universe().ColumnIndex(c);
+    CORADD_CHECK(idx >= 0);
+    key_cols.push_back(idx);
+    key_bytes += stats->universe().Column(static_cast<size_t>(idx)).byte_size;
+  }
+
+  // Distinct (bucketed key tuple, clustered bucket) pairs in the sample,
+  // scaled to the full table with AE.
+  const int64_t w = std::max<int64_t>(1, bucketing.key_bucket_width);
+  std::vector<uint64_t> pair_hashes;
+  pair_hashes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = 0x5bd1e995u;
+    for (int c : key_cols) {
+      h = HashCombine(h, static_cast<uint64_t>(syn.Values(c)[i] / w));
+    }
+    const uint64_t cbucket = static_cast<uint64_t>(
+        static_cast<double>(rank[i]) / static_cast<double>(n) * num_buckets);
+    h = HashCombine(h, cbucket);
+    pair_hashes.push_back(h);
+  }
+  const auto profile =
+      SampleFrequencyProfile::FromHashes(pair_hashes, stats->num_rows());
+  const double pairs = EstimateDistinctAe(profile);
+  return static_cast<uint64_t>(pairs) * (key_bytes + 4);
+}
+
+std::vector<CmSpec> CmDesigner::Design(
+    const MvSpec& spec, const std::vector<const Query*>& queries) const {
+  std::vector<CmSpec> chosen;
+  std::map<std::vector<std::string>, size_t> dedupe;
+
+  for (const Query* q : queries) {
+    if (q == nullptr) continue;
+    const CostBreakdown best = model_->Cost(*q, spec);
+    if (!best.feasible() || best.path != AccessPath::kSecondary) {
+      continue;  // clustered or full scan already optimal; no CM needed.
+    }
+    // Marginal predicted wins are estimation noise; a CM must clearly beat
+    // the sequential scan to be worth building (and the executor applies
+    // the same margin when choosing plans).
+    const UniverseStats* stats = registry_->ForFact(spec.fact_table);
+    const double fullscan =
+        MvFullScanSeconds(spec, *stats, stats->options().disk) +
+        stats->options().disk.seek_seconds;
+    if (best.seconds * 1.25 >= fullscan) continue;
+    // The model's winning secondary path names the attribute combination.
+    const std::vector<std::string>& key_cols = best.secondary_columns;
+    if (key_cols.empty()) continue;
+
+    auto it = dedupe.find(key_cols);
+    if (it != dedupe.end()) continue;  // already chosen for another query.
+
+    // Sweep key bucket widths until the estimated size fits the budget
+    // (wider buckets only shrink the CM, at the price of false positives).
+    CmSpec cm;
+    cm.key_columns = key_cols;
+    cm.designed_for_query = q->id;
+    cm.est_cost_seconds = best.seconds;
+    bool fits = false;
+    for (int64_t w : options_.key_bucket_widths) {
+      cm.bucketing.key_bucket_width = w;
+      cm.bucketing.clustered_bucket_pages = options_.clustered_bucket_pages;
+      cm.est_size_bytes = EstimateCmSize(spec, key_cols, cm.bucketing);
+      if (cm.est_size_bytes <= options_.per_cm_budget_bytes) {
+        fits = true;
+        break;
+      }
+    }
+    if (!fits) continue;  // No bucketing fits: skip this CM.
+    dedupe[key_cols] = chosen.size();
+    chosen.push_back(std::move(cm));
+  }
+  return chosen;
+}
+
+}  // namespace coradd

@@ -1,0 +1,61 @@
+// The CM Designer (A-1.2): given an MV design and the queries it serves,
+// choose which correlation maps to build — trying attribute combinations of
+// each query's predicates and bucketing widths, picking the fastest design
+// whose estimated size fits the per-CM space limit (1 MB per CM in the
+// paper). Sizes are estimated with AE over the table synopsis.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cm/correlation_map.h"
+#include "cost/correlation_cost_model.h"
+
+namespace coradd {
+
+/// A chosen CM design (not yet materialized).
+struct CmSpec {
+  std::vector<std::string> key_columns;
+  CmBucketing bucketing;
+  uint64_t est_size_bytes = 0;
+  double est_cost_seconds = 0.0;
+  std::string designed_for_query;
+
+  std::string ToString() const;
+};
+
+/// Knobs for CM design.
+struct CmDesignerOptions {
+  /// Per-CM space limit (the paper uses 1 MB per CM).
+  uint64_t per_cm_budget_bytes = 1ull << 20;
+  uint32_t clustered_bucket_pages = 8;
+  /// Key bucket widths to sweep, in increasing order.
+  std::vector<int64_t> key_bucket_widths = {1, 2, 4, 8, 16, 32, 64, 128};
+};
+
+/// Designs CMs for MV candidates.
+class CmDesigner {
+ public:
+  CmDesigner(const StatsRegistry* registry, const CorrelationCostModel* model,
+             CmDesignerOptions options = {});
+
+  /// For each query the MV serves, picks the fastest CM (attribute
+  /// combination + bucketing) within budget; deduplicates identical key
+  /// sets across queries. Queries best served by the clustered index get no
+  /// CM. Returns the chosen specs.
+  std::vector<CmSpec> Design(const MvSpec& spec,
+                             const std::vector<const Query*>& queries) const;
+
+  /// Estimated full-data size of a CM via AE over the synopsis.
+  uint64_t EstimateCmSize(const MvSpec& spec,
+                          const std::vector<std::string>& key_columns,
+                          const CmBucketing& bucketing) const;
+
+ private:
+  const StatsRegistry* registry_;
+  const CorrelationCostModel* model_;
+  CmDesignerOptions options_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,101 @@
+#include "cm/correlation_map.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/status.h"
+
+namespace coradd {
+
+namespace {
+int64_t BucketOf(int64_t v, int64_t width) {
+  if (width <= 1) return v;
+  // Floor division so negative domains bucket consistently.
+  int64_t q = v / width;
+  if (v % width != 0 && v < 0) --q;
+  return q;
+}
+}  // namespace
+
+CorrelationMap::CorrelationMap(
+    std::vector<std::string> key_columns,
+    const std::vector<const std::vector<int64_t>*>& key_values,
+    std::vector<uint32_t> key_byte_sizes, const ClusteredTable& table,
+    CmBucketing bucketing)
+    : key_columns_(std::move(key_columns)),
+      key_byte_sizes_(std::move(key_byte_sizes)),
+      bucketing_(bucketing) {
+  CORADD_CHECK(!key_columns_.empty());
+  CORADD_CHECK(key_values.size() == key_columns_.size());
+  CORADD_CHECK(key_byte_sizes_.size() == key_columns_.size());
+  CORADD_CHECK(bucketing_.clustered_bucket_pages > 0);
+
+  const size_t n = table.NumRows();
+  std::map<std::vector<int64_t>, std::vector<uint32_t>> acc;
+  std::vector<int64_t> key(key_columns_.size());
+  for (RowId r = 0; r < n; ++r) {
+    for (size_t k = 0; k < key_values.size(); ++k) {
+      key[k] = BucketOf((*key_values[k])[r], bucketing_.key_bucket_width);
+    }
+    const uint32_t cbucket = static_cast<uint32_t>(
+        table.PageOfRow(r) / bucketing_.clustered_bucket_pages);
+    auto& buckets = acc[key];
+    if (buckets.empty() || buckets.back() != cbucket) {
+      // Rows arrive in clustered order, so bucket ids per key are
+      // non-decreasing; dedupe against the tail only.
+      if (!std::binary_search(buckets.begin(), buckets.end(), cbucket)) {
+        buckets.push_back(cbucket);
+      }
+    }
+  }
+
+  entries_.reserve(acc.size());
+  for (auto& [k, buckets] : acc) {
+    total_pairs_ += buckets.size();
+    entries_.push_back(Entry{k, std::move(buckets)});
+  }
+}
+
+uint64_t CorrelationMap::SizeBytes() const {
+  uint32_t key_bytes = 0;
+  for (uint32_t b : key_byte_sizes_) key_bytes += b;
+  // One stored pair per (key bucket, clustered bucket): key + 4-byte bucket.
+  return total_pairs_ * (key_bytes + 4);
+}
+
+std::vector<uint32_t> CorrelationMap::LookupBuckets(
+    const std::vector<std::function<bool(int64_t, int64_t)>>& matches) const {
+  CORADD_CHECK(matches.size() == key_columns_.size());
+  std::vector<uint32_t> out;
+  const int64_t w = std::max<int64_t>(1, bucketing_.key_bucket_width);
+  for (const Entry& e : entries_) {
+    bool ok = true;
+    for (size_t k = 0; k < matches.size(); ++k) {
+      const int64_t lo = e.key_buckets[k] * w;
+      const int64_t hi = lo + w - 1;
+      if (!matches[k](lo, hi)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      out.insert(out.end(), e.clustered_buckets.begin(),
+                 e.clustered_buckets.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+PageRun CorrelationMap::BucketPages(uint32_t bucket,
+                                    uint64_t num_pages) const {
+  const uint64_t first =
+      static_cast<uint64_t>(bucket) * bucketing_.clustered_bucket_pages;
+  const uint64_t last = std::min(
+      num_pages == 0 ? 0 : num_pages - 1,
+      first + bucketing_.clustered_bucket_pages - 1);
+  return PageRun{first, last};
+}
+
+}  // namespace coradd

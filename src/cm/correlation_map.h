@@ -1,0 +1,74 @@
+// Correlation Maps (A-1; Kimura et al., VLDB 2009): compressed secondary
+// indexes that map each distinct (bucketed) value of an unclustered
+// attribute to the set of co-occurring clustered-key buckets. A clustered
+// bucket is a fixed run of heap pages (A-1.1's "bucket ID" column, ~20
+// pages each); lookups return bucket ids which the executor turns into
+// page runs — the superset-scan-then-filter plan of Figure 12.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/clustered_table.h"
+
+namespace coradd {
+
+/// Bucketing parameters of a CM (A-1.1).
+struct CmBucketing {
+  /// Truncation width on each key attribute's value domain (1 = exact
+  /// distinct values). Wider buckets shrink the CM but add false positives.
+  int64_t key_bucket_width = 1;
+  /// Heap pages per clustered bucket id.
+  uint32_t clustered_bucket_pages = 8;
+};
+
+/// A materialized correlation map over one or more key columns of a
+/// clustered table.
+class CorrelationMap {
+ public:
+  /// Builds the CM by one pass over `table` (already clustered).
+  /// `key_values[k][row]` = value of key column k for table row `row`.
+  /// `key_byte_sizes[k]` = declared width of key column k (for sizing).
+  CorrelationMap(std::vector<std::string> key_columns,
+                 const std::vector<const std::vector<int64_t>*>& key_values,
+                 std::vector<uint32_t> key_byte_sizes,
+                 const ClusteredTable& table, CmBucketing bucketing);
+
+  const std::vector<std::string>& key_columns() const { return key_columns_; }
+  const CmBucketing& bucketing() const { return bucketing_; }
+
+  /// Number of (key-bucket, clustered-bucket) pairs stored.
+  uint64_t NumPairs() const { return total_pairs_; }
+  uint64_t NumKeyEntries() const { return entries_.size(); }
+
+  /// Declared size in bytes: one (key tuple, bucket id) pair per entry.
+  uint64_t SizeBytes() const;
+
+  /// Returns the sorted clustered bucket ids whose key bucket *may* contain
+  /// a value satisfying all of `matches` (one callback per key column:
+  /// given the inclusive value range [lo, hi] covered by a key bucket,
+  /// return true if a matching value could lie inside).
+  /// Scanning all entries is deliberate: a CM is small by construction.
+  std::vector<uint32_t> LookupBuckets(
+      const std::vector<std::function<bool(int64_t, int64_t)>>& matches) const;
+
+  /// Page range covered by a clustered bucket id.
+  PageRun BucketPages(uint32_t bucket, uint64_t num_pages) const;
+
+ private:
+  struct Entry {
+    std::vector<int64_t> key_buckets;      ///< Truncated key values.
+    std::vector<uint32_t> clustered_buckets;  ///< Sorted, unique.
+  };
+
+  std::vector<std::string> key_columns_;
+  std::vector<uint32_t> key_byte_sizes_;
+  CmBucketing bucketing_;
+  std::vector<Entry> entries_;
+  uint64_t total_pairs_ = 0;
+};
+
+}  // namespace coradd

@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace coradd {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling over the continuous approximation of the Zipf
+  // distribution: P(X <= x) ~ H(x)/H(n) with H(x) the generalized harmonic
+  // number, itself approximated by the integral of t^-s.
+  const double u = UniformDouble();
+  if (s == 1.0) {
+    const double hn = std::log(static_cast<double>(n) + 1.0);
+    return static_cast<uint64_t>(std::exp(u * hn)) - 1;
+  }
+  const double one_minus_s = 1.0 - s;
+  const double hn =
+      (std::pow(static_cast<double>(n) + 1.0, one_minus_s) - 1.0) / one_minus_s;
+  const double x = std::pow(u * hn * one_minus_s + 1.0, 1.0 / one_minus_s) - 1.0;
+  uint64_t r = static_cast<uint64_t>(x);
+  if (r >= n) r = n - 1;
+  return r;
+}
+
+}  // namespace coradd

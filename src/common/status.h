@@ -1,0 +1,130 @@
+// Lightweight Status / Result types used across CORADD, in the spirit of
+// arrow::Status / absl::Status. We avoid exceptions on hot paths; fatal
+// programming errors use CORADD_CHECK which aborts with a message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace coradd {
+
+/// Error categories used by coradd::Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kInternal,
+  kNotImplemented,
+  kResourceExhausted,
+};
+
+/// Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error container, analogous to arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}    // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
+}  // namespace coradd
+
+/// Aborts with a diagnostic when `expr` is false. Used for invariant checks
+/// that indicate programming errors (never for data-dependent conditions).
+#define CORADD_CHECK(expr)                                        \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::coradd::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                             \
+  } while (0)
+
+#define CORADD_RETURN_NOT_OK(expr)          \
+  do {                                      \
+    ::coradd::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (0)

@@ -1,0 +1,26 @@
+// Small string formatting helpers used by examples, benches and ToString()
+// implementations across the library.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace coradd {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Renders a byte count as a human-readable string ("1.5 GB", "640 KB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Renders seconds as "123.4 ms" / "1.23 s" / "2.1 min".
+std::string HumanSeconds(double seconds);
+
+/// Splits on a single character, keeping empty tokens.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+}  // namespace coradd

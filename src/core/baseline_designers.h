@@ -1,0 +1,56 @@
+// Baseline designers the paper compares against.
+//
+// NaiveDesigner (§7.2, Experiment 2): correlation-aware cost model but no
+// query grouping or index merging — only fact re-clusterings and dedicated
+// per-query MVs, packed greedily ("picks as many candidates as possible").
+//
+// CommercialDesigner: proxy for the commercial product — the same
+// state-of-the-art machinery ([1,5]: MV candidates per query group, dense
+// B+Tree secondary indexes, Greedy(m,k) selection) driven by the
+// correlation-OBLIVIOUS cost model of Fig 10. The substitution rationale is
+// documented in DESIGN.md §2.
+#pragma once
+
+#include <memory>
+
+#include "core/context.h"
+#include "core/design.h"
+#include "cost/oblivious_cost_model.h"
+#include "ilp/greedy_mk.h"
+#include "mv/candidate_generator.h"
+
+namespace coradd {
+
+/// §7.2's Naive baseline.
+class NaiveDesigner {
+ public:
+  explicit NaiveDesigner(const DesignContext* context,
+                         CorrelationCostModelOptions model_options = {});
+
+  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes);
+
+  const CorrelationCostModel& model() const { return *model_; }
+
+ private:
+  const DesignContext* context_;
+  std::unique_ptr<CorrelationCostModel> model_;
+};
+
+/// Correlation-oblivious commercial-designer proxy.
+class CommercialDesigner {
+ public:
+  explicit CommercialDesigner(const DesignContext* context,
+                              GreedyMkOptions greedy_options = {});
+
+  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes);
+
+  const ObliviousCostModel& model() const { return *model_; }
+
+ private:
+  const DesignContext* context_;
+  GreedyMkOptions greedy_options_;
+  std::unique_ptr<ObliviousCostModel> model_;
+  std::unique_ptr<MvCandidateGenerator> generator_;
+};
+
+}  // namespace coradd

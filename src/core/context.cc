@@ -1,0 +1,27 @@
+#include "core/context.h"
+
+namespace coradd {
+
+DesignContext::DesignContext(const Catalog* catalog, const Workload& workload,
+                             StatsOptions stats_options)
+    : catalog_(catalog), stats_options_(stats_options) {
+  CORADD_CHECK(catalog != nullptr);
+  for (const auto& fact : workload.FactTables()) {
+    const FactTableInfo* info = catalog_->GetFactInfo(fact);
+    CORADD_CHECK(info != nullptr);
+    auto universe = std::make_unique<Universe>(*catalog_, *info);
+    auto stats = std::make_unique<UniverseStats>(universe.get(), stats_options_);
+    registry_.Register(stats.get());
+    universes_.push_back(std::move(universe));
+    stats_.push_back(std::move(stats));
+  }
+}
+
+const Universe* DesignContext::UniverseForFact(const std::string& fact) const {
+  for (const auto& u : universes_) {
+    if (u->fact_name() == fact) return u.get();
+  }
+  return nullptr;
+}
+
+}  // namespace coradd

@@ -1,0 +1,39 @@
+// Shared design context: universes and statistics for every fact table a
+// workload touches, built once (the paper's one-time startup scan, A-2.2)
+// and shared by designers, evaluators, and benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "catalog/universe.h"
+#include "cost/cost_model.h"
+#include "workload/query.h"
+
+namespace coradd {
+
+/// Owns per-fact universes and statistics; exposes a StatsRegistry.
+class DesignContext {
+ public:
+  /// Builds universes + stats for every fact table `workload` references.
+  DesignContext(const Catalog* catalog, const Workload& workload,
+                StatsOptions stats_options = {});
+
+  const Catalog& catalog() const { return *catalog_; }
+  const StatsRegistry& registry() const { return registry_; }
+  const StatsOptions& stats_options() const { return stats_options_; }
+
+  const Universe* UniverseForFact(const std::string& fact) const;
+  const UniverseStats* StatsForFact(const std::string& fact) const {
+    return registry_.ForFact(fact);
+  }
+
+ private:
+  const Catalog* catalog_;
+  StatsOptions stats_options_;
+  std::vector<std::unique_ptr<Universe>> universes_;
+  std::vector<std::unique_ptr<UniverseStats>> stats_;
+  StatsRegistry registry_;
+};
+
+}  // namespace coradd

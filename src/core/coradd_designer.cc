@@ -1,0 +1,118 @@
+#include "core/coradd_designer.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+std::string DatabaseDesign::ToString() const {
+  return StrFormat("%s{objects=%zu, %s of %s, expected=%.2fs}",
+                   designer.c_str(), objects.size(),
+                   HumanBytes(object_bytes).c_str(),
+                   HumanBytes(budget_bytes).c_str(), expected_seconds);
+}
+
+CoraddDesigner::CoraddDesigner(const DesignContext* context,
+                               CoraddOptions options)
+    : context_(context), options_(options) {
+  CORADD_CHECK(context != nullptr);
+  model_ = std::make_unique<CorrelationCostModel>(&context_->registry(),
+                                                  options_.cost_model);
+  generator_ = std::make_unique<MvCandidateGenerator>(
+      &context_->catalog(), &context_->registry(), model_.get(),
+      options_.candidates);
+  cm_designer_ = std::make_unique<CmDesigner>(&context_->registry(),
+                                              model_.get(), options_.cm);
+}
+
+DatabaseDesign CoraddDesigner::Design(const Workload& workload,
+                                      uint64_t budget_bytes) {
+  last_run_ = CoraddRunInfo{};
+  const double t_start = Now();
+
+  // --- §4: candidate generation.
+  CandidateSet candidates = generator_->Generate(workload);
+  last_run_.candidates_enumerated = candidates.mvs.size();
+  last_run_.candgen_seconds = Now() - t_start;
+
+  // --- §5: build + prune + solve.
+  const double t_solve = Now();
+  BuiltProblem built =
+      BuildSelectionProblem(workload, std::move(candidates.mvs), *model_,
+                            context_->registry(), budget_bytes);
+  if (options_.prune_dominated) {
+    const std::vector<bool> dominated = DominatedMask(built.problem);
+    std::vector<int> old_index;
+    SelectionProblem compact =
+        CompactProblem(built.problem, dominated, &old_index);
+    std::vector<MvSpec> kept;
+    kept.reserve(old_index.size());
+    for (int oi : old_index) {
+      kept.push_back(std::move(built.specs[static_cast<size_t>(oi)]));
+    }
+    built.problem = std::move(compact);
+    built.specs = std::move(kept);
+  }
+  last_run_.candidates_after_domination = built.specs.size();
+
+  SelectionResult result;
+  BuiltProblem final_problem;
+  if (options_.use_feedback) {
+    // --- §6: ILP feedback.
+    FeedbackOutcome fb = RunIlpFeedback(
+        workload, *generator_, *model_, context_->registry(),
+        std::move(built), budget_bytes, options_.feedback, options_.solver);
+    result = std::move(fb.result);
+    final_problem = std::move(fb.problem);
+    last_run_.feedback_candidates_added = fb.candidates_added;
+    last_run_.feedback_iterations = fb.iterations;
+  } else {
+    result = SolveSelectionExact(built.problem, options_.solver);
+    final_problem = std::move(built);
+  }
+  last_run_.solve_seconds = Now() - t_solve;
+
+  // --- A-1: CMs on the chosen objects.
+  DatabaseDesign design;
+  design.designer = "CORADD";
+  design.budget_bytes = budget_bytes;
+  design.expected_seconds = result.expected_cost;
+  design.object_bytes = result.used_bytes;
+  std::vector<int> object_index(final_problem.specs.size(), -1);
+  for (int m : result.chosen) {
+    const MvSpec& spec = final_problem.specs[static_cast<size_t>(m)];
+    // Queries routed to this object.
+    std::vector<const Query*> served;
+    for (size_t q = 0; q < result.best_for_query.size(); ++q) {
+      if (result.best_for_query[q] == m) {
+        served.push_back(&workload.queries[q]);
+      }
+    }
+    DesignedObject obj;
+    obj.spec = spec;
+    obj.cms = cm_designer_->Design(spec, served);
+    object_index[static_cast<size_t>(m)] =
+        static_cast<int>(design.objects.size());
+    design.objects.push_back(std::move(obj));
+  }
+  design.object_for_query.resize(workload.queries.size(), -1);
+  for (size_t q = 0; q < result.best_for_query.size(); ++q) {
+    const int m = result.best_for_query[q];
+    if (m >= 0) {
+      design.object_for_query[q] = object_index[static_cast<size_t>(m)];
+    }
+  }
+  design.design_seconds = Now() - t_start;
+  return design;
+}
+
+}  // namespace coradd

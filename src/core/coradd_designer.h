@@ -1,0 +1,61 @@
+// The CORADD designer (Fig 1): correlation statistics -> MV candidate
+// generation (query grouping + clustered-index merging + FK clustering) ->
+// ILP selection with dominated-candidate pruning -> ILP feedback ->
+// CM design on the chosen objects.
+#pragma once
+
+#include <memory>
+
+#include "cm/cm_designer.h"
+#include "core/context.h"
+#include "core/design.h"
+#include "cost/correlation_cost_model.h"
+#include "feedback/ilp_feedback.h"
+#include "ilp/domination.h"
+#include "mv/candidate_generator.h"
+
+namespace coradd {
+
+/// End-to-end CORADD options.
+struct CoraddOptions {
+  CandidateGeneratorOptions candidates;
+  FeedbackOptions feedback;
+  BranchAndBoundOptions solver;
+  CmDesignerOptions cm;
+  CorrelationCostModelOptions cost_model;
+  bool use_feedback = true;
+  bool prune_dominated = true;
+};
+
+/// Designer statistics for the §7.2-style runtime breakdown.
+struct CoraddRunInfo {
+  size_t candidates_enumerated = 0;
+  size_t candidates_after_domination = 0;
+  size_t feedback_candidates_added = 0;
+  int feedback_iterations = 0;
+  double candgen_seconds = 0.0;
+  double solve_seconds = 0.0;
+};
+
+/// The CORADD automatic database designer.
+class CoraddDesigner {
+ public:
+  CoraddDesigner(const DesignContext* context, CoraddOptions options = {});
+
+  /// Produces the design for `workload` within `budget_bytes`.
+  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes);
+
+  /// Run statistics of the last Design() call.
+  const CoraddRunInfo& last_run() const { return last_run_; }
+  const CorrelationCostModel& model() const { return *model_; }
+
+ private:
+  const DesignContext* context_;
+  CoraddOptions options_;
+  std::unique_ptr<CorrelationCostModel> model_;
+  std::unique_ptr<MvCandidateGenerator> generator_;
+  std::unique_ptr<CmDesigner> cm_designer_;
+  CoraddRunInfo last_run_;
+};
+
+}  // namespace coradd

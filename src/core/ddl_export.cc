@@ -1,0 +1,71 @@
+#include "core/ddl_export.h"
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+std::string ExportDdl(const DatabaseDesign& design, const Workload& workload,
+                      DdlOptions options) {
+  std::string out;
+  out += StrFormat("-- CORADD design (%s dialect)\n", options.dialect.c_str());
+  out += StrFormat("-- budget: %s, charged: %s, expected workload: %.3f s\n\n",
+                   HumanBytes(design.budget_bytes).c_str(),
+                   HumanBytes(design.object_bytes).c_str(),
+                   design.expected_seconds);
+
+  for (const auto& obj : design.objects) {
+    const MvSpec& spec = obj.spec;
+    if (spec.is_base) {
+      out += StrFormat("-- %s: base table kept clustered on its primary key"
+                       " (%s)\n\n",
+                       spec.fact_table.c_str(),
+                       Join(spec.clustered_key, ", ").c_str());
+    } else if (spec.is_fact_recluster) {
+      out += StrFormat("CLUSTER TABLE %s BY (%s);\n", spec.fact_table.c_str(),
+                       Join(spec.clustered_key, ", ").c_str());
+      out += StrFormat(
+          "CREATE INDEX %s_pk_idx ON %s  -- compensating PK index (Sec 4.3)\n"
+          "  (primary key columns);\n",
+          spec.fact_table.c_str(), spec.fact_table.c_str());
+    } else {
+      out += StrFormat("CREATE MATERIALIZED VIEW %s AS\n  SELECT %s\n"
+                       "  FROM %s JOIN <dimensions>\n",
+                       spec.name.c_str(), Join(spec.columns, ", ").c_str(),
+                       spec.fact_table.c_str());
+      out += StrFormat("  CLUSTER BY (%s);\n",
+                       Join(spec.clustered_key, ", ").c_str());
+    }
+    for (const auto& cm : obj.cms) {
+      out += StrFormat(
+          "CREATE CORRELATION MAP ON %s (%s)\n"
+          "  -- key bucket width %lld, %u pages/bucket, ~%s"
+          " (emulate via A-1.3 query rewriting if unsupported)\n",
+          (spec.is_fact_recluster ? spec.fact_table : spec.name).c_str(),
+          Join(cm.key_columns, ", ").c_str(),
+          static_cast<long long>(cm.bucketing.key_bucket_width),
+          cm.bucketing.clustered_bucket_pages,
+          HumanBytes(cm.est_size_bytes).c_str());
+    }
+    for (const auto& col : obj.btree_columns) {
+      out += StrFormat("CREATE INDEX ON %s (%s);\n",
+                       (spec.is_fact_recluster ? spec.fact_table : spec.name)
+                           .c_str(),
+                       col.c_str());
+    }
+    out += "\n";
+  }
+
+  if (options.include_routing) {
+    out += "-- query routing (expected best object per query):\n";
+    for (size_t q = 0; q < workload.queries.size(); ++q) {
+      const int oi = design.object_for_query[q];
+      out += StrFormat("--   %-8s -> %s\n", workload.queries[q].id.c_str(),
+                       oi >= 0 ? design.objects[static_cast<size_t>(oi)]
+                                     .spec.name.c_str()
+                               : "(none)");
+    }
+  }
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,28 @@
+// DDL export: renders a DatabaseDesign as the SQL-ish script a DBA would
+// hand to the target DBMS — CREATE MATERIALIZED VIEW with column lists and
+// clustered-index clauses, CLUSTER statements for fact re-clusterings (plus
+// the compensating PK secondary index, §4.3), and CREATE CORRELATION MAP
+// pseudo-DDL for the CMs (or comments describing the rewrite predicates to
+// install where CMs are emulated, A-1.3).
+#pragma once
+
+#include <string>
+
+#include "core/design.h"
+#include "workload/query.h"
+
+namespace coradd {
+
+/// Options for DDL rendering.
+struct DdlOptions {
+  /// Dialect header comment; purely cosmetic.
+  std::string dialect = "generic";
+  /// Emit the per-query routing plan as trailing comments.
+  bool include_routing = true;
+};
+
+/// Renders the design as an executable-looking DDL script.
+std::string ExportDdl(const DatabaseDesign& design, const Workload& workload,
+                      DdlOptions options = {});
+
+}  // namespace coradd

@@ -1,0 +1,88 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+
+std::string ObjectSignature(const DesignedObject& obj) {
+  std::string s = obj.spec.fact_table + "|" + Join(obj.spec.columns, ",") +
+                  "|" + Join(obj.spec.clustered_key, ",") + "|";
+  s += obj.spec.is_base ? "B" : (obj.spec.is_fact_recluster ? "R" : "M");
+  for (const auto& cm : obj.cms) {
+    s += "|cm:" + Join(cm.key_columns, ",") +
+         StrFormat("/w%lld/p%u",
+                   static_cast<long long>(cm.bucketing.key_bucket_width),
+                   cm.bucketing.clustered_bucket_pages);
+  }
+  for (const auto& b : obj.btree_columns) s += "|bt:" + b;
+  return s;
+}
+
+}  // namespace
+
+DesignEvaluator::DesignEvaluator(const DesignContext* context,
+                                 size_t cache_capacity)
+    : context_(context), cache_capacity_(cache_capacity) {
+  CORADD_CHECK(context != nullptr);
+}
+
+const MaterializedObject* DesignEvaluator::GetOrMaterialize(
+    const DesignedObject& obj) {
+  const std::string sig = ObjectSignature(obj);
+  auto it = cache_.find(sig);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second.get();
+  }
+  while (cache_.size() >= cache_capacity_) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
+  const Universe* universe = context_->UniverseForFact(obj.spec.fact_table);
+  CORADD_CHECK(universe != nullptr);
+  Materializer materializer(universe, context_->stats_options().disk);
+  auto mat =
+      materializer.Materialize(obj.spec, obj.cms, obj.btree_columns);
+  const MaterializedObject* raw = mat.get();
+  cache_[sig] = std::move(mat);
+  cache_order_.push_back(sig);
+  return raw;
+}
+
+WorkloadRunResult DesignEvaluator::Run(const DatabaseDesign& design,
+                                       const Workload& workload,
+                                       const CostModel& planner) {
+  WorkloadRunResult out;
+  QueryExecutor executor(&context_->registry(), &planner);
+  for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+    const Query& q = workload.queries[qi];
+    const int oi = design.object_for_query[qi];
+    CORADD_CHECK(oi >= 0 &&
+                 static_cast<size_t>(oi) < design.objects.size());
+    const DesignedObject& dobj = design.objects[static_cast<size_t>(oi)];
+    const MaterializedObject* mat = GetOrMaterialize(dobj);
+
+    DiskModel disk(context_->stats_options().disk);  // cold per query (§7)
+    const QueryRunResult run = executor.Run(q, *mat, &disk);
+
+    QueryRunRecord rec;
+    rec.query_id = q.id;
+    rec.object_name = dobj.spec.name;
+    rec.real_seconds = run.seconds;
+    rec.expected_seconds = planner.Seconds(q, dobj.spec);
+    rec.aggregate = run.aggregate;
+    rec.rows_output = run.rows_output;
+    rec.fragments = run.fragments;
+    rec.path = run.path;
+    out.total_seconds += run.seconds * q.frequency;
+    out.expected_seconds += rec.expected_seconds * q.frequency;
+    out.per_query.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace coradd

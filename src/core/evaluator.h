@@ -1,0 +1,64 @@
+// Runs a DatabaseDesign against a workload on the storage simulator: each
+// query executes cold (caches discarded, as in §7) on the object the design
+// routes it to, with plan selection by the supplied cost model. Produces
+// both "real" (simulated-I/O) and "expected" (model) runtimes — the paired
+// curves of Figures 9 and 11 — plus per-query aggregates that must agree
+// across designs (a built-in correctness check).
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/context.h"
+#include "core/design.h"
+#include "exec/executor.h"
+
+namespace coradd {
+
+/// One query's outcome.
+struct QueryRunRecord {
+  std::string query_id;
+  std::string object_name;
+  double real_seconds = 0.0;
+  double expected_seconds = 0.0;
+  double aggregate = 0.0;
+  uint64_t rows_output = 0;
+  uint64_t fragments = 0;
+  AccessPath path = AccessPath::kFullScan;
+};
+
+/// Whole-workload outcome.
+struct WorkloadRunResult {
+  double total_seconds = 0.0;     ///< Frequency-weighted real runtime.
+  double expected_seconds = 0.0;  ///< Frequency-weighted model estimate.
+  std::vector<QueryRunRecord> per_query;
+};
+
+/// Materializes design objects (with caching across budgets — identical
+/// objects recur as the budget grid sweeps) and executes workloads.
+class DesignEvaluator {
+ public:
+  explicit DesignEvaluator(const DesignContext* context,
+                           size_t cache_capacity = 24);
+
+  /// Runs every workload query on its routed object. `planner` doubles as
+  /// run-time optimizer and "expected" estimator (pass the designer's own
+  /// model to reproduce the paired model/real curves).
+  WorkloadRunResult Run(const DatabaseDesign& design, const Workload& workload,
+                        const CostModel& planner);
+
+  uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  const MaterializedObject* GetOrMaterialize(const DesignedObject& obj);
+
+  const DesignContext* context_;
+  size_t cache_capacity_;
+  std::unordered_map<std::string, std::unique_ptr<MaterializedObject>> cache_;
+  std::list<std::string> cache_order_;
+  uint64_t cache_hits_ = 0;
+};
+
+}  // namespace coradd

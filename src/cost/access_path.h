@@ -1,0 +1,36 @@
+// Shared clustered-prefix analysis: how far a query's predicates can drive
+// a lexicographic clustered key, how selective the resulting scan is, and
+// into how many disjoint key ranges it splits (§4.2's equality / range / IN
+// ordering rationale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace coradd {
+
+/// Result of walking a clustered key against a query's predicates.
+struct ClusteredPrefixPlan {
+  /// Fraction of rows inside the scanned key ranges.
+  double selectivity = 1.0;
+  /// Number of disjoint contiguous ranges (IN predicates multiply this).
+  double num_ranges = 1.0;
+  /// How many leading key columns carry predicates.
+  int consumed_key_columns = 0;
+  /// Columns of the consumed predicates.
+  std::vector<std::string> consumed_columns;
+
+  bool usable() const { return consumed_key_columns > 0; }
+};
+
+/// Walks `clustered_key` in order, consuming predicates of `q`:
+/// equality and IN predicates extend the prefix (IN multiplies the range
+/// count by its value count); a range predicate is consumed and stops the
+/// walk; a key column without a predicate stops the walk.
+ClusteredPrefixPlan AnalyzeClusteredPrefix(
+    const Query& q, const std::vector<std::string>& clustered_key,
+    const UniverseStats& stats);
+
+}  // namespace coradd

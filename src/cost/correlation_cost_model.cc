@@ -1,0 +1,284 @@
+#include "cost/correlation_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "stats/ae_estimator.h"
+
+namespace coradd {
+
+CorrelationCostModel::CorrelationCostModel(const StatsRegistry* registry,
+                                           CorrelationCostModelOptions options)
+    : registry_(registry), options_(options) {
+  CORADD_CHECK(registry != nullptr);
+}
+
+namespace {
+/// Structural identity of a spec for memoization (name excluded; column
+/// *set* determines row width, key *order* determines clustering).
+std::string SpecSignature(const MvSpec& spec) {
+  std::vector<std::string> cols = spec.columns;
+  std::sort(cols.begin(), cols.end());
+  std::string s = spec.fact_table;
+  s += spec.is_base ? "|B|" : (spec.is_fact_recluster ? "|R|" : "|M|");
+  for (const auto& c : cols) {
+    s += c;
+    s += ',';
+  }
+  s += '|';
+  for (const auto& k : spec.clustered_key) {
+    s += k;
+    s += ',';
+  }
+  return s;
+}
+}  // namespace
+
+const std::vector<uint32_t>& CorrelationCostModel::MatchedRows(
+    const UniverseStats& stats, const Query& q,
+    const std::vector<std::string>& cols) const {
+  std::string key = stats.universe().fact_name() + "|" + q.id + "|";
+  for (const auto& c : cols) key += c + ",";
+  auto it = matched_cache_.find(key);
+  if (it != matched_cache_.end()) return it->second;
+
+  const Synopsis& syn = stats.synopsis();
+  std::vector<const Predicate*> preds;
+  std::vector<int> ucols;
+  for (const auto& p : q.predicates) {
+    if (std::find(cols.begin(), cols.end(), p.column) == cols.end()) continue;
+    preds.push_back(&p);
+    ucols.push_back(stats.universe().ColumnIndex(p.column));
+  }
+
+  std::vector<uint32_t> matched;
+  const size_t n = syn.sample_rows();
+  for (size_t i = 0; i < n; ++i) {
+    bool ok = true;
+    for (size_t j = 0; j < preds.size(); ++j) {
+      if (!preds[j]->Matches(syn.Values(ucols[j])[i])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) matched.push_back(static_cast<uint32_t>(i));
+  }
+  return matched_cache_.emplace(std::move(key), std::move(matched))
+      .first->second;
+}
+
+const CorrelationCostModel::RankCacheEntry& CorrelationCostModel::Ranks(
+    const UniverseStats& stats, const MvSpec& spec) const {
+  std::string key = stats.universe().fact_name() + "|";
+  for (const auto& c : spec.clustered_key) key += c + ",";
+  auto it = rank_cache_.find(key);
+  if (it != rank_cache_.end()) return it->second;
+
+  const Synopsis& syn = stats.synopsis();
+  const size_t n = syn.sample_rows();
+  std::vector<int> key_cols;
+  for (const auto& c : spec.clustered_key) {
+    key_cols.push_back(stats.universe().ColumnIndex(c));
+  }
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (int c : key_cols) {
+      const int64_t va = syn.Values(c)[a];
+      const int64_t vb = syn.Values(c)[b];
+      if (va != vb) return va < vb;
+    }
+    return a < b;
+  });
+
+  RankCacheEntry entry;
+  entry.rank_of_row.resize(n);
+  for (size_t pos = 0; pos < n; ++pos) {
+    entry.rank_of_row[order[pos]] = static_cast<uint32_t>(pos);
+  }
+  return rank_cache_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+CostBreakdown CorrelationCostModel::FullScanPath(
+    const Query& q, const MvSpec& spec, const UniverseStats& stats) const {
+  (void)q;
+  const DiskParams& disk = stats.options().disk;
+  CostBreakdown out;
+  out.path = AccessPath::kFullScan;
+  out.selectivity = 1.0;
+  out.fragments = 1.0;
+  out.read_seconds = MvFullScanSeconds(spec, stats, disk);
+  out.seek_seconds = disk.seek_seconds;
+  out.seconds = out.read_seconds + out.seek_seconds;
+  return out;
+}
+
+CostBreakdown CorrelationCostModel::ClusteredPath(
+    const Query& q, const MvSpec& spec, const UniverseStats& stats) const {
+  CostBreakdown out;
+  const ClusteredPrefixPlan plan =
+      AnalyzeClusteredPrefix(q, spec.clustered_key, stats);
+  if (!plan.usable()) return out;  // infeasible
+
+  const DiskParams& disk = stats.options().disk;
+  const double pages = static_cast<double>(MvHeapPages(spec, stats, disk));
+  const double height = MvBTreeHeight(spec, stats, disk);
+  const double pages_read =
+      std::min(pages, std::max(plan.selectivity * pages, plan.num_ranges));
+
+  out.path = AccessPath::kClusteredScan;
+  out.selectivity = plan.selectivity;
+  out.fragments = std::min(plan.num_ranges, pages_read);
+  out.read_seconds = pages_read * disk.PageReadSeconds();
+  out.seek_seconds = disk.seek_seconds * out.fragments * height;
+  out.seconds = out.read_seconds + out.seek_seconds;
+  return out;
+}
+
+CostBreakdown CorrelationCostModel::SecondaryPathCost(
+    const Query& q, const MvSpec& spec,
+    const std::vector<std::string>& secondary_cols) const {
+  std::string memo_key = "S|" + q.id + "|" + SpecSignature(spec) + "|";
+  for (const auto& c : secondary_cols) {
+    memo_key += c;
+    memo_key += ',';
+  }
+  if (auto it = result_cache_.find(memo_key); it != result_cache_.end()) {
+    return it->second;
+  }
+  const UniverseStats* stats = registry_->ForFact(spec.fact_table);
+  CORADD_CHECK(stats != nullptr);
+  const DiskParams& disk = stats->options().disk;
+  CostBreakdown out;
+  if (spec.clustered_key.empty() || secondary_cols.empty()) {
+    result_cache_[memo_key] = out;
+    return out;
+  }
+
+  const double pages = static_cast<double>(MvHeapPages(spec, *stats, disk));
+  const double height = MvBTreeHeight(spec, *stats, disk);
+  const double num_buckets =
+      std::max(1.0, pages / static_cast<double>(options_.bucket_pages));
+
+  // Selectivity of the predicates the CM/index covers.
+  double sel_cols = 1.0;
+  for (const auto& p : q.predicates) {
+    if (std::find(secondary_cols.begin(), secondary_cols.end(), p.column) !=
+        secondary_cols.end()) {
+      sel_cols *= EstimateSelectivity(p, *stats);
+    }
+  }
+  const double matched_full =
+      std::max(1.0, sel_cols * static_cast<double>(stats->num_rows()));
+
+  const auto& matched = MatchedRows(*stats, q, secondary_cols);
+  const Synopsis& syn = stats->synopsis();
+  const size_t n = syn.sample_rows();
+
+  double est_buckets;
+  double occupancy;  // Fraction of the touched band that is actually read.
+  if (matched.empty() || n == 0) {
+    // No sampled row matched: fall back to the uncorrelated assumption —
+    // each matching tuple lands in its own bucket until buckets saturate.
+    est_buckets = std::min(num_buckets, matched_full);
+    occupancy = est_buckets / num_buckets;
+  } else {
+    const auto& ranks = Ranks(*stats, spec).rank_of_row;
+    std::vector<int64_t> bucket_obs;
+    bucket_obs.reserve(matched.size());
+    const double scale = num_buckets / static_cast<double>(n);
+    for (uint32_t i : matched) {
+      bucket_obs.push_back(
+          static_cast<int64_t>(static_cast<double>(ranks[i]) * scale));
+    }
+    std::sort(bucket_obs.begin(), bucket_obs.end());
+
+    // Two estimators for the number of distinct buckets the full matched
+    // population touches, good in complementary regimes:
+    //  * AE over the sampled bucket frequencies (A-2.2's estimator) —
+    //    accurate when the sample covers the touched region densely;
+    //  * a span-occupancy model — the sampled ranks bound the touched band
+    //    [min,max]; throwing matched_full rows uniformly into its `span`
+    //    buckets touches span*(1-e^-lambda) of them. Accurate when the
+    //    sample is sparse (highly selective predicates).
+    // Both under-estimate outside their regime, so take the max.
+    if (matched.size() < 4) {
+      // Too few sampled matches to read anything from their positions (a
+      // lucky pair of nearby rows would fake a strong correlation): assume
+      // uncorrelated scatter.
+      est_buckets = std::min(num_buckets, matched_full);
+      occupancy = est_buckets / num_buckets;
+    } else {
+      const auto profile = SampleFrequencyProfile::FromSortedValues(
+          bucket_obs, static_cast<uint64_t>(matched_full));
+      const double d_ae = EstimateDistinctAe(profile);
+      const double span = static_cast<double>(bucket_obs.back()) -
+                          static_cast<double>(bucket_obs.front()) + 1.0;
+      const double lambda = matched_full / span;
+      const double d_span = span * (1.0 - std::exp(-lambda));
+      est_buckets = std::min(num_buckets, std::max(d_ae, d_span));
+      occupancy = std::min(1.0, est_buckets / span);
+    }
+  }
+
+  // Touched buckets coalesce into fragments where they are contiguous: at
+  // occupancy ~1 the band is one sequential sweep; at low occupancy every
+  // bucket is its own fragment.
+  const double fragments =
+      std::max(1.0, est_buckets * (1.0 - occupancy) + 1.0);
+  const double pages_read = std::min(
+      pages, est_buckets * static_cast<double>(options_.bucket_pages));
+
+  out.path = AccessPath::kSecondary;
+  out.secondary_columns = secondary_cols;
+  out.selectivity = pages_read / std::max(1.0, pages);
+  out.fragments = fragments;
+  out.read_seconds = pages_read * disk.PageReadSeconds();
+  out.seek_seconds = disk.seek_seconds * fragments * height;
+  out.seconds = out.read_seconds + out.seek_seconds;
+  result_cache_[memo_key] = out;
+  return out;
+}
+
+CostBreakdown CorrelationCostModel::Cost(const Query& q,
+                                         const MvSpec& spec) const {
+  const UniverseStats* stats = registry_->ForFact(spec.fact_table);
+  if (stats == nullptr || !MvCanServe(q, spec)) return CostBreakdown{};
+
+  const std::string memo_key = "C|" + q.id + "|" + SpecSignature(spec);
+  if (auto it = result_cache_.find(memo_key); it != result_cache_.end()) {
+    return it->second;
+  }
+
+  CostBreakdown best = FullScanPath(q, spec, *stats);
+
+  const CostBreakdown clustered = ClusteredPath(q, spec, *stats);
+  if (clustered.feasible() && clustered.seconds < best.seconds) {
+    best = clustered;
+  }
+
+  // Secondary paths: singletons, pairs (bounded), and the full set.
+  const auto pred_cols = q.PredicateColumns();
+  std::vector<std::vector<std::string>> subsets;
+  for (const auto& c : pred_cols) subsets.push_back({c});
+  if (options_.max_subset_size >= 2 && pred_cols.size() <= 5) {
+    for (size_t i = 0; i < pred_cols.size(); ++i) {
+      for (size_t j = i + 1; j < pred_cols.size(); ++j) {
+        subsets.push_back({pred_cols[i], pred_cols[j]});
+      }
+    }
+  }
+  if (pred_cols.size() > 2) subsets.push_back(pred_cols);
+
+  for (const auto& sub : subsets) {
+    const CostBreakdown sec = SecondaryPathCost(q, spec, sub);
+    if (sec.feasible() && sec.seconds < best.seconds) best = sec;
+  }
+  result_cache_[memo_key] = best;
+  return best;
+}
+
+}  // namespace coradd

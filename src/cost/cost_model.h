@@ -1,0 +1,81 @@
+// Cost-model interface. Two implementations:
+//  * CorrelationCostModel — the paper's model (A-2.2):
+//        cost = fullscancost * selectivity + seek_cost * fragments * height
+//    with `fragments` estimated from correlations via AE over the synopsis;
+//  * ObliviousCostModel — a commercial-style model that prices secondary
+//    index plans identically for every clustering (Fig 10's flat line).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "cost/mv_spec.h"
+#include "workload/query.h"
+
+namespace coradd {
+
+/// Cost models return +infinity for (query, MV) pairs the MV cannot serve.
+inline constexpr double kInfeasibleCost =
+    std::numeric_limits<double>::infinity();
+
+/// Per-universe statistics lookup by fact-table name.
+class StatsRegistry {
+ public:
+  void Register(const UniverseStats* stats) {
+    by_fact_[stats->universe().fact_name()] = stats;
+  }
+  const UniverseStats* ForFact(const std::string& fact) const {
+    auto it = by_fact_.find(fact);
+    return it == by_fact_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, const UniverseStats*> by_fact_;
+};
+
+/// Which physical plan a cost estimate assumed.
+enum class AccessPath { kFullScan, kClusteredScan, kSecondary };
+
+/// Itemized cost estimate for one (query, MV) pair.
+struct CostBreakdown {
+  double seconds = kInfeasibleCost;
+  double read_seconds = 0.0;
+  double seek_seconds = 0.0;
+  double fragments = 0.0;
+  double selectivity = 1.0;  ///< Fraction of the object read.
+  AccessPath path = AccessPath::kFullScan;
+  /// For kSecondary: the predicate columns the chosen CM/index covers.
+  std::vector<std::string> secondary_columns;
+
+  bool feasible() const { return seconds != kInfeasibleCost; }
+};
+
+/// Estimates query runtimes against hypothetical design objects.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Full breakdown; seconds == kInfeasibleCost if `spec` cannot serve `q`.
+  virtual CostBreakdown Cost(const Query& q, const MvSpec& spec) const = 0;
+
+  /// Convenience: just the seconds.
+  double Seconds(const Query& q, const MvSpec& spec) const {
+    return Cost(q, spec).seconds;
+  }
+
+  /// Estimate for a secondary-index plan that uses exactly
+  /// `secondary_cols` of the query's predicates. Used by the executor to
+  /// choose among the physically available structures (CMs / B+Trees).
+  virtual CostBreakdown SecondaryCost(
+      const Query& q, const MvSpec& spec,
+      const std::vector<std::string>& secondary_cols) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// True iff `spec` contains every column `q` references (fact re-clusterings
+/// serve all queries of their fact table via cached dimension lookups).
+bool MvCanServe(const Query& q, const MvSpec& spec);
+
+}  // namespace coradd

@@ -1,0 +1,94 @@
+#include "cost/mv_spec.h"
+
+#include "common/string_util.h"
+#include "storage/layout.h"
+
+namespace coradd {
+
+std::string MvSpec::ToString() const {
+  return StrFormat("%s{%s: cols=%zu, key=(%s)%s}", name.c_str(),
+                   fact_table.c_str(), columns.size(),
+                   Join(clustered_key, ",").c_str(),
+                   is_fact_recluster ? ", recluster" : "");
+}
+
+uint32_t MvRowWidthBytes(const MvSpec& spec, const UniverseStats& stats) {
+  const Universe& u = stats.universe();
+  uint32_t w = 0;
+  if (spec.is_fact_recluster) {
+    // A re-clustered fact table stores exactly the fact table's columns.
+    return u.fact_table().schema().RowWidthBytes();
+  }
+  for (const auto& c : spec.columns) {
+    const int idx = u.ColumnIndex(c);
+    CORADD_CHECK(idx >= 0);
+    w += u.Column(static_cast<size_t>(idx)).byte_size;
+  }
+  return w == 0 ? 1 : w;
+}
+
+uint64_t MvHeapPages(const MvSpec& spec, const UniverseStats& stats,
+                     const DiskParams& disk) {
+  HeapLayout layout;
+  layout.num_rows = stats.num_rows();
+  layout.row_width_bytes = MvRowWidthBytes(spec, stats);
+  layout.page_size_bytes = disk.page_size_bytes;
+  return layout.NumPages();
+}
+
+namespace {
+
+uint32_t ClusteredKeyBytes(const MvSpec& spec, const UniverseStats& stats) {
+  const Universe& u = stats.universe();
+  uint32_t w = 0;
+  for (const auto& c : spec.clustered_key) {
+    const int idx = u.ColumnIndex(c);
+    CORADD_CHECK(idx >= 0);
+    w += u.Column(static_cast<size_t>(idx)).byte_size;
+  }
+  return w == 0 ? 4 : w;
+}
+
+}  // namespace
+
+uint64_t EstimateMvSizeBytes(const MvSpec& spec, const UniverseStats& stats,
+                             const DiskParams& disk) {
+  if (spec.is_base) return 0;  // The base table exists in every design.
+  if (spec.is_fact_recluster) {
+    // Charge the dense secondary PK index required after re-clustering.
+    const Universe& u = stats.universe();
+    uint32_t pk_bytes = 0;
+    for (const auto& pk : u.fact_info().primary_key) {
+      const int idx = u.fact_table().schema().ColumnIndex(pk);
+      CORADD_CHECK(idx >= 0);
+      pk_bytes += u.fact_table().schema().Column(static_cast<size_t>(idx)).byte_size;
+    }
+    const BTreeShape pk_index = ComputeBTreeShape(
+        stats.num_rows(), pk_bytes + 8, pk_bytes, disk.page_size_bytes);
+    return pk_index.TotalPages() * disk.page_size_bytes;
+  }
+  const uint64_t heap_pages = MvHeapPages(spec, stats, disk);
+  const uint32_t key_bytes = ClusteredKeyBytes(spec, stats);
+  const BTreeShape shape = ComputeBTreeShape(heap_pages, key_bytes + 8,
+                                             key_bytes, disk.page_size_bytes);
+  return (heap_pages + shape.internal_pages) * disk.page_size_bytes;
+}
+
+double MvFullScanSeconds(const MvSpec& spec, const UniverseStats& stats,
+                         const DiskParams& disk) {
+  const uint64_t pages = spec.is_fact_recluster
+                             ? MvHeapPages(spec, stats, disk)
+                             : MvHeapPages(spec, stats, disk);
+  return static_cast<double>(pages) * disk.PageReadSeconds();
+}
+
+uint32_t MvBTreeHeight(const MvSpec& spec, const UniverseStats& stats,
+                       const DiskParams& disk) {
+  const uint64_t heap_pages = MvHeapPages(spec, stats, disk);
+  const uint32_t key_bytes = ClusteredKeyBytes(spec, stats);
+  const BTreeShape shape = ComputeBTreeShape(heap_pages, key_bytes + 8,
+                                             key_bytes, disk.page_size_bytes);
+  return shape.height;
+}
+
+}  // namespace coradd

@@ -1,0 +1,62 @@
+// Hypothetical design objects evaluated by the cost models and selected by
+// the ILP: materialized views (pre-joined projections with a clustered
+// index) and fact-table re-clusterings (§4.3). These are *specifications*;
+// exec/ materializes them into real ClusteredTables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stats_collector.h"
+#include "storage/disk_model.h"
+
+namespace coradd {
+
+/// Specification of one candidate database object.
+struct MvSpec {
+  std::string name;
+  std::string fact_table;
+  /// Universe columns stored in the MV. For a fact re-clustering this is
+  /// implicitly "all fact-table columns" and the vector lists the fact's own
+  /// columns (dimension attributes reach it via in-memory dim lookups).
+  std::vector<std::string> columns;
+  /// Clustered key: ordered subset of `columns`.
+  std::vector<std::string> clustered_key;
+  /// Indices into the workload of the query group this MV was built for.
+  std::vector<int> query_group;
+  /// True for §4.3 fact-table re-clustering candidates: the object replaces
+  /// the base table's clustering, and its space charge is the PK secondary
+  /// index needed to keep PK lookups fast.
+  bool is_fact_recluster = false;
+  /// True for the always-present base design (fact table clustered on its
+  /// PK). Costs like a fact re-clustering; charges no space.
+  bool is_base = false;
+
+  std::string ToString() const;
+};
+
+/// Declared row width of the MV in bytes.
+uint32_t MvRowWidthBytes(const MvSpec& spec, const UniverseStats& stats);
+
+/// Heap pages the MV occupies.
+uint64_t MvHeapPages(const MvSpec& spec, const UniverseStats& stats,
+                     const DiskParams& disk);
+
+/// Space-budget charge of the object in bytes: heap + clustered-index
+/// internals for an MV; dense PK secondary B+Tree for a fact re-clustering
+/// (§4.3: "CORADD accounts for the size of the secondary index as the space
+/// consumption of the re-clustered design").
+uint64_t EstimateMvSizeBytes(const MvSpec& spec, const UniverseStats& stats,
+                             const DiskParams& disk);
+
+/// Seconds to sequentially scan the whole object (Table 5's fullscancost),
+/// derived from page counts and the disk's sequential rate.
+double MvFullScanSeconds(const MvSpec& spec, const UniverseStats& stats,
+                         const DiskParams& disk);
+
+/// Height of the clustered B+Tree of the object.
+uint32_t MvBTreeHeight(const MvSpec& spec, const UniverseStats& stats,
+                       const DiskParams& disk);
+
+}  // namespace coradd

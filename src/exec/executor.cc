@@ -1,0 +1,438 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+
+/// Resolved accessor for one predicate or aggregate column: the stored
+/// table column if the object carries it, else a provenance lookup.
+struct ColumnAccessor {
+  int table_col = -1;
+  int ucol = -1;
+
+  int64_t Get(const MaterializedObject& obj, RowId row) const {
+    return obj.ValueOf(row, table_col, ucol);
+  }
+};
+
+ColumnAccessor Resolve(const MaterializedObject& obj,
+                       const std::string& column) {
+  ColumnAccessor a;
+  a.table_col = obj.table->table().schema().ColumnIndex(column);
+  a.ucol = obj.universe->ColumnIndex(column);
+  CORADD_CHECK(a.ucol >= 0);
+  return a;
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(const StatsRegistry* registry,
+                             const CostModel* planner)
+    : registry_(registry), planner_(planner) {
+  CORADD_CHECK(registry != nullptr);
+  CORADD_CHECK(planner != nullptr);
+}
+
+void QueryExecutor::AggregateRows(const Query& q,
+                                  const MaterializedObject& obj,
+                                  RowRange range, QueryRunResult* out) const {
+  std::vector<std::pair<const Predicate*, ColumnAccessor>> preds;
+  preds.reserve(q.predicates.size());
+  for (const auto& p : q.predicates) {
+    preds.emplace_back(&p, Resolve(obj, p.column));
+  }
+  std::vector<std::pair<ColumnAccessor, ColumnAccessor>> aggs;
+  for (const auto& a : q.aggregates) {
+    ColumnAccessor cb;  // invalid => SUM(col_a)
+    if (!a.col_b.empty()) cb = Resolve(obj, a.col_b);
+    aggs.emplace_back(Resolve(obj, a.col_a), cb);
+  }
+
+  for (RowId r = range.begin; r < range.end; ++r) {
+    bool ok = true;
+    for (const auto& [p, acc] : preds) {
+      if (!p->Matches(acc.Get(obj, r))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    ++out->rows_output;
+    for (const auto& [ca, cb] : aggs) {
+      const double va = static_cast<double>(ca.Get(obj, r));
+      out->aggregate +=
+          cb.ucol >= 0 ? va * static_cast<double>(cb.Get(obj, r)) : va;
+    }
+  }
+}
+
+QueryRunResult QueryExecutor::RunFullScan(const Query& q,
+                                          const MaterializedObject& obj,
+                                          DiskModel* disk) const {
+  QueryRunResult out;
+  out.path = AccessPath::kFullScan;
+  const uint64_t pages = obj.table->NumPages();
+  disk->Seek();
+  disk->SequentialRead(pages);
+  out.seeks = 1;
+  out.pages_read = pages;
+  out.fragments = 1;
+  AggregateRows(q, obj, RowRange{0, static_cast<RowId>(obj.table->NumRows())},
+                &out);
+  return out;
+}
+
+QueryRunResult QueryExecutor::RunClustered(const Query& q,
+                                           const MaterializedObject& obj,
+                                           DiskModel* disk) const {
+  QueryRunResult out;
+  out.path = AccessPath::kClusteredScan;
+  const auto& key_names = obj.spec.clustered_key;
+
+  // Expand predicate prefixes along the clustered key.
+  std::vector<std::vector<int64_t>> prefixes = {{}};
+  const Predicate* range_pred = nullptr;
+  constexpr size_t kMaxPrefixes = 4096;
+  for (const auto& key : key_names) {
+    const Predicate* pred = nullptr;
+    for (const auto& p : q.predicates) {
+      if (p.column == key) {
+        pred = &p;
+        break;
+      }
+    }
+    if (pred == nullptr) break;
+    if (pred->type == PredicateType::kEquality) {
+      for (auto& pre : prefixes) pre.push_back(pred->value);
+    } else if (pred->type == PredicateType::kIn) {
+      if (prefixes.size() * pred->in_values.size() > kMaxPrefixes) break;
+      std::vector<std::vector<int64_t>> next;
+      next.reserve(prefixes.size() * pred->in_values.size());
+      for (const auto& pre : prefixes) {
+        for (int64_t v : pred->in_values) {
+          auto ext = pre;
+          ext.push_back(v);
+          next.push_back(std::move(ext));
+        }
+      }
+      prefixes = std::move(next);
+    } else {
+      range_pred = pred;
+      break;
+    }
+  }
+
+  // Resolve row ranges.
+  std::vector<RowRange> ranges;
+  for (const auto& pre : prefixes) {
+    RowRange r;
+    if (range_pred != nullptr) {
+      r = obj.table->PrefixThenRange(pre, range_pred->lo, range_pred->hi);
+    } else if (!pre.empty()) {
+      r = obj.table->EqualRange(pre);
+    } else {
+      r = RowRange{0, static_cast<RowId>(obj.table->NumRows())};
+    }
+    if (!r.Empty()) ranges.push_back(r);
+  }
+
+  // Pages touched, coalesced into fragments.
+  std::vector<uint64_t> pages;
+  for (const auto& r : ranges) {
+    const uint64_t first = obj.table->PageOfRow(r.begin);
+    const uint64_t last = obj.table->PageOfRow(r.end - 1);
+    for (uint64_t p = first; p <= last; ++p) pages.push_back(p);
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  const auto runs = CoalescePages(pages, disk->params().prefetch_pages);
+
+  const uint32_t height = obj.table->BTreeHeight();
+  for (const auto& run : runs) {
+    for (uint32_t h = 0; h < height; ++h) disk->Seek();
+    disk->SequentialRead(run.NumPages());
+    out.pages_read += run.NumPages();
+    out.seeks += height;
+  }
+  out.fragments = runs.size();
+  for (const auto& r : ranges) AggregateRows(q, obj, r, &out);
+  return out;
+}
+
+QueryRunResult QueryExecutor::RunCm(const Query& q,
+                                    const MaterializedObject& obj,
+                                    const CorrelationMap& cm,
+                                    DiskModel* disk) const {
+  QueryRunResult out;
+  out.path = AccessPath::kSecondary;
+
+  // Bucket matchers per CM key column from the query's predicates.
+  std::vector<std::function<bool(int64_t, int64_t)>> matchers;
+  for (const auto& key : cm.key_columns()) {
+    const Predicate* pred = nullptr;
+    for (const auto& p : q.predicates) {
+      if (p.column == key) {
+        pred = &p;
+        break;
+      }
+    }
+    if (pred == nullptr) {
+      matchers.push_back([](int64_t, int64_t) { return true; });
+    } else if (pred->type == PredicateType::kEquality) {
+      const int64_t v = pred->value;
+      matchers.push_back([v](int64_t lo, int64_t hi) { return v >= lo && v <= hi; });
+    } else if (pred->type == PredicateType::kRange) {
+      const int64_t plo = pred->lo, phi = pred->hi;
+      matchers.push_back(
+          [plo, phi](int64_t lo, int64_t hi) { return plo <= hi && lo <= phi; });
+    } else {
+      const std::vector<int64_t>& vals = pred->in_values;  // sorted
+      matchers.push_back([&vals](int64_t lo, int64_t hi) {
+        auto it = std::lower_bound(vals.begin(), vals.end(), lo);
+        return it != vals.end() && *it <= hi;
+      });
+    }
+  }
+
+  // The CM itself is memory-resident (1 MB class, A-1); lookup is free I/O.
+  const std::vector<uint32_t> buckets = cm.LookupBuckets(matchers);
+  const uint64_t num_pages = obj.table->NumPages();
+  std::vector<uint64_t> pages;
+  for (uint32_t b : buckets) {
+    const PageRun run = cm.BucketPages(b, num_pages);
+    for (uint64_t p = run.first_page; p <= run.last_page; ++p) {
+      pages.push_back(p);
+    }
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  const auto runs = CoalescePages(pages, disk->params().prefetch_pages);
+
+  const uint32_t height = obj.table->BTreeHeight();
+  const uint64_t rpp = obj.table->layout().RowsPerPage();
+  for (const auto& run : runs) {
+    for (uint32_t h = 0; h < height; ++h) disk->Seek();
+    disk->SequentialRead(run.NumPages());
+    out.pages_read += run.NumPages();
+    out.seeks += height;
+    const RowId row_begin = static_cast<RowId>(run.first_page * rpp);
+    const RowId row_end = static_cast<RowId>(std::min<uint64_t>(
+        (run.last_page + 1) * rpp, obj.table->NumRows()));
+    AggregateRows(q, obj, RowRange{row_begin, row_end}, &out);
+  }
+  out.fragments = runs.size();
+  return out;
+}
+
+QueryRunResult QueryExecutor::RunBTree(const Query& q,
+                                       const MaterializedObject& obj,
+                                       size_t btree_idx,
+                                       DiskModel* disk) const {
+  QueryRunResult out;
+  out.path = AccessPath::kSecondary;
+  const SecondaryBTreeIndex& index = *obj.btrees[btree_idx];
+  const std::string& col = obj.btree_columns[btree_idx];
+
+  const Predicate* pred = nullptr;
+  for (const auto& p : q.predicates) {
+    if (p.column == col) {
+      pred = &p;
+      break;
+    }
+  }
+  CORADD_CHECK(pred != nullptr);
+
+  std::vector<RowId> rids;
+  switch (pred->type) {
+    case PredicateType::kEquality:
+      rids = index.LookupEqual(pred->value);
+      break;
+    case PredicateType::kRange:
+      rids = index.LookupRange(pred->lo, pred->hi);
+      break;
+    case PredicateType::kIn:
+      rids = index.LookupIn(pred->in_values);
+      break;
+  }
+  std::sort(rids.begin(), rids.end());
+
+  // Index I/O: descend once, then scan the touched fraction of the leaves.
+  const uint64_t leaf_pages = std::max<uint64_t>(
+      1, index.shape().leaf_pages * rids.size() /
+             std::max<size_t>(1, obj.table->NumRows()));
+  for (uint32_t h = 0; h < index.Height(); ++h) disk->Seek();
+  disk->SequentialRead(leaf_pages);
+  out.seeks += index.Height();
+  out.pages_read += leaf_pages;
+
+  // Heap I/O: sorted-RID sweep (A-2.1), coalesced page runs.
+  std::vector<uint64_t> pages;
+  pages.reserve(rids.size());
+  for (RowId r : rids) pages.push_back(obj.table->PageOfRow(r));
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  const auto runs = CoalescePages(pages, disk->params().prefetch_pages);
+  const uint32_t height = obj.table->BTreeHeight();
+  for (const auto& run : runs) {
+    disk->Seek();
+    disk->SequentialRead(run.NumPages());
+    out.pages_read += run.NumPages();
+    ++out.seeks;
+    (void)height;
+  }
+  out.fragments = runs.size();
+
+  // Evaluate remaining predicates on exactly the fetched rows.
+  std::vector<std::pair<const Predicate*, ColumnAccessor>> preds;
+  for (const auto& p : q.predicates) {
+    preds.emplace_back(&p, Resolve(obj, p.column));
+  }
+  std::vector<std::pair<ColumnAccessor, ColumnAccessor>> aggs;
+  for (const auto& a : q.aggregates) {
+    ColumnAccessor cb;
+    if (!a.col_b.empty()) cb = Resolve(obj, a.col_b);
+    aggs.emplace_back(Resolve(obj, a.col_a), cb);
+  }
+  for (RowId r : rids) {
+    bool ok = true;
+    for (const auto& [p, acc] : preds) {
+      if (!p->Matches(acc.Get(obj, r))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    ++out.rows_output;
+    for (const auto& [ca, cb] : aggs) {
+      const double va = static_cast<double>(ca.Get(obj, r));
+      out.aggregate +=
+          cb.ucol >= 0 ? va * static_cast<double>(cb.Get(obj, r)) : va;
+    }
+  }
+  return out;
+}
+
+QueryRunResult QueryExecutor::RunWithCm(const Query& q,
+                                        const MaterializedObject& obj,
+                                        size_t cm_index,
+                                        DiskModel* disk) const {
+  CORADD_CHECK(disk != nullptr);
+  CORADD_CHECK(cm_index < obj.cms.size());
+  const double t0 = disk->elapsed_seconds();
+  const uint64_t p0 = disk->pages_read();
+  const uint64_t s0 = disk->seeks();
+  QueryRunResult out = RunCm(q, obj, *obj.cms[cm_index], disk);
+  out.seconds = disk->elapsed_seconds() - t0;
+  out.pages_read = disk->pages_read() - p0;
+  out.seeks = disk->seeks() - s0;
+  return out;
+}
+
+QueryRunResult QueryExecutor::Run(const Query& q,
+                                  const MaterializedObject& obj,
+                                  DiskModel* disk) const {
+  CORADD_CHECK(disk != nullptr);
+  CORADD_CHECK(MvCanServe(q, obj.spec));
+
+  // --- Plan selection among physically available structures.
+  enum class Plan { kFull, kClustered, kCm, kBTree };
+  Plan plan = Plan::kFull;
+  size_t structure = 0;
+  double best = MvFullScanSeconds(obj.spec, *registry_->ForFact(obj.spec.fact_table),
+                                  disk->params()) +
+                disk->params().seek_seconds;
+
+  const ClusteredPrefixPlan prefix = AnalyzeClusteredPrefix(
+      q, obj.spec.clustered_key, *registry_->ForFact(obj.spec.fact_table));
+  if (prefix.usable()) {
+    // Price the clustered path with the planner (both models share it).
+    const CostBreakdown c = planner_->Cost(q, obj.spec);
+    if (c.feasible() && c.path == AccessPath::kClusteredScan &&
+        c.seconds < best) {
+      plan = Plan::kClustered;
+      best = c.seconds;
+    } else if (prefix.usable()) {
+      // Even if the planner's overall pick was different, consider the
+      // clustered path at its standalone estimate.
+      const double sel_pages =
+          std::max(prefix.selectivity *
+                       static_cast<double>(obj.table->NumPages()),
+                   prefix.num_ranges);
+      const double est =
+          sel_pages * disk->params().PageReadSeconds() +
+          prefix.num_ranges * obj.table->BTreeHeight() *
+              disk->params().seek_seconds;
+      if (est < best) {
+        plan = Plan::kClustered;
+        best = est;
+      }
+    }
+  }
+
+  // Secondary plans must beat the sequential alternatives by a clear margin
+  // — the textbook optimizer bias toward scans, which also absorbs the
+  // estimation noise of sample-based fragment prediction.
+  constexpr double kSecondaryMargin = 1.25;
+  const auto pred_cols = q.PredicateColumns();
+  for (size_t i = 0; i < obj.cms.size(); ++i) {
+    // A CM helps only if at least one of its key columns is predicated.
+    bool useful = false;
+    for (const auto& k : obj.cms[i]->key_columns()) {
+      if (std::find(pred_cols.begin(), pred_cols.end(), k) !=
+          pred_cols.end()) {
+        useful = true;
+        break;
+      }
+    }
+    if (!useful) continue;
+    const CostBreakdown c =
+        planner_->SecondaryCost(q, obj.spec, obj.cms[i]->key_columns());
+    if (c.feasible() && c.seconds * kSecondaryMargin < best) {
+      plan = Plan::kCm;
+      structure = i;
+      best = c.seconds;
+    }
+  }
+  for (size_t i = 0; i < obj.btrees.size(); ++i) {
+    if (std::find(pred_cols.begin(), pred_cols.end(), obj.btree_columns[i]) ==
+        pred_cols.end()) {
+      continue;
+    }
+    const CostBreakdown c =
+        planner_->SecondaryCost(q, obj.spec, {obj.btree_columns[i]});
+    if (c.feasible() && c.seconds * kSecondaryMargin < best) {
+      plan = Plan::kBTree;
+      structure = i;
+      best = c.seconds;
+    }
+  }
+
+  // --- Execute.
+  QueryRunResult out;
+  const double t0 = disk->elapsed_seconds();
+  const uint64_t p0 = disk->pages_read();
+  const uint64_t s0 = disk->seeks();
+  switch (plan) {
+    case Plan::kFull:
+      out = RunFullScan(q, obj, disk);
+      break;
+    case Plan::kClustered:
+      out = RunClustered(q, obj, disk);
+      break;
+    case Plan::kCm:
+      out = RunCm(q, obj, *obj.cms[structure], disk);
+      break;
+    case Plan::kBTree:
+      out = RunBTree(q, obj, structure, disk);
+      break;
+  }
+  out.seconds = disk->elapsed_seconds() - t0;
+  out.pages_read = disk->pages_read() - p0;
+  out.seeks = disk->seeks() - s0;
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,70 @@
+// Query executor over materialized objects. It enumerates the physically
+// available plans (full scan, clustered-prefix scan, one per CM, one per
+// secondary B+Tree), asks the provided cost model — the "optimizer" — to
+// pick one, then actually performs the chosen access pattern page by page
+// against the DiskModel and computes the aggregate. The simulated elapsed
+// time is the experiment's "real runtime"; the aggregate doubles as a
+// cross-design correctness check (every design must return identical
+// answers for the same query).
+#pragma once
+
+#include <memory>
+
+#include "cost/cost_model.h"
+#include "exec/materialize.h"
+#include "storage/disk_model.h"
+
+namespace coradd {
+
+/// Outcome of running one query against one object.
+struct QueryRunResult {
+  double seconds = 0.0;
+  uint64_t pages_read = 0;
+  uint64_t seeks = 0;
+  uint64_t fragments = 0;
+  AccessPath path = AccessPath::kFullScan;
+  /// Combined value of all aggregates (identical across designs).
+  double aggregate = 0.0;
+  uint64_t rows_output = 0;
+};
+
+/// Executes queries with plan selection delegated to a cost model.
+class QueryExecutor {
+ public:
+  /// `planner` plays the optimizer: designs produced by the oblivious
+  /// designer are also *executed* with oblivious plan choices, mirroring
+  /// the commercial system's behaviour in §7.
+  QueryExecutor(const StatsRegistry* registry, const CostModel* planner);
+
+  /// Runs `q` cold (the paper discards caches between queries) against
+  /// `obj`, charging I/O to `disk`.
+  QueryRunResult Run(const Query& q, const MaterializedObject& obj,
+                     DiskModel* disk) const;
+
+  /// Runs `q` through the object's CM number `cm_index` regardless of what
+  /// the planner would pick — the §7/Fig 10 methodology, where query
+  /// rewriting forces the secondary plan onto the DBMS.
+  QueryRunResult RunWithCm(const Query& q, const MaterializedObject& obj,
+                           size_t cm_index, DiskModel* disk) const;
+
+ private:
+  struct RowPredicate;  // resolved predicate accessor
+
+  QueryRunResult RunFullScan(const Query& q, const MaterializedObject& obj,
+                             DiskModel* disk) const;
+  QueryRunResult RunClustered(const Query& q, const MaterializedObject& obj,
+                              DiskModel* disk) const;
+  QueryRunResult RunCm(const Query& q, const MaterializedObject& obj,
+                       const CorrelationMap& cm, DiskModel* disk) const;
+  QueryRunResult RunBTree(const Query& q, const MaterializedObject& obj,
+                          size_t btree_idx, DiskModel* disk) const;
+
+  /// Filters rows of [range] and accumulates the aggregate.
+  void AggregateRows(const Query& q, const MaterializedObject& obj,
+                     RowRange range, QueryRunResult* out) const;
+
+  const StatsRegistry* registry_;
+  const CostModel* planner_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,43 @@
+#include "exec/maintenance.h"
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace coradd {
+
+MaintenanceResult SimulateInsertions(
+    const std::vector<MaintainedObject>& objects,
+    const MaintenanceOptions& options) {
+  CORADD_CHECK(options.buffer_pool_pages > 0);
+  DiskModel disk(options.disk);
+  BufferPool pool(options.buffer_pool_pages, &disk);
+  Rng rng(options.seed);
+
+  for (uint64_t i = 0; i < options.num_inserts; ++i) {
+    uint32_t object_id = 0;
+    for (const auto& obj : objects) {
+      ++object_id;
+      if (obj.heap_pages == 0) continue;
+      // Heap page the new row lands on.
+      const uint64_t heap_page =
+          obj.append_only ? obj.heap_pages - 1 : rng.Uniform(obj.heap_pages);
+      pool.Write(PageKey{object_id, heap_page});
+      // One leaf page of each secondary structure (PK index, dense B+Tree)
+      // is dirtied per insert as well.
+      if (obj.index_pages > 0) {
+        pool.Write(PageKey{object_id | 0x80000000u,
+                           rng.Uniform(obj.index_pages)});
+      }
+    }
+  }
+  pool.FlushAll();
+
+  MaintenanceResult out;
+  out.seconds = disk.elapsed_seconds();
+  out.dirty_evictions = pool.dirty_evictions();
+  out.pool_misses = pool.misses();
+  out.pages_written = disk.pages_written();
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,47 @@
+// Maintenance-cost simulation (A-3, Figure 14): inserting tuples into a
+// database with additional materialized objects dirties more distinct
+// pages; once the working set overflows the buffer pool, each insert
+// triggers dirty-page evictions and random writes, so maintenance cost
+// grows super-linearly with the total size of materialized objects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+
+namespace coradd {
+
+/// A maintained object, abstracted to what the simulation needs: its page
+/// count (insert position is random within it, because MV clustered keys
+/// are unrelated to arrival order) plus its secondary-structure pages.
+struct MaintainedObject {
+  uint64_t heap_pages = 0;
+  uint64_t index_pages = 0;
+  /// True for the base table: inserts append (sequential tail page) rather
+  /// than landing at a random clustered position.
+  bool append_only = false;
+};
+
+/// Parameters of the insert experiment.
+struct MaintenanceOptions {
+  uint64_t num_inserts = 500000;   ///< The paper inserts 500k tuples.
+  uint64_t buffer_pool_pages = 0;  ///< Required: the 4 GB-RAM equivalent.
+  uint64_t seed = 11;
+  DiskParams disk;
+};
+
+/// Result counters.
+struct MaintenanceResult {
+  double seconds = 0.0;
+  uint64_t dirty_evictions = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pages_written = 0;
+};
+
+/// Simulates `num_inserts` single-row inserts maintained across `objects`.
+MaintenanceResult SimulateInsertions(const std::vector<MaintainedObject>& objects,
+                                     const MaintenanceOptions& options);
+
+}  // namespace coradd

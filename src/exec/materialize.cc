@@ -1,0 +1,140 @@
+#include "exec/materialize.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+/// Name of the hidden provenance column (declared width 0: it models row
+/// identity, not stored payload, so it must not affect size accounting).
+constexpr const char* kProvenanceColumn = "__fact_row";
+}  // namespace
+
+Materializer::Materializer(const Universe* universe, DiskParams disk)
+    : universe_(universe), disk_(disk) {
+  CORADD_CHECK(universe != nullptr);
+}
+
+std::unique_ptr<MaterializedObject> Materializer::Materialize(
+    const MvSpec& spec, const std::vector<CmSpec>& cm_specs,
+    const std::vector<std::string>& btree_columns) const {
+  auto obj = std::make_unique<MaterializedObject>();
+  obj->spec = spec;
+  obj->universe = universe_;
+
+  // Project the stored columns plus the hidden provenance column.
+  std::vector<int> ucols;
+  for (const auto& name : spec.columns) {
+    const int idx = universe_->ColumnIndex(name);
+    CORADD_CHECK(idx >= 0);
+    ucols.push_back(idx);
+  }
+  std::unique_ptr<Table> projected =
+      universe_->MaterializeProjection(ucols, spec.name);
+  {
+    ColumnDef prov;
+    prov.name = kProvenanceColumn;
+    prov.type = ValueType::kInt;
+    prov.byte_size = 0;
+    Schema with_prov = projected->schema();
+    with_prov.AddColumn(prov);
+    auto table2 = std::make_unique<Table>(with_prov, spec.name);
+    table2->Reserve(projected->NumRows());
+    std::vector<int64_t> row(with_prov.NumColumns());
+    for (RowId r = 0; r < projected->NumRows(); ++r) {
+      for (size_t c = 0; c + 1 < with_prov.NumColumns(); ++c) {
+        row[c] = projected->Value(r, c);
+      }
+      row.back() = static_cast<int64_t>(r);
+      table2->AppendRow(row);
+    }
+    projected = std::move(table2);
+  }
+
+  // Clustered key columns (indices inside the projected table).
+  std::vector<int> key_cols;
+  for (const auto& key : spec.clustered_key) {
+    const int idx = projected->schema().ColumnIndex(key);
+    CORADD_CHECK(idx >= 0);
+    key_cols.push_back(idx);
+  }
+
+  obj->table = std::make_unique<ClusteredTable>(std::move(projected), key_cols,
+                                                disk_.page_size_bytes);
+
+  // Provenance after the sort.
+  const Table& t = obj->table->table();
+  const int prov_col = t.schema().ColumnIndex(kProvenanceColumn);
+  CORADD_CHECK(prov_col >= 0);
+  obj->fact_row_of.resize(t.NumRows());
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    obj->fact_row_of[r] =
+        static_cast<RowId>(t.Value(r, static_cast<size_t>(prov_col)));
+  }
+
+  // Budget charge.
+  if (spec.is_base) {
+    obj->size_bytes = 0;
+  } else if (spec.is_fact_recluster) {
+    uint32_t pk_bytes = 0;
+    for (const auto& pk : universe_->fact_info().primary_key) {
+      const int idx = universe_->fact_table().schema().ColumnIndex(pk);
+      CORADD_CHECK(idx >= 0);
+      pk_bytes += universe_->fact_table()
+                      .schema()
+                      .Column(static_cast<size_t>(idx))
+                      .byte_size;
+    }
+    const BTreeShape pk_shape = ComputeBTreeShape(
+        t.NumRows(), pk_bytes + 8, pk_bytes, disk_.page_size_bytes);
+    obj->size_bytes = pk_shape.TotalPages() * disk_.page_size_bytes;
+  } else {
+    obj->size_bytes = obj->table->SizeBytes();
+  }
+
+  // Correlation maps.
+  for (const auto& cm_spec : cm_specs) {
+    std::vector<const std::vector<int64_t>*> key_value_ptrs;
+    std::vector<std::vector<int64_t>> owned;  // universe-derived columns
+    std::vector<uint32_t> key_bytes;
+    owned.reserve(cm_spec.key_columns.size());
+    for (const auto& key : cm_spec.key_columns) {
+      const int tcol = t.schema().ColumnIndex(key);
+      const int ucol = universe_->ColumnIndex(key);
+      CORADD_CHECK(ucol >= 0);
+      key_bytes.push_back(
+          universe_->Column(static_cast<size_t>(ucol)).byte_size);
+      if (tcol >= 0) {
+        key_value_ptrs.push_back(&t.ColumnData(static_cast<size_t>(tcol)));
+      } else {
+        std::vector<int64_t> derived(t.NumRows());
+        for (RowId r = 0; r < t.NumRows(); ++r) {
+          derived[r] = universe_->Value(obj->fact_row_of[r], ucol);
+        }
+        owned.push_back(std::move(derived));
+        key_value_ptrs.push_back(&owned.back());
+      }
+    }
+    auto cm = std::make_unique<CorrelationMap>(cm_spec.key_columns,
+                                               key_value_ptrs, key_bytes,
+                                               *obj->table, cm_spec.bucketing);
+    obj->cm_bytes += cm->SizeBytes();
+    obj->cms.push_back(std::move(cm));
+    obj->cm_specs.push_back(cm_spec);
+  }
+
+  // Dense secondary B+Trees (must be stored columns).
+  for (const auto& col : btree_columns) {
+    const int tcol = t.schema().ColumnIndex(col);
+    CORADD_CHECK(tcol >= 0);
+    auto idx = std::make_unique<SecondaryBTreeIndex>(obj->table.get(), tcol);
+    obj->btree_bytes += idx->SizeBytes();
+    obj->btrees.push_back(std::move(idx));
+    obj->btree_columns.push_back(col);
+  }
+  return obj;
+}
+
+}  // namespace coradd

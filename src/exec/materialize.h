@@ -1,0 +1,71 @@
+// Turns MvSpecs into physical objects: a sorted heap file + clustered
+// B+Tree, optional correlation maps, optional dense secondary B+Trees, and
+// the row-provenance mapping back to the fact table (so predicates on
+// attributes the object does not store — dimension attributes of a
+// re-clustered fact table — can still be evaluated through cached
+// dimension lookups, matching the paper's disk-bound fact-access model).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cm/cm_designer.h"
+#include "cost/mv_spec.h"
+#include "storage/clustered_table.h"
+#include "storage/secondary_index.h"
+
+namespace coradd {
+
+/// A physically materialized design object.
+struct MaterializedObject {
+  MvSpec spec;
+  const Universe* universe = nullptr;
+  std::unique_ptr<ClusteredTable> table;
+  /// table row -> fact row (provenance through the sort).
+  std::vector<RowId> fact_row_of;
+  /// Correlation maps (CORADD designs).
+  std::vector<std::unique_ptr<CorrelationMap>> cms;
+  /// The CmSpec each CM was built from (parallel to `cms`).
+  std::vector<CmSpec> cm_specs;
+  /// Dense secondary B+Trees (commercial-style designs), with the universe
+  /// column name each covers.
+  std::vector<std::unique_ptr<SecondaryBTreeIndex>> btrees;
+  std::vector<std::string> btree_columns;
+
+  /// Budget charge (heap + clustered internals; PK index for re-clusterings;
+  /// 0 for base designs), mirroring EstimateMvSizeBytes but measured.
+  uint64_t size_bytes = 0;
+  /// Actual bytes of all CMs (the paper's separately-budgeted 1MB/CM pool).
+  uint64_t cm_bytes = 0;
+  /// Actual bytes of dense secondary B+Trees.
+  uint64_t btree_bytes = 0;
+
+  /// Value of universe column `ucol` for table row `row` (stored column if
+  /// present, otherwise via provenance + dimension lookup).
+  int64_t ValueOf(RowId row, int table_col, int ucol) const {
+    if (table_col >= 0) {
+      return table->table().Value(row, static_cast<size_t>(table_col));
+    }
+    return universe->Value(fact_row_of[row], ucol);
+  }
+};
+
+/// Builds MaterializedObjects for one universe.
+class Materializer {
+ public:
+  Materializer(const Universe* universe, DiskParams disk);
+
+  /// Materializes `spec`, building the given CMs and secondary B+Trees.
+  /// B+Tree columns must be stored in the object; CM key columns may be any
+  /// universe column (built through provenance).
+  std::unique_ptr<MaterializedObject> Materialize(
+      const MvSpec& spec, const std::vector<CmSpec>& cm_specs = {},
+      const std::vector<std::string>& btree_columns = {}) const;
+
+ private:
+  const Universe* universe_;
+  DiskParams disk_;
+};
+
+}  // namespace coradd

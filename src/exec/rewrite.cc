@@ -1,0 +1,101 @@
+#include "exec/rewrite.h"
+
+#include <algorithm>
+#include <set>
+
+namespace coradd {
+
+RewriteResult RewriteWithCms(const Query& q, const MaterializedObject& obj,
+                             size_t max_in_values) {
+  RewriteResult out;
+  out.query = q;
+  if (obj.spec.clustered_key.empty()) return out;
+  const std::string& clustered_attr = obj.spec.clustered_key[0];
+  const int clustered_col =
+      obj.table->table().schema().ColumnIndex(clustered_attr);
+  CORADD_CHECK(clustered_col >= 0);
+
+  // Already predicated on the clustered attribute: nothing to steer.
+  for (const auto& p : q.predicates) {
+    if (p.column == clustered_attr) return out;
+  }
+
+  const auto pred_cols = q.PredicateColumns();
+  for (const auto& cm : obj.cms) {
+    // The CM applies if at least one of its key columns is predicated.
+    bool applies = false;
+    for (const auto& key : cm->key_columns()) {
+      if (std::find(pred_cols.begin(), pred_cols.end(), key) !=
+          pred_cols.end()) {
+        applies = true;
+        break;
+      }
+    }
+    if (!applies) continue;
+
+    // Bucket matchers from the query's predicates (unpredicated key
+    // columns match everything), mirroring the executor's CM plan.
+    std::vector<std::function<bool(int64_t, int64_t)>> matchers;
+    for (const auto& key : cm->key_columns()) {
+      const Predicate* pred = nullptr;
+      for (const auto& p : out.query.predicates) {
+        if (p.column == key) {
+          pred = &p;
+          break;
+        }
+      }
+      if (pred == nullptr) {
+        matchers.push_back([](int64_t, int64_t) { return true; });
+      } else if (pred->type == PredicateType::kEquality) {
+        const int64_t v = pred->value;
+        matchers.push_back(
+            [v](int64_t lo, int64_t hi) { return v >= lo && v <= hi; });
+      } else if (pred->type == PredicateType::kRange) {
+        const int64_t plo = pred->lo, phi = pred->hi;
+        matchers.push_back([plo, phi](int64_t lo, int64_t hi) {
+          return plo <= hi && lo <= phi;
+        });
+      } else {
+        const std::vector<int64_t>& vals = pred->in_values;
+        matchers.push_back([&vals](int64_t lo, int64_t hi) {
+          auto it = std::lower_bound(vals.begin(), vals.end(), lo);
+          return it != vals.end() && *it <= hi;
+        });
+      }
+    }
+
+    // Expand matching clustered buckets into the distinct values of the
+    // leading clustered attribute they contain.
+    const std::vector<uint32_t> buckets = cm->LookupBuckets(matchers);
+    std::set<int64_t> values;
+    const uint64_t num_pages = obj.table->NumPages();
+    const uint64_t rpp = obj.table->layout().RowsPerPage();
+    bool too_many = false;
+    for (uint32_t b : buckets) {
+      const PageRun run = cm->BucketPages(b, num_pages);
+      const RowId row_begin = static_cast<RowId>(run.first_page * rpp);
+      const RowId row_end = static_cast<RowId>(std::min<uint64_t>(
+          (run.last_page + 1) * rpp, obj.table->NumRows()));
+      for (RowId r = row_begin; r < row_end; ++r) {
+        values.insert(
+            obj.table->table().Value(r, static_cast<size_t>(clustered_col)));
+        if (values.size() > max_in_values) {
+          too_many = true;
+          break;
+        }
+      }
+      if (too_many) break;
+    }
+    if (too_many || values.empty()) continue;
+
+    out.query.predicates.push_back(Predicate::In(
+        clustered_attr, std::vector<int64_t>(values.begin(), values.end())));
+    out.rewritten = true;
+    ++out.added_predicates;
+    out.enumerated_values += values.size();
+    break;  // one steering predicate suffices (the paper adds one IN)
+  }
+  return out;
+}
+
+}  // namespace coradd

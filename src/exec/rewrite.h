@@ -1,0 +1,44 @@
+// CM-based query rewriting (A-1.3): the deployment mechanism the paper used
+// against an unmodified commercial DBMS. Given a query with a predicate on
+// a CM's key attribute, look up the co-occurring clustered values and add a
+// `clustered_attr IN {...}` (or range) predicate, steering the engine's
+// ordinary clustered-index machinery to the correlated regions:
+//
+//   WHERE commitdate = 19950101
+//     ->  WHERE commitdate = 19950101
+//         AND orderdate IN {19941229, 19941230, 19941231}
+//
+// The rewrite is semantically transparent: the added predicate is implied
+// by the CM construction (it covers every co-occurring clustered value), so
+// the rewritten query returns exactly the original rows.
+#pragma once
+
+#include <string>
+
+#include "exec/materialize.h"
+#include "workload/query.h"
+
+namespace coradd {
+
+/// Result of a rewrite attempt.
+struct RewriteResult {
+  /// Whether any CM applied (otherwise `query` is the input, unchanged).
+  bool rewritten = false;
+  /// The (possibly) rewritten query.
+  Query query;
+  /// Number of predicates added (one per applied CM).
+  int added_predicates = 0;
+  /// Total clustered values enumerated across added IN-lists.
+  size_t enumerated_values = 0;
+};
+
+/// Rewrites `q` using the correlation maps of `obj`: for each CM whose key
+/// columns are predicated in `q` and whose leading clustered attribute is
+/// not already predicated, adds an IN predicate on that attribute listing
+/// the CM's co-occurring (bucket-expanded) values. CMs whose expansion
+/// would exceed `max_in_values` are skipped (the paper keeps IN-lists
+/// short; a huge list means the correlation is not useful).
+RewriteResult RewriteWithCms(const Query& q, const MaterializedObject& obj,
+                             size_t max_in_values = 4096);
+
+}  // namespace coradd

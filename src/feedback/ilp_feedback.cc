@@ -1,0 +1,121 @@
+#include "feedback/ilp_feedback.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+
+/// Structural signature for deduplicating candidates across iterations.
+std::string Signature(const MvSpec& spec) {
+  std::string s = spec.fact_table + "|";
+  for (int qi : spec.query_group) s += StrFormat("%d,", qi);
+  s += "|";
+  s += Join(spec.clustered_key, ",");
+  s += "|";
+  std::vector<std::string> cols = spec.columns;
+  std::sort(cols.begin(), cols.end());
+  s += Join(cols, ",");
+  return s;
+}
+
+}  // namespace
+
+FeedbackOutcome RunIlpFeedback(const Workload& workload,
+                               const MvCandidateGenerator& generator,
+                               const CostModel& model,
+                               const StatsRegistry& registry,
+                               BuiltProblem initial, uint64_t budget_bytes,
+                               FeedbackOptions options,
+                               BranchAndBoundOptions solve_options) {
+  FeedbackOutcome out;
+  out.problem = std::move(initial);
+
+  std::set<std::string> known;
+  for (const auto& spec : out.problem.specs) known.insert(Signature(spec));
+
+  out.result = SolveSelectionExact(out.problem.problem, solve_options);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<MvSpec> fresh;
+    auto consider = [&](std::vector<MvSpec> specs) {
+      for (auto& s : specs) {
+        if (fresh.size() >= options.max_new_per_iteration) return;
+        if (known.insert(Signature(s)).second) fresh.push_back(std::move(s));
+      }
+    };
+
+    const uint64_t leftover =
+        budget_bytes > out.result.used_bytes
+            ? budget_bytes - out.result.used_bytes
+            : 0;
+
+    for (int m : out.result.chosen) {
+      const MvSpec& spec = out.problem.specs[static_cast<size_t>(m)];
+      if (spec.is_fact_recluster) continue;  // groups apply to MVs only
+      const UniverseStats* stats = registry.ForFact(spec.fact_table);
+
+      // --- Source 1a: expand the query group with every absent query whose
+      // addition keeps the design under budget (§6.1's first heuristic).
+      for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+        const Query& q = workload.queries[qi];
+        if (q.fact_table != spec.fact_table) continue;
+        if (std::find(spec.query_group.begin(), spec.query_group.end(),
+                      static_cast<int>(qi)) != spec.query_group.end()) {
+          continue;
+        }
+        QueryGroup expanded = spec.query_group;
+        expanded.push_back(static_cast<int>(qi));
+        std::sort(expanded.begin(), expanded.end());
+        auto designs =
+            generator.DesignForGroup(workload, expanded, spec.fact_table);
+        // Keep expansions that respect the remaining budget.
+        std::vector<MvSpec> fitting;
+        for (auto& d : designs) {
+          const uint64_t size =
+              EstimateMvSizeBytes(d, *stats, stats->options().disk);
+          const uint64_t current =
+              EstimateMvSizeBytes(spec, *stats, stats->options().disk);
+          if (size <= current + leftover) fitting.push_back(std::move(d));
+        }
+        consider(std::move(fitting));
+      }
+
+      // --- Source 1b: shrink the group to the queries this MV actually
+      // serves in the current solution.
+      QueryGroup served;
+      for (size_t q = 0; q < out.result.best_for_query.size(); ++q) {
+        if (out.result.best_for_query[q] == m) {
+          served.push_back(static_cast<int>(q));
+        }
+      }
+      if (!served.empty() && served.size() < spec.query_group.size()) {
+        consider(generator.DesignForGroup(workload, served, spec.fact_table));
+      }
+
+      // --- Source 2: recluster with a larger t.
+      consider(generator.DesignForGroup(workload, spec.query_group,
+                                        spec.fact_table,
+                                        options.recluster_t));
+    }
+
+    out.iterations = iter + 1;
+    if (fresh.empty()) break;
+    out.candidates_added += fresh.size();
+
+    std::vector<MvSpec> all = out.problem.specs;
+    for (auto& f : fresh) all.push_back(std::move(f));
+    out.problem = BuildSelectionProblem(workload, std::move(all), model,
+                                        registry, budget_bytes);
+    SelectionResult next = SolveSelectionExact(out.problem.problem, solve_options);
+    const bool improved = next.expected_cost < out.result.expected_cost - 1e-9;
+    out.result = std::move(next);
+    if (!improved) break;
+  }
+  return out;
+}
+
+}  // namespace coradd

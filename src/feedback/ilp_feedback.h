@@ -1,0 +1,42 @@
+// ILP Feedback (§6): a column-generation-inspired loop that grows the
+// candidate pool from the previous ILP solution instead of enumerating the
+// exponential design space up front. Two feedback sources:
+//   1. expand/shrink the query groups of selected MVs (add a query whose
+//      columns fit the leftover budget; drop queries the solution serves
+//      elsewhere), and
+//   2. recluster selected MVs with a larger t, asking the clustered-index
+//      designer for more clusterings of groups known to be useful.
+// Iterates until no new candidates appear or the iteration cap is hit.
+#pragma once
+
+#include "ilp/branch_and_bound.h"
+#include "ilp/problem_builder.h"
+#include "mv/candidate_generator.h"
+
+namespace coradd {
+
+/// Feedback loop knobs.
+struct FeedbackOptions {
+  int max_iterations = 2;          ///< SSB converged in 2 iterations (§6.2).
+  int recluster_t = 6;             ///< Raised t for source-2 feedback.
+  size_t max_new_per_iteration = 500;
+};
+
+/// Outcome of the loop.
+struct FeedbackOutcome {
+  SelectionResult result;          ///< Best solution found.
+  BuiltProblem problem;            ///< Final (grown) problem.
+  int iterations = 0;
+  size_t candidates_added = 0;
+};
+
+/// Runs the feedback loop starting from `initial` (already solved or not).
+FeedbackOutcome RunIlpFeedback(const Workload& workload,
+                               const MvCandidateGenerator& generator,
+                               const CostModel& model,
+                               const StatsRegistry& registry,
+                               BuiltProblem initial, uint64_t budget_bytes,
+                               FeedbackOptions options = {},
+                               BranchAndBoundOptions solve_options = {});
+
+}  // namespace coradd

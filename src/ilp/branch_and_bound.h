@@ -1,0 +1,35 @@
+// Exact solver for the §5.1 selection ILP via best-bound depth-first branch
+// and bound. Two complementary admissible bounds are combined (min):
+//  (a) submodular knapsack — the benefit a *set* of extra candidates adds
+//      never exceeds the sum of their individual marginal benefits, relaxed
+//      as a fractional knapsack over the remaining budget;
+//  (b) per-query potential — no selection can push any query below the best
+//      remaining candidate's cost, so Σ_q w_q (cur_q - best_q) caps the gain
+//      regardless of budget (tight where (a) overcounts overlapping
+//      candidates).
+// Unlike [16]'s relaxation-and-rounding, the solution is proven optimal
+// (the paper's key claim for its ILP formulation, §5.4).
+#pragma once
+
+#include "ilp/selection.h"
+
+namespace coradd {
+
+/// Search limits; generous defaults are far above what the paper-scale
+/// instances need (§5.3 solves in under a second).
+struct BranchAndBoundOptions {
+  uint64_t max_nodes = 4000000;
+  double time_limit_seconds = 120.0;
+};
+
+/// Density-greedy heuristic (benefit per byte, SOS1-aware). Used as the
+/// initial incumbent; also exported for comparison experiments.
+SelectionResult SolveSelectionGreedyDensity(const SelectionProblem& problem);
+
+/// Exact branch & bound. `proved_optimal` is false only if a limit was hit,
+/// in which case the incumbent (at least as good as density-greedy) is
+/// returned.
+SelectionResult SolveSelectionExact(const SelectionProblem& problem,
+                                    BranchAndBoundOptions options = {});
+
+}  // namespace coradd

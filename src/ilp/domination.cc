@@ -1,0 +1,88 @@
+#include "ilp/domination.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+
+namespace coradd {
+
+std::vector<bool> DominatedMask(const SelectionProblem& problem) {
+  const size_t n = problem.NumCandidates();
+  const size_t nq = problem.NumQueries();
+  std::vector<bool> dominated(n, false);
+
+  std::vector<int> group_of(n, -1);
+  for (size_t g = 0; g < problem.sos1_groups.size(); ++g) {
+    for (int m : problem.sos1_groups[g]) {
+      group_of[static_cast<size_t>(m)] = static_cast<int>(g);
+    }
+  }
+  std::vector<bool> forced(n, false);
+  for (int f : problem.forced) forced[static_cast<size_t>(f)] = true;
+
+  for (size_t m2 = 0; m2 < n; ++m2) {
+    if (forced[m2]) continue;
+    for (size_t m1 = 0; m1 < n && !dominated[m2]; ++m1) {
+      if (m1 == m2 || dominated[m1]) continue;
+      if (problem.sizes[m1] > problem.sizes[m2]) continue;
+      // SOS1 safety: m1 must not introduce a conflict m2 would not have.
+      if (group_of[m1] >= 0 && group_of[m1] != group_of[m2]) continue;
+
+      bool dominates = true;
+      bool strictly = problem.sizes[m1] < problem.sizes[m2];
+      for (size_t q = 0; q < nq && dominates; ++q) {
+        const double c2 = problem.costs[q][m2];
+        if (c2 == kInfeasibleCost) continue;
+        const double c1 = problem.costs[q][m1];
+        if (c1 > c2) dominates = false;
+        if (c1 < c2) strictly = true;
+      }
+      // Equal twins: keep the lower index deterministically.
+      if (dominates && (strictly || m1 < m2)) dominated[m2] = true;
+    }
+  }
+  return dominated;
+}
+
+SelectionProblem CompactProblem(const SelectionProblem& problem,
+                                const std::vector<bool>& dominated,
+                                std::vector<int>* old_index) {
+  const size_t n = problem.NumCandidates();
+  CORADD_CHECK(dominated.size() == n);
+  std::vector<int> new_index(n, -1);
+  SelectionProblem out;
+  out.budget_bytes = problem.budget_bytes;
+  out.query_weights = problem.query_weights;
+  if (old_index != nullptr) old_index->clear();
+  for (size_t m = 0; m < n; ++m) {
+    if (dominated[m]) continue;
+    new_index[m] = static_cast<int>(out.sizes.size());
+    out.sizes.push_back(problem.sizes[m]);
+    if (old_index != nullptr) old_index->push_back(static_cast<int>(m));
+  }
+  out.costs.resize(problem.NumQueries());
+  for (size_t q = 0; q < problem.NumQueries(); ++q) {
+    auto& row = out.costs[q];
+    row.reserve(out.sizes.size());
+    for (size_t m = 0; m < n; ++m) {
+      if (!dominated[m]) row.push_back(problem.costs[q][m]);
+    }
+  }
+  for (const auto& group : problem.sos1_groups) {
+    std::vector<int> g2;
+    for (int m : group) {
+      if (new_index[static_cast<size_t>(m)] >= 0) {
+        g2.push_back(new_index[static_cast<size_t>(m)]);
+      }
+    }
+    if (g2.size() > 1) out.sos1_groups.push_back(std::move(g2));
+  }
+  for (int f : problem.forced) {
+    CORADD_CHECK(new_index[static_cast<size_t>(f)] >= 0);
+    out.forced.push_back(new_index[static_cast<size_t>(f)]);
+  }
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,93 @@
+#include "ilp/greedy_mk.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/status.h"
+
+namespace coradd {
+
+namespace {
+
+/// Extends `base` with every subset of `pool` of size <= m (DFS), calling
+/// `visit` on each feasible extension.
+void EnumerateSeeds(const SelectionProblem& p, std::vector<int>* current,
+                    const std::vector<int>& pool, size_t next, int remaining,
+                    const std::function<void(const std::vector<int>&)>& visit) {
+  visit(*current);
+  if (remaining == 0) return;
+  for (size_t i = next; i < pool.size(); ++i) {
+    current->push_back(pool[i]);
+    if (SelectionFeasible(p, *current)) {
+      EnumerateSeeds(p, current, pool, i + 1, remaining - 1, visit);
+    }
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+SelectionResult SolveSelectionGreedyMk(const SelectionProblem& problem,
+                                       GreedyMkOptions options) {
+  std::vector<int> pool;
+  for (size_t m = 0; m < problem.NumCandidates(); ++m) {
+    if (std::find(problem.forced.begin(), problem.forced.end(),
+                  static_cast<int>(m)) != problem.forced.end()) {
+      continue;
+    }
+    pool.push_back(static_cast<int>(m));
+  }
+
+  // --- Exhaustive phase: best feasible seed of size <= m.
+  std::vector<int> best_seed(problem.forced.begin(), problem.forced.end());
+  double best_cost = EvaluateSelection(problem, best_seed);
+  {
+    std::vector<int> current(problem.forced.begin(), problem.forced.end());
+    EnumerateSeeds(problem, &current, pool, 0, options.m,
+                   [&](const std::vector<int>& chosen) {
+                     const double c = EvaluateSelection(problem, chosen);
+                     if (c < best_cost - 1e-12) {
+                       best_cost = c;
+                       best_seed = chosen;
+                     }
+                   });
+  }
+
+  // --- Greedy phase: add the candidate with the largest total-runtime
+  // reduction until nothing improves, the budget binds, or k is reached.
+  std::vector<int> chosen = best_seed;
+  int added = static_cast<int>(chosen.size() - problem.forced.size());
+  while (added < options.k) {
+    int best_m = -1;
+    double best_gain = 1e-12;
+    for (int m : pool) {
+      if (std::find(chosen.begin(), chosen.end(), m) != chosen.end()) continue;
+      chosen.push_back(m);
+      if (SelectionFeasible(problem, chosen)) {
+        const double c = EvaluateSelection(problem, chosen);
+        const double gain = best_cost - c;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_m = m;
+        }
+      }
+      chosen.pop_back();
+    }
+    if (best_m < 0) break;
+    chosen.push_back(best_m);
+    best_cost -= best_gain;
+    ++added;
+  }
+
+  SelectionResult out;
+  out.chosen = std::move(chosen);
+  std::sort(out.chosen.begin(), out.chosen.end());
+  out.expected_cost =
+      EvaluateSelection(problem, out.chosen, &out.best_for_query);
+  out.used_bytes = 0;
+  for (int m : out.chosen) out.used_bytes += problem.sizes[static_cast<size_t>(m)];
+  out.proved_optimal = false;
+  return out;
+}
+
+}  // namespace coradd

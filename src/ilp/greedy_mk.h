@@ -1,0 +1,22 @@
+// Greedy(m,k) (Chaudhuri & Narasayya [5], used by Microsoft SQL Server and
+// compared against the ILP in §5.2 / Figure 5): pick the best seed subset
+// of up to m candidates by exhaustive search, then grow it greedily by
+// best absolute benefit until the space budget (or k objects) is reached.
+#pragma once
+
+#include "ilp/selection.h"
+
+namespace coradd {
+
+/// Parameters of Greedy(m,k). The paper uses m = 2 ("m = 3 took too long").
+struct GreedyMkOptions {
+  int m = 2;
+  int k = 1 << 30;  ///< Effectively unbounded: budget is the binding limit.
+};
+
+/// Runs Greedy(m,k) on the selection problem. Forced candidates are always
+/// included (and do not count toward m or k).
+SelectionResult SolveSelectionGreedyMk(const SelectionProblem& problem,
+                                       GreedyMkOptions options = {});
+
+}  // namespace coradd

@@ -1,0 +1,115 @@
+#include "ilp/ilp_problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+
+namespace coradd {
+
+PaperIlpFormulation BuildPaperIlp(const SelectionProblem& problem) {
+  PaperIlpFormulation form;
+  const size_t nq = problem.NumQueries();
+  const size_t nm = problem.NumCandidates();
+  form.num_y = static_cast<int>(nm);
+
+  // p_{q,r}: feasible candidates for each query, fastest first
+  // (deterministic tie-break on index).
+  form.orderings.resize(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    auto& ord = form.orderings[q];
+    for (size_t m = 0; m < nm; ++m) {
+      if (problem.costs[q][m] != kInfeasibleCost) {
+        ord.push_back(static_cast<int>(m));
+      }
+    }
+    std::sort(ord.begin(), ord.end(), [&](int a, int b) {
+      const double ca = problem.costs[q][static_cast<size_t>(a)];
+      const double cb = problem.costs[q][static_cast<size_t>(b)];
+      if (ca != cb) return ca < cb;
+      return a < b;
+    });
+    CORADD_CHECK(!ord.empty());  // base design must serve every query
+  }
+
+  // Variable layout: y_0..y_{nm-1}, then x variables per (q, r>=2).
+  std::vector<std::vector<int>> x_index(nq);
+  int next_var = static_cast<int>(nm);
+  for (size_t q = 0; q < nq; ++q) {
+    x_index[q].assign(form.orderings[q].size(), -1);
+    for (size_t r = 1; r < form.orderings[q].size(); ++r) {
+      x_index[q][r] = next_var++;
+      ++form.num_x;
+    }
+  }
+
+  LinearProgram& lp = form.lp;
+  lp.num_vars = next_var;
+  lp.objective.assign(static_cast<size_t>(next_var), 0.0);
+  lp.upper_bounds.assign(static_cast<size_t>(next_var),
+                         std::numeric_limits<double>::infinity());
+  // Only y needs explicit <= 1 (x's positive objective keeps it at its
+  // lower bound, which never exceeds 1).
+  for (size_t m = 0; m < nm; ++m) lp.upper_bounds[m] = 1.0;
+
+  form.objective_constant = 0.0;
+  for (size_t q = 0; q < nq; ++q) {
+    const auto& ord = form.orderings[q];
+    const double w = problem.Weight(q);
+    form.objective_constant +=
+        w * problem.costs[q][static_cast<size_t>(ord[0])];
+    for (size_t r = 1; r < ord.size(); ++r) {
+      const double delta = problem.costs[q][static_cast<size_t>(ord[r])] -
+                           problem.costs[q][static_cast<size_t>(ord[r - 1])];
+      lp.objective[static_cast<size_t>(x_index[q][r])] = w * delta;
+    }
+  }
+
+  // Condition (2): x_{q,r} + Σ_{k<r} y_{p_k} >= 1, encoded as <= of the
+  // negation. Rows are built sparsely then densified.
+  for (size_t q = 0; q < nq; ++q) {
+    const auto& ord = form.orderings[q];
+    for (size_t r = 1; r < ord.size(); ++r) {
+      std::vector<double> row(static_cast<size_t>(next_var), 0.0);
+      row[static_cast<size_t>(x_index[q][r])] = -1.0;
+      for (size_t k = 0; k < r; ++k) {
+        row[static_cast<size_t>(ord[k])] = -1.0;
+      }
+      lp.AddRow(std::move(row), -1.0);
+    }
+  }
+  // Condition (3): space budget.
+  {
+    std::vector<double> row(static_cast<size_t>(next_var), 0.0);
+    for (size_t m = 0; m < nm; ++m) {
+      row[m] = static_cast<double>(problem.sizes[m]);
+    }
+    lp.AddRow(std::move(row), static_cast<double>(problem.budget_bytes));
+  }
+  // Condition (4): at most one clustered index per fact table.
+  for (const auto& group : problem.sos1_groups) {
+    std::vector<double> row(static_cast<size_t>(next_var), 0.0);
+    for (int m : group) row[static_cast<size_t>(m)] = 1.0;
+    lp.AddRow(std::move(row), 1.0);
+  }
+  // Forced candidates: y_f >= 1.
+  for (int f : problem.forced) {
+    std::vector<double> row(static_cast<size_t>(next_var), 0.0);
+    row[static_cast<size_t>(f)] = -1.0;
+    lp.AddRow(std::move(row), -1.0);
+  }
+  form.num_constraints = static_cast<int>(lp.rows.size());
+  return form;
+}
+
+LpSolution SolvePaperLpRelaxation(const PaperIlpFormulation& form,
+                                  int max_iterations) {
+  LpSolution sol = SolveLp(form.lp, max_iterations);
+  if (sol.status == LpStatus::kOptimal) {
+    sol.objective += form.objective_constant;
+  }
+  return sol;
+}
+
+}  // namespace coradd

@@ -1,0 +1,226 @@
+#include "ilp/lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace coradd {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Standard-form tableau simplex on  min c x, Ax = b, x >= 0  given a
+/// starting basis of artificial/slack columns.
+class Tableau {
+ public:
+  Tableau(int m, int n) : m_(m), n_(n), a_(m, std::vector<double>(n + 1, 0.0)),
+                          cost_(n + 1, 0.0), basis_(m, -1) {}
+
+  std::vector<std::vector<double>> a_row_storage_;
+
+  double& At(int r, int c) { return a_[static_cast<size_t>(r)][static_cast<size_t>(c)]; }
+  double At(int r, int c) const { return a_[static_cast<size_t>(r)][static_cast<size_t>(c)]; }
+  double& Rhs(int r) { return a_[static_cast<size_t>(r)][static_cast<size_t>(n_)]; }
+  double Rhs(int r) const { return a_[static_cast<size_t>(r)][static_cast<size_t>(n_)]; }
+  double& Cost(int c) { return cost_[static_cast<size_t>(c)]; }
+  double& CostRhs() { return cost_[static_cast<size_t>(n_)]; }
+  int& Basis(int r) { return basis_[static_cast<size_t>(r)]; }
+
+  void Pivot(int row, int col) {
+    const double pivot = At(row, col);
+    auto& prow = a_[static_cast<size_t>(row)];
+    for (double& v : prow) v /= pivot;
+    for (int r = 0; r < m_; ++r) {
+      if (r == row) continue;
+      const double f = At(r, col);
+      if (std::fabs(f) < kEps) continue;
+      auto& arow = a_[static_cast<size_t>(r)];
+      for (int c = 0; c <= n_; ++c) arow[static_cast<size_t>(c)] -= f * prow[static_cast<size_t>(c)];
+    }
+    const double f = cost_[static_cast<size_t>(col)];
+    if (std::fabs(f) > kEps) {
+      for (int c = 0; c <= n_; ++c) {
+        cost_[static_cast<size_t>(c)] -= f * prow[static_cast<size_t>(c)];
+      }
+    }
+    Basis(row) = col;
+  }
+
+  /// Runs simplex iterations; returns status.
+  LpStatus Iterate(int max_iterations, int* used_iterations) {
+    int stall = 0;
+    for (int it = 0; it < max_iterations; ++it) {
+      // Entering column: most negative reduced cost (Dantzig), Bland after
+      // a long stall to break degeneracy cycles.
+      int col = -1;
+      if (stall < 2000) {
+        double best = -kEps;
+        for (int c = 0; c < n_; ++c) {
+          if (cost_[static_cast<size_t>(c)] < best) {
+            best = cost_[static_cast<size_t>(c)];
+            col = c;
+          }
+        }
+      } else {
+        for (int c = 0; c < n_; ++c) {
+          if (cost_[static_cast<size_t>(c)] < -kEps) {
+            col = c;
+            break;
+          }
+        }
+      }
+      if (col < 0) {
+        *used_iterations = it;
+        return LpStatus::kOptimal;
+      }
+      // Leaving row: min ratio test (Bland tie-break on basis index).
+      int row = -1;
+      double best_ratio = 0.0;
+      for (int r = 0; r < m_; ++r) {
+        const double a = At(r, col);
+        if (a > kEps) {
+          const double ratio = Rhs(r) / a;
+          if (row < 0 || ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && Basis(r) < Basis(row))) {
+            best_ratio = ratio;
+            row = r;
+          }
+        }
+      }
+      if (row < 0) {
+        *used_iterations = it;
+        return LpStatus::kUnbounded;
+      }
+      stall = best_ratio < kEps ? stall + 1 : 0;
+      Pivot(row, col);
+    }
+    *used_iterations = max_iterations;
+    return LpStatus::kIterationLimit;
+  }
+
+  int m_, n_;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> cost_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LinearProgram& lp, int max_iterations) {
+  LpSolution out;
+  const int n0 = lp.num_vars;
+  CORADD_CHECK(static_cast<int>(lp.objective.size()) == n0);
+
+  // Fold finite upper bounds in as extra rows.
+  std::vector<std::vector<double>> rows = lp.rows;
+  std::vector<double> rhs = lp.rhs;
+  if (!lp.upper_bounds.empty()) {
+    for (int j = 0; j < n0; ++j) {
+      const double ub = lp.upper_bounds[static_cast<size_t>(j)];
+      if (std::isfinite(ub)) {
+        std::vector<double> row(static_cast<size_t>(n0), 0.0);
+        row[static_cast<size_t>(j)] = 1.0;
+        rows.push_back(std::move(row));
+        rhs.push_back(ub);
+      }
+    }
+  }
+  const int m = static_cast<int>(rows.size());
+
+  // Standard form: add one slack per row. Negative rhs rows are negated
+  // (turning <= into >=, handled by phase-1 artificials).
+  // Columns: [x (n0)] [slack (m)] [artificial (<= m)].
+  std::vector<int> needs_artificial(static_cast<size_t>(m), 0);
+  int num_art = 0;
+  for (int r = 0; r < m; ++r) {
+    if (rhs[static_cast<size_t>(r)] < 0) {
+      for (auto& v : rows[static_cast<size_t>(r)]) v = -v;
+      rhs[static_cast<size_t>(r)] = -rhs[static_cast<size_t>(r)];
+      needs_artificial[static_cast<size_t>(r)] = 1;  // slack becomes -1
+      ++num_art;
+    }
+  }
+  const int n = n0 + m + num_art;
+  Tableau t(m, n);
+  int art_col = n0 + m;
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n0; ++c) t.At(r, c) = rows[static_cast<size_t>(r)][static_cast<size_t>(c)];
+    t.Rhs(r) = rhs[static_cast<size_t>(r)];
+    const double slack_sign = needs_artificial[static_cast<size_t>(r)] ? -1.0 : 1.0;
+    t.At(r, n0 + r) = slack_sign;
+    if (needs_artificial[static_cast<size_t>(r)]) {
+      t.At(r, art_col) = 1.0;
+      t.Basis(r) = art_col;
+      ++art_col;
+    } else {
+      t.Basis(r) = n0 + r;
+    }
+  }
+
+  int iters1 = 0;
+  if (num_art > 0) {
+    // Phase 1: minimize sum of artificials.
+    for (int c = n0 + m; c < n; ++c) t.Cost(c) = 1.0;
+    // Price out the basic artificials.
+    for (int r = 0; r < m; ++r) {
+      if (t.Basis(r) >= n0 + m) {
+        for (int c = 0; c <= n; ++c) t.cost_[static_cast<size_t>(c)] -= t.a_[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      }
+    }
+    const LpStatus st = t.Iterate(max_iterations, &iters1);
+    if (st != LpStatus::kOptimal || -t.CostRhs() > 1e-6) {
+      out.status = st == LpStatus::kOptimal ? LpStatus::kInfeasible : st;
+      out.iterations = iters1;
+      return out;
+    }
+    // Drive any artificial still in the basis out (degenerate rows).
+    for (int r = 0; r < m; ++r) {
+      if (t.Basis(r) >= n0 + m) {
+        int col = -1;
+        for (int c = 0; c < n0 + m; ++c) {
+          if (std::fabs(t.At(r, c)) > kEps) {
+            col = c;
+            break;
+          }
+        }
+        if (col >= 0) t.Pivot(r, col);
+      }
+    }
+  }
+
+  // Phase 2: real objective. Zero the cost row, set c, price out basis.
+  std::fill(t.cost_.begin(), t.cost_.end(), 0.0);
+  for (int c = 0; c < n0; ++c) t.Cost(c) = lp.objective[static_cast<size_t>(c)];
+  // Forbid artificials from re-entering.
+  for (int c = n0 + m; c < n; ++c) t.Cost(c) = 1e30;
+  for (int r = 0; r < m; ++r) {
+    const int b = t.Basis(r);
+    const double cb = t.cost_[static_cast<size_t>(b)];
+    if (std::fabs(cb) > kEps) {
+      for (int c = 0; c <= n; ++c) {
+        t.cost_[static_cast<size_t>(c)] -= cb * t.a_[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      }
+    }
+  }
+  int iters2 = 0;
+  const LpStatus st = t.Iterate(max_iterations - iters1, &iters2);
+  out.status = st;
+  out.iterations = iters1 + iters2;
+  if (st != LpStatus::kOptimal) return out;
+
+  out.x.assign(static_cast<size_t>(n0), 0.0);
+  for (int r = 0; r < m; ++r) {
+    if (t.Basis(r) < n0) {
+      out.x[static_cast<size_t>(t.Basis(r))] = t.Rhs(r);
+    }
+  }
+  out.objective = 0.0;
+  for (int c = 0; c < n0; ++c) {
+    out.objective += lp.objective[static_cast<size_t>(c)] * out.x[static_cast<size_t>(c)];
+  }
+  return out;
+}
+
+}  // namespace coradd

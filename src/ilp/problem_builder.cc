@@ -1,0 +1,50 @@
+#include "ilp/problem_builder.h"
+
+#include <map>
+
+#include "common/status.h"
+
+namespace coradd {
+
+BuiltProblem BuildSelectionProblem(const Workload& workload,
+                                   std::vector<MvSpec> candidates,
+                                   const CostModel& model,
+                                   const StatsRegistry& registry,
+                                   uint64_t budget_bytes) {
+  BuiltProblem out;
+  out.specs = std::move(candidates);
+  SelectionProblem& p = out.problem;
+  p.budget_bytes = budget_bytes;
+
+  const size_t nm = out.specs.size();
+  p.sizes.resize(nm);
+  std::map<std::string, std::vector<int>> recluster_groups;
+  for (size_t m = 0; m < nm; ++m) {
+    const MvSpec& spec = out.specs[m];
+    const UniverseStats* stats = registry.ForFact(spec.fact_table);
+    CORADD_CHECK(stats != nullptr);
+    p.sizes[m] = EstimateMvSizeBytes(spec, *stats, stats->options().disk);
+    if (spec.is_base) {
+      p.forced.push_back(static_cast<int>(m));
+    } else if (spec.is_fact_recluster) {
+      recluster_groups[spec.fact_table].push_back(static_cast<int>(m));
+    }
+  }
+  for (auto& [fact, group] : recluster_groups) {
+    if (group.size() > 1) p.sos1_groups.push_back(std::move(group));
+  }
+
+  p.costs.resize(workload.queries.size());
+  p.query_weights.reserve(workload.queries.size());
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    p.query_weights.push_back(workload.queries[q].frequency);
+    auto& row = p.costs[q];
+    row.resize(nm);
+    for (size_t m = 0; m < nm; ++m) {
+      row[m] = model.Seconds(workload.queries[q], out.specs[m]);
+    }
+  }
+  return out;
+}
+
+}  // namespace coradd

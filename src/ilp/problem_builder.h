@@ -1,0 +1,32 @@
+// Builds a SelectionProblem (sizes, cost table, SOS1 groups, forced bases)
+// from MvSpec candidates, a workload, and a cost model — the step between
+// candidate generation (§4) and solving (§5).
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "ilp/selection.h"
+
+namespace coradd {
+
+/// A selection problem plus the specs its candidate indices refer to.
+struct BuiltProblem {
+  SelectionProblem problem;
+  std::vector<MvSpec> specs;  ///< Aligned with problem candidate indices.
+};
+
+/// Computes sizes and t_{q,m} for every candidate. Base designs are forced
+/// (size 0); non-base fact re-clusterings of each fact table form an SOS1
+/// group (ILP condition 4). The base design is kept alongside a chosen
+/// re-clustering because every re-clustering is at least as fast as the
+/// base on every query (both share the full-scan fallback and no workload
+/// query predicates the PK), so "<= 1 re-clustering" plus a forced base is
+/// equivalent to "exactly one clustering per fact".
+BuiltProblem BuildSelectionProblem(const Workload& workload,
+                                   std::vector<MvSpec> candidates,
+                                   const CostModel& model,
+                                   const StatsRegistry& registry,
+                                   uint64_t budget_bytes);
+
+}  // namespace coradd

@@ -1,0 +1,62 @@
+#include "ilp/selection.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "cost/cost_model.h"
+
+namespace coradd {
+
+std::string SelectionResult::ToString() const {
+  return StrFormat(
+      "Selection{chosen=%zu, cost=%.3fs, used=%s, nodes=%llu, optimal=%s}",
+      chosen.size(), expected_cost, HumanBytes(used_bytes).c_str(),
+      static_cast<unsigned long long>(nodes_explored),
+      proved_optimal ? "yes" : "no");
+}
+
+double EvaluateSelection(const SelectionProblem& problem,
+                         const std::vector<int>& chosen,
+                         std::vector<int>* best_for_query) {
+  const size_t nq = problem.NumQueries();
+  if (best_for_query != nullptr) best_for_query->assign(nq, -1);
+  double total = 0.0;
+  for (size_t q = 0; q < nq; ++q) {
+    double best = kInfeasibleCost;
+    int best_m = -1;
+    for (int m : chosen) {
+      const double c = problem.costs[q][static_cast<size_t>(m)];
+      if (c < best) {
+        best = c;
+        best_m = m;
+      }
+    }
+    if (best_for_query != nullptr) (*best_for_query)[q] = best_m;
+    total += best * problem.Weight(q);
+  }
+  return total;
+}
+
+bool SelectionFeasible(const SelectionProblem& problem,
+                       const std::vector<int>& chosen) {
+  uint64_t used = 0;
+  for (int m : chosen) used += problem.sizes[static_cast<size_t>(m)];
+  if (used > problem.budget_bytes) return false;
+  for (const auto& group : problem.sos1_groups) {
+    int count = 0;
+    for (int m : group) {
+      if (std::find(chosen.begin(), chosen.end(), m) != chosen.end()) ++count;
+    }
+    if (count > 1) return false;
+  }
+  // All forced candidates must be present.
+  for (int f : problem.forced) {
+    if (std::find(chosen.begin(), chosen.end(), f) == chosen.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace coradd

@@ -1,0 +1,59 @@
+// The candidate-selection problem the ILP of §5.1 encodes: choose a subset
+// of candidates within a space budget — at most one fact-table
+// re-clustering per fact (condition 4), base designs always present — to
+// minimize the frequency-weighted sum over queries of each query's best
+// chosen runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coradd {
+
+/// A selection instance. Candidate indices align across all members.
+struct SelectionProblem {
+  /// Space charge per candidate (bytes).
+  std::vector<uint64_t> sizes;
+  /// costs[q][m] = expected seconds of query q on candidate m
+  /// (kInfeasibleCost where m cannot serve q).
+  std::vector<std::vector<double>> costs;
+  /// Per-query frequency weights (§5.3); empty = all 1.0.
+  std::vector<double> query_weights;
+  /// Space budget in bytes (condition 3).
+  uint64_t budget_bytes = 0;
+  /// At most one candidate of each group may be chosen (condition 4).
+  std::vector<std::vector<int>> sos1_groups;
+  /// Candidates that are always part of the design (base tables; size 0).
+  std::vector<int> forced;
+
+  size_t NumQueries() const { return costs.size(); }
+  size_t NumCandidates() const { return sizes.size(); }
+  double Weight(size_t q) const {
+    return query_weights.empty() ? 1.0 : query_weights[q];
+  }
+};
+
+/// A selection outcome.
+struct SelectionResult {
+  std::vector<int> chosen;             ///< Includes forced candidates.
+  std::vector<int> best_for_query;     ///< Candidate index per query (-1 none).
+  double expected_cost = 0.0;          ///< Weighted total seconds.
+  uint64_t used_bytes = 0;
+  uint64_t nodes_explored = 0;         ///< Search statistics.
+  bool proved_optimal = false;
+
+  std::string ToString() const;
+};
+
+/// Total weighted cost of a chosen set; fills best_for_query if non-null.
+/// Queries no chosen candidate can serve contribute kInfeasibleCost.
+double EvaluateSelection(const SelectionProblem& problem,
+                         const std::vector<int>& chosen,
+                         std::vector<int>* best_for_query = nullptr);
+
+/// True iff `chosen` satisfies budget and SOS1 constraints.
+bool SelectionFeasible(const SelectionProblem& problem,
+                       const std::vector<int>& chosen);
+
+}  // namespace coradd

@@ -1,0 +1,67 @@
+#include "mv/candidate_generator.h"
+
+#include "mv/fk_clustering.h"
+
+namespace coradd {
+
+MvCandidateGenerator::MvCandidateGenerator(const Catalog* catalog,
+                                           const StatsRegistry* registry,
+                                           const CostModel* model,
+                                           CandidateGeneratorOptions options)
+    : catalog_(catalog),
+      registry_(registry),
+      model_(model),
+      options_(std::move(options)) {
+  CORADD_CHECK(catalog != nullptr);
+  CORADD_CHECK(registry != nullptr);
+  CORADD_CHECK(model != nullptr);
+  index_designer_ = std::make_unique<ClusteredIndexDesigner>(
+      registry_, model_, options_.merging);
+}
+
+std::vector<MvSpec> MvCandidateGenerator::DesignForGroup(
+    const Workload& workload, const QueryGroup& group,
+    const std::string& fact_table, int t_override) const {
+  return index_designer_->DesignGroup(workload, group, fact_table,
+                                      t_override);
+}
+
+CandidateSet MvCandidateGenerator::Generate(const Workload& workload) const {
+  CandidateSet out;
+  for (const auto& fact : workload.FactTables()) {
+    const UniverseStats* stats = registry_->ForFact(fact);
+    CORADD_CHECK(stats != nullptr);
+    const FactTableInfo* info = catalog_->GetFactInfo(fact);
+    CORADD_CHECK(info != nullptr);
+
+    // Queries on this fact table.
+    std::vector<int> fact_queries;
+    for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+      if (workload.queries[qi].fact_table == fact) {
+        fact_queries.push_back(static_cast<int>(qi));
+      }
+    }
+    if (fact_queries.empty()) continue;
+
+    // §4.1: candidate query groups.
+    QueryGrouper grouper(stats, options_.grouping);
+    std::vector<QueryGroup> groups = grouper.Groups(workload, fact_queries);
+
+    // §4.2: t clusterings per group.
+    for (const auto& group : groups) {
+      for (auto& spec :
+           index_designer_->DesignGroup(workload, group, fact)) {
+        out.mvs.push_back(std::move(spec));
+      }
+    }
+    out.groups.insert(out.groups.end(), groups.begin(), groups.end());
+
+    // §4.3: fact-table re-clustering candidates (and the base design).
+    for (auto& spec : FkReclusterCandidates(*info, *stats, workload)) {
+      out.mvs.push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,56 @@
+// The MV Candidate Generator (§4, Fig 1): query grouping -> clustered index
+// design -> fact-table re-clustering candidates, producing the MvSpec pool
+// the ILP selects from.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mv/index_merging.h"
+#include "mv/query_grouping.h"
+
+namespace coradd {
+
+/// Knobs for candidate generation.
+struct CandidateGeneratorOptions {
+  QueryGroupingOptions grouping;
+  IndexMergingOptions merging;
+};
+
+/// The generated candidate pool.
+struct CandidateSet {
+  std::vector<MvSpec> mvs;
+  /// The deduplicated query groups candidates were generated from (per fact
+  /// table, flattened) — reused by ILP feedback.
+  std::vector<QueryGroup> groups;
+};
+
+/// Produces the initial candidate pool for a workload.
+class MvCandidateGenerator {
+ public:
+  MvCandidateGenerator(const Catalog* catalog, const StatsRegistry* registry,
+                       const CostModel* model,
+                       CandidateGeneratorOptions options = {});
+
+  /// Full §4 pipeline over every fact table the workload touches.
+  CandidateSet Generate(const Workload& workload) const;
+
+  /// Designs candidates for one explicit group (used by ILP feedback to
+  /// expand/shrink groups and recluster with a larger t).
+  std::vector<MvSpec> DesignForGroup(const Workload& workload,
+                                     const QueryGroup& group,
+                                     const std::string& fact_table,
+                                     int t_override = 0) const;
+
+  const CandidateGeneratorOptions& options() const { return options_; }
+
+ private:
+  const Catalog* catalog_;
+  const StatsRegistry* registry_;
+  const CostModel* model_;
+  CandidateGeneratorOptions options_;
+  std::unique_ptr<ClusteredIndexDesigner> index_designer_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,79 @@
+#include "mv/fk_clustering.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+std::vector<MvSpec> FkReclusterCandidates(const FactTableInfo& fact_info,
+                                          const UniverseStats& stats,
+                                          const Workload& workload) {
+  const Universe& u = stats.universe();
+  const Schema& fact_schema = u.fact_table().schema();
+
+  // Fact columns + the group of all queries on this fact.
+  std::vector<std::string> fact_columns;
+  for (size_t c = 0; c < fact_schema.NumColumns(); ++c) {
+    fact_columns.push_back(fact_schema.Column(c).name);
+  }
+  std::vector<int> all_queries;
+  for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+    if (workload.queries[qi].fact_table == fact_info.name) {
+      all_queries.push_back(static_cast<int>(qi));
+    }
+  }
+
+  auto make = [&](std::vector<std::string> key, const char* tag,
+                  bool is_base) {
+    MvSpec spec;
+    spec.name = StrFormat("recluster_%s_%s", fact_info.name.c_str(), tag);
+    spec.fact_table = fact_info.name;
+    spec.columns = fact_columns;
+    spec.clustered_key = std::move(key);
+    spec.query_group = all_queries;
+    spec.is_fact_recluster = true;
+    spec.is_base = is_base;
+    return spec;
+  };
+
+  std::vector<MvSpec> out;
+  out.push_back(make(fact_info.primary_key, "base_pk", /*is_base=*/true));
+
+  // Predicated fact-table columns across the workload.
+  std::vector<std::string> pred_fact_cols;
+  for (int qi : all_queries) {
+    for (const auto& col :
+         workload.queries[static_cast<size_t>(qi)].PredicateColumns()) {
+      if (fact_schema.HasColumn(col) &&
+          std::find(pred_fact_cols.begin(), pred_fact_cols.end(), col) ==
+              pred_fact_cols.end()) {
+        pred_fact_cols.push_back(col);
+      }
+    }
+  }
+
+  std::vector<std::string> fk_cols;
+  for (const auto& fk : fact_info.foreign_keys) fk_cols.push_back(fk.fact_column);
+
+  int tag = 0;
+  for (const auto& fk : fk_cols) {
+    out.push_back(make({fk}, StrFormat("fk%d", tag++).c_str(), false));
+  }
+  for (const auto& col : pred_fact_cols) {
+    if (std::find(fk_cols.begin(), fk_cols.end(), col) != fk_cols.end()) {
+      continue;  // already emitted as an FK candidate
+    }
+    out.push_back(make({col}, StrFormat("p%d", tag++).c_str(), false));
+  }
+  for (const auto& fk : fk_cols) {
+    for (const auto& col : pred_fact_cols) {
+      if (col == fk) continue;
+      out.push_back(
+          make({fk, col}, StrFormat("fkp%d", tag++).c_str(), false));
+    }
+  }
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,28 @@
+// Foreign-key clustering candidates for fact tables (§4.3). Clustering a
+// fact table by PK rarely helps OLAP queries; re-clustering on a foreign
+// key (or a predicated fact attribute) lets dimension predicates reach the
+// fact heap through correlations, at the price of a dense PK secondary
+// index (charged as the candidate's size). At most one re-clustering per
+// fact table may be materialized (ILP condition 4).
+#pragma once
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "workload/query.h"
+
+namespace coradd {
+
+/// Generates re-clustering candidates for one fact table:
+///  * the base design (clustered on PK, size 0, always feasible),
+///  * one candidate per foreign-key column,
+///  * one per fact-table column predicated anywhere in the workload,
+///  * (fk, predicated-fact-column) pairs.
+/// The returned specs have is_fact_recluster = true (is_base for the first)
+/// and query_group = all workload queries on the fact.
+std::vector<MvSpec> FkReclusterCandidates(const FactTableInfo& fact_info,
+                                          const UniverseStats& stats,
+                                          const Workload& workload);
+
+}  // namespace coradd

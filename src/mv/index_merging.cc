@@ -1,0 +1,251 @@
+#include "mv/index_merging.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+
+int PredicateTypeRank(PredicateType t) {
+  switch (t) {
+    case PredicateType::kEquality:
+      return 0;
+    case PredicateType::kRange:
+      return 1;
+    case PredicateType::kIn:
+      return 2;
+  }
+  return 3;
+}
+
+/// Union of all columns used by the group's queries, first-appearance order.
+std::vector<std::string> GroupColumns(const Workload& workload,
+                                      const QueryGroup& group) {
+  std::vector<std::string> cols;
+  for (int qi : group) {
+    for (const auto& c :
+         workload.queries[static_cast<size_t>(qi)].AllColumns()) {
+      if (std::find(cols.begin(), cols.end(), c) == cols.end()) {
+        cols.push_back(c);
+      }
+    }
+  }
+  return cols;
+}
+
+}  // namespace
+
+ClusteredIndexDesigner::ClusteredIndexDesigner(const StatsRegistry* registry,
+                                               const CostModel* model,
+                                               IndexMergingOptions options)
+    : registry_(registry), model_(model), options_(options) {
+  CORADD_CHECK(registry != nullptr);
+  CORADD_CHECK(model != nullptr);
+}
+
+std::vector<std::string> ClusteredIndexDesigner::DedicatedKey(
+    const Query& q, const UniverseStats& stats) const {
+  struct Entry {
+    std::string column;
+    int type_rank;
+    double selectivity;
+  };
+  std::vector<Entry> entries;
+  for (const auto& p : q.predicates) {
+    bool seen = false;
+    for (const auto& e : entries) {
+      if (e.column == p.column) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    entries.push_back(
+        {p.column, PredicateTypeRank(p.type), EstimateSelectivity(p, stats)});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     if (a.type_rank != b.type_rank) {
+                       return a.type_rank < b.type_rank;
+                     }
+                     return a.selectivity < b.selectivity;
+                   });
+  std::vector<std::string> key;
+  key.reserve(entries.size());
+  for (const auto& e : entries) key.push_back(e.column);
+  return key;
+}
+
+std::vector<std::vector<std::string>> ClusteredIndexDesigner::Interleavings(
+    const std::vector<std::string>& a,
+    const std::vector<std::string>& b) const {
+  // Remove from b attributes already present in a (keep a's positions).
+  std::vector<std::string> b2;
+  for (const auto& x : b) {
+    if (std::find(a.begin(), a.end(), x) == a.end()) b2.push_back(x);
+  }
+  if (b2.empty()) return {a};
+  if (a.empty()) return {b2};
+
+  if (options_.concatenation_only) {
+    std::vector<std::string> ab = a;
+    ab.insert(ab.end(), b2.begin(), b2.end());
+    std::vector<std::string> ba = b2;
+    ba.insert(ba.end(), a.begin(), a.end());
+    return {std::move(ab), std::move(ba)};
+  }
+
+  // Order-preserving interleavings of a and b2, enumerated recursively and
+  // capped. The raw enumeration cap is 4x the returned cap so the final
+  // stride-sample still spans qualitatively different merge shapes.
+  const size_t raw_cap = options_.max_interleavings * 4;
+  std::vector<std::vector<std::string>> all;
+  std::vector<std::string> current;
+  current.reserve(a.size() + b2.size());
+  // Explicit stack DFS: state = (next index into a, next index into b2).
+  struct Frame {
+    size_t i, j;
+    int branch;  // 0: about to try a, 1: about to try b, 2: done
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0, 0});
+  while (!stack.empty() && all.size() < raw_cap) {
+    Frame& f = stack.back();
+    if (f.i == a.size() && f.j == b2.size()) {
+      all.push_back(current);
+      stack.pop_back();
+      if (!current.empty()) current.pop_back();
+      continue;
+    }
+    if (f.branch == 0) {
+      f.branch = 1;
+      if (f.i < a.size()) {
+        current.push_back(a[f.i]);
+        stack.push_back({f.i + 1, f.j, 0});
+        continue;
+      }
+    }
+    if (f.branch == 1) {
+      f.branch = 2;
+      if (f.j < b2.size()) {
+        current.push_back(b2[f.j]);
+        stack.push_back({f.i, f.j + 1, 0});
+        continue;
+      }
+    }
+    stack.pop_back();
+    if (!current.empty()) current.pop_back();
+  }
+
+  std::vector<std::vector<std::string>> out;
+  if (all.size() <= options_.max_interleavings) {
+    out = std::move(all);
+  } else {
+    const size_t stride = all.size() / options_.max_interleavings + 1;
+    for (size_t i = 0; i < all.size(); i += stride) {
+      out.push_back(std::move(all[i]));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ClusteredIndexDesigner::ApplyAttributeDrop(
+    const std::vector<std::string>& key, const MvSpec& proto,
+    const UniverseStats& stats) const {
+  const DiskParams& disk = stats.options().disk;
+  const double pages = static_cast<double>(MvHeapPages(proto, stats, disk));
+  std::vector<std::string> out;
+  std::vector<int> prefix_cols;
+  for (const auto& attr : key) {
+    if (out.size() >= options_.max_key_attrs) break;
+    out.push_back(attr);
+    prefix_cols.push_back(stats.universe().ColumnIndex(attr));
+    // Once the prefix distinguishes more values than there are pages, every
+    // deeper attribute is sub-page noise (§4.2's drop rule).
+    if (stats.CompositeDistinct(prefix_cols) >= pages) break;
+  }
+  return out;
+}
+
+double ClusteredIndexDesigner::GroupCost(const Workload& workload,
+                                         const QueryGroup& group,
+                                         const MvSpec& spec) const {
+  double total = 0.0;
+  for (int qi : group) {
+    const Query& q = workload.queries[static_cast<size_t>(qi)];
+    const double c = model_->Seconds(q, spec);
+    total += c * q.frequency;
+  }
+  return total;
+}
+
+std::vector<MvSpec> ClusteredIndexDesigner::DesignGroup(
+    const Workload& workload, const QueryGroup& group,
+    const std::string& fact_table, int t_override) const {
+  CORADD_CHECK(!group.empty());
+  const int t = t_override > 0 ? t_override : options_.t;
+  const UniverseStats* stats = registry_->ForFact(fact_table);
+  CORADD_CHECK(stats != nullptr);
+
+  MvSpec proto;
+  proto.fact_table = fact_table;
+  proto.columns = GroupColumns(workload, group);
+  proto.query_group = group;
+
+  // Candidate clusterings, iteratively merged one dedicated key at a time.
+  std::vector<std::vector<std::string>> candidates;
+  candidates.push_back(ApplyAttributeDrop(
+      DedicatedKey(workload.queries[static_cast<size_t>(group[0])], *stats),
+      proto, *stats));
+
+  for (size_t gi = 1; gi < group.size(); ++gi) {
+    const std::vector<std::string> dedicated = DedicatedKey(
+        workload.queries[static_cast<size_t>(group[gi])], *stats);
+    std::map<double, std::vector<std::string>> scored;  // cost -> key
+    std::set<std::vector<std::string>> seen;
+    for (const auto& base : candidates) {
+      for (auto& merged : Interleavings(base, dedicated)) {
+        std::vector<std::string> key =
+            ApplyAttributeDrop(merged, proto, *stats);
+        if (!seen.insert(key).second) continue;
+        MvSpec trial = proto;
+        trial.clustered_key = key;
+        const double cost = GroupCost(workload, group, trial);
+        scored.emplace(cost, std::move(key));
+      }
+    }
+    candidates.clear();
+    for (const auto& [cost, key] : scored) {
+      candidates.push_back(key);
+      if (candidates.size() >= static_cast<size_t>(t)) break;
+    }
+    CORADD_CHECK(!candidates.empty());
+  }
+
+  // Rank final candidates and emit up to t specs.
+  std::map<double, std::vector<std::string>> final_scored;
+  for (const auto& key : candidates) {
+    MvSpec trial = proto;
+    trial.clustered_key = key;
+    final_scored.emplace(GroupCost(workload, group, trial), key);
+  }
+  std::vector<MvSpec> out;
+  int rank = 0;
+  for (const auto& [cost, key] : final_scored) {
+    if (rank >= t) break;
+    MvSpec spec = proto;
+    spec.clustered_key = key;
+    std::string gid;
+    for (int qi : group) gid += StrFormat("%d_", qi);
+    spec.name = StrFormat("mv_%s_g%sc%d", fact_table.c_str(), gid.c_str(), rank);
+    out.push_back(std::move(spec));
+    ++rank;
+  }
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,79 @@
+// Clustered-index design for query groups (§4.2, Figs 3-4).
+//
+// A dedicated MV (single query) gets its predicated attributes as the
+// clustered key, ordered by predicate type (equality, range, IN) and then
+// ascending selectivity. Multi-query groups are split into dedicated keys
+// which are merged pairwise, exploring *order-preserving interleavings*
+// (concatenation is the degenerate interleaving; the paper found
+// concatenation-only merging up to 90% slower). After each merge the
+// designer keeps the t clusterings with the best expected group runtime
+// under the provided cost model, and drops trailing attributes once the
+// leading attributes' distinct count exceeds one value per heap page.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "mv/query_grouping.h"
+
+namespace coradd {
+
+/// Knobs for the clustered-index designer.
+struct IndexMergingOptions {
+  /// Clusterings retained per MV (§4.2's t). ILP feedback raises this.
+  int t = 2;
+  /// Attribute-drop cap: "this limits the number of attributes in the
+  /// clustered index to 7 or 8".
+  size_t max_key_attrs = 7;
+  /// Cap on interleavings enumerated per pairwise merge (the full count is
+  /// binomial; beyond the cap a deterministic subsample is used).
+  size_t max_interleavings = 256;
+  /// When true, merge by concatenation only — the [6]-style baseline used
+  /// by the ablation bench for the "up to 90% slower" claim.
+  bool concatenation_only = false;
+};
+
+/// Designs clustered indexes for MV candidates.
+class ClusteredIndexDesigner {
+ public:
+  ClusteredIndexDesigner(const StatsRegistry* registry, const CostModel* model,
+                         IndexMergingOptions options = {});
+
+  const IndexMergingOptions& options() const { return options_; }
+
+  /// Dedicated clustered key for one query (§4.2's optimal single-query
+  /// design).
+  std::vector<std::string> DedicatedKey(const Query& q,
+                                        const UniverseStats& stats) const;
+
+  /// Enumerates order-preserving interleavings of `a` and `b` (duplicates
+  /// in `b` removed), capped at `max_interleavings`. Exposed for tests.
+  std::vector<std::vector<std::string>> Interleavings(
+      const std::vector<std::string>& a,
+      const std::vector<std::string>& b) const;
+
+  /// Produces up to `t` MV candidates (same columns & group, different
+  /// clustered keys) for the group. `t_override` > 0 replaces options().t —
+  /// the hook ILP feedback uses to recluster with larger t.
+  std::vector<MvSpec> DesignGroup(const Workload& workload,
+                                  const QueryGroup& group,
+                                  const std::string& fact_table,
+                                  int t_override = 0) const;
+
+ private:
+  /// Truncates `key` per the attribute-drop rule for the MV's page count.
+  std::vector<std::string> ApplyAttributeDrop(
+      const std::vector<std::string>& key, const MvSpec& proto,
+      const UniverseStats& stats) const;
+
+  /// Sum of model costs of the group's queries against `spec`.
+  double GroupCost(const Workload& workload, const QueryGroup& group,
+                   const MvSpec& spec) const;
+
+  const StatsRegistry* registry_;
+  const CostModel* model_;
+  IndexMergingOptions options_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,30 @@
+// Lloyd's k-means with k-means++ seeding (§4.1.2; [12], [2]), over dense
+// double vectors with Euclidean distance. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace coradd {
+
+/// Result of one k-means run.
+struct KMeansResult {
+  /// cluster_of[i] = cluster index of point i, in [0, k).
+  std::vector<int> cluster_of;
+  /// Final within-cluster sum of squared distances.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Runs Lloyd's algorithm with k-means++ initialization.
+/// `points` must be non-empty and rectangular; k in [1, points.size()].
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    Rng* rng, int max_iterations = 100);
+
+/// Squared Euclidean distance (exposed for tests).
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace coradd

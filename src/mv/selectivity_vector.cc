@@ -1,0 +1,97 @@
+#include "mv/selectivity_vector.h"
+
+#include <algorithm>
+
+namespace coradd {
+
+SelectivityVectorBuilder::SelectivityVectorBuilder(const UniverseStats* stats)
+    : stats_(stats) {
+  CORADD_CHECK(stats != nullptr);
+}
+
+size_t SelectivityVectorBuilder::Dimension() const {
+  return stats_->universe().NumColumns();
+}
+
+std::vector<double> SelectivityVectorBuilder::Raw(const Query& q) const {
+  std::vector<double> v(Dimension(), 1.0);
+  for (const auto& p : q.predicates) {
+    const int ucol = stats_->universe().ColumnIndex(p.column);
+    CORADD_CHECK(ucol >= 0);
+    const double sel = EstimateSelectivity(p, *stats_);
+    v[static_cast<size_t>(ucol)] =
+        std::min(v[static_cast<size_t>(ucol)], std::max(sel, 1e-9));
+  }
+  return v;
+}
+
+std::vector<double> SelectivityVectorBuilder::Propagated(const Query& q,
+                                                         int max_steps) const {
+  std::vector<double> v = Raw(q);
+  const size_t dim = v.size();
+  const CorrelationCatalog& corr = stats_->correlations();
+  if (max_steps <= 0) max_steps = static_cast<int>(dim);
+
+  // Predicated columns drive composite propagation (§4.1.1's last remark).
+  std::vector<int> pred_cols;
+  for (const auto& name : q.PredicateColumns()) {
+    pred_cols.push_back(stats_->universe().ColumnIndex(name));
+  }
+
+  for (int step = 0; step < max_steps; ++step) {
+    bool changed = false;
+    std::vector<double> next = v;
+    for (size_t i = 0; i < dim; ++i) {
+      double best = v[i];
+      // Single-attribute determinants: every column j with selectivity < 1.
+      for (size_t j = 0; j < dim; ++j) {
+        if (i == j || v[j] >= 1.0) continue;
+        const double s =
+            corr.Strength(static_cast<int>(i), static_cast<int>(j));
+        if (s <= 0.0) continue;
+        best = std::min(best, v[j] / s);
+      }
+      // Composite determinants from pairs of predicated attributes.
+      for (size_t a = 0; a < pred_cols.size(); ++a) {
+        for (size_t b = a + 1; b < pred_cols.size(); ++b) {
+          const int ca = pred_cols[a];
+          const int cb = pred_cols[b];
+          if (static_cast<int>(i) == ca || static_cast<int>(i) == cb) continue;
+          const double sel_pair = v[static_cast<size_t>(ca)] *
+                                  v[static_cast<size_t>(cb)];
+          if (sel_pair >= 1.0) continue;
+          const double s = corr.Strength(std::vector<int>{static_cast<int>(i)},
+                                         std::vector<int>{ca, cb});
+          if (s <= 0.0) continue;
+          best = std::min(best, sel_pair / s);
+        }
+      }
+      if (best < v[i] - 1e-15) {
+        next[i] = best;
+        changed = true;
+      }
+    }
+    v = std::move(next);
+    if (!changed) break;
+  }
+  return v;
+}
+
+std::vector<double> ExtendWithTargets(const std::vector<double>& selectivity,
+                                      const Query& q,
+                                      const UniverseStats& stats,
+                                      double alpha) {
+  const Universe& u = stats.universe();
+  std::vector<double> out = selectivity;
+  out.resize(selectivity.size() + u.NumColumns(), 0.0);
+  for (const auto& name : q.AllColumns()) {
+    const int ucol = u.ColumnIndex(name);
+    CORADD_CHECK(ucol >= 0);
+    out[selectivity.size() + static_cast<size_t>(ucol)] =
+        static_cast<double>(u.Column(static_cast<size_t>(ucol)).byte_size) *
+        alpha;
+  }
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,46 @@
+// Selectivity vectors and Selectivity Propagation (§4.1.1, Tables 1-2).
+//
+// A query's selectivity vector holds, per universe attribute, the fraction
+// of rows its predicate on that attribute selects (1.0 when unpredicated).
+// Plain vectors miss correlations — a predicate yearmonth=199401 implies
+// year=1994 — so propagation repeatedly applies
+//     selectivity(Ci) = min_j ( selectivity(Cj) / strength(Ci -> Cj) )
+// until fixpoint. Composite determinants (e.g. (year, weeknum) in Q1.3) are
+// handled by propagating from pairs of predicated attributes. Termination
+// in at most |A| steps is guaranteed because strengths are <= 1 and update
+// paths cannot cycle (A-4).
+#pragma once
+
+#include <vector>
+
+#include "workload/query.h"
+
+namespace coradd {
+
+/// Builds (propagated) selectivity vectors for queries of one universe.
+class SelectivityVectorBuilder {
+ public:
+  explicit SelectivityVectorBuilder(const UniverseStats* stats);
+
+  /// Raw vector: predicate selectivities only (Table 1).
+  std::vector<double> Raw(const Query& q) const;
+
+  /// Propagated vector (Table 2). `max_steps` guards the |A|-step bound.
+  std::vector<double> Propagated(const Query& q, int max_steps = 0) const;
+
+  /// Number of vector elements (= universe columns).
+  size_t Dimension() const;
+
+ private:
+  const UniverseStats* stats_;
+};
+
+/// Extends a selectivity vector with the §4.1.3 target-attribute elements:
+/// for every universe column, bytesize(attr) * alpha when the query uses the
+/// attribute, else 0. Returns a vector of dimension 2 * |A|.
+std::vector<double> ExtendWithTargets(const std::vector<double>& selectivity,
+                                      const Query& q,
+                                      const UniverseStats& stats,
+                                      double alpha);
+
+}  // namespace coradd

@@ -1,0 +1,436 @@
+#include "ssb/ssb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace coradd {
+namespace ssb {
+
+namespace {
+
+// TPC-H nation table (alphabetical, nation key order) with region indices:
+// 0 AFRICA, 1 AMERICA, 2 ASIA, 3 EUROPE, 4 MIDDLE EAST.
+struct NationDef {
+  const char* name;
+  int region;
+};
+constexpr NationDef kNations[kNumNations] = {
+    {"ALGERIA", 0},       {"ARGENTINA", 1},  {"BRAZIL", 1},
+    {"CANADA", 1},        {"EGYPT", 4},      {"ETHIOPIA", 0},
+    {"FRANCE", 3},        {"GERMANY", 3},    {"INDIA", 2},
+    {"INDONESIA", 2},     {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},         {"JORDAN", 4},     {"KENYA", 0},
+    {"MOROCCO", 0},       {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},         {"ROMANIA", 3},    {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},       {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+};
+constexpr const char* kRegions[kNumRegions] = {"AFRICA", "AMERICA", "ASIA",
+                                               "EUROPE", "MIDDLE EAST"};
+constexpr const char* kMonthNames[12] = {"Jan", "Feb", "Mar", "Apr",
+                                         "May", "Jun", "Jul", "Aug",
+                                         "Sep", "Oct", "Nov", "Dec"};
+constexpr const char* kSeasons[5] = {"Winter", "Spring", "Summer", "Fall",
+                                     "Christmas"};
+constexpr const char* kMktSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                         "HOUSEHOLD", "MACHINERY"};
+constexpr const char* kShipModes[7] = {"AIR", "FOB", "MAIL", "RAIL",
+                                       "REG AIR", "SHIP", "TRUCK"};
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECI", "5-LOW"};
+
+/// SSB city name: first 9 chars of the nation (space padded) + digit.
+std::string CityName(int nation, int digit) {
+  std::string base = kNations[nation].name;
+  base.resize(9, ' ');
+  return base + std::to_string(digit);
+}
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+struct Date {
+  int year, month, day;
+  int64_t Key() const { return year * 10000 + month * 100 + day; }
+};
+
+/// Total number of days in the SSB calendar.
+int TotalDays() {
+  int n = 0;
+  for (int y = kFirstYear; y < kFirstYear + kNumYears; ++y) {
+    n += IsLeap(y) ? 366 : 365;
+  }
+  return n;
+}
+
+/// day_index (0-based from 1992-01-01) -> Date.
+Date DateOfIndex(int idx) {
+  int y = kFirstYear;
+  while (idx >= (IsLeap(y) ? 366 : 365)) {
+    idx -= IsLeap(y) ? 366 : 365;
+    ++y;
+  }
+  int m = 1;
+  while (idx >= DaysInMonth(y, m)) {
+    idx -= DaysInMonth(y, m);
+    ++m;
+  }
+  return Date{y, m, idx + 1};
+}
+
+std::vector<std::string> MakeDict(const char* const* names, int n) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.emplace_back(names[i]);
+  return out;
+}
+
+ColumnDef IntCol(std::string name, uint32_t bytes = 4) {
+  ColumnDef c;
+  c.name = std::move(name);
+  c.type = ValueType::kInt;
+  c.byte_size = bytes;
+  return c;
+}
+
+ColumnDef StrCol(std::string name, uint32_t bytes,
+                 std::vector<std::string> dict) {
+  ColumnDef c;
+  c.name = std::move(name);
+  c.type = ValueType::kString;
+  c.byte_size = bytes;
+  c.dictionary = std::move(dict);
+  return c;
+}
+
+std::vector<std::string> CityDict() {
+  std::vector<std::string> d;
+  d.reserve(kNumNations * kCitiesPerNation);
+  for (int n = 0; n < kNumNations; ++n) {
+    for (int c = 0; c < kCitiesPerNation; ++c) d.push_back(CityName(n, c));
+  }
+  return d;
+}
+
+std::vector<std::string> NationDict() {
+  std::vector<std::string> d;
+  for (const auto& n : kNations) d.emplace_back(n.name);
+  return d;
+}
+
+std::vector<std::string> YearMonthDict() {
+  std::vector<std::string> d;
+  for (int y = kFirstYear; y < kFirstYear + kNumYears; ++y) {
+    for (int m = 1; m <= 12; ++m) {
+      d.push_back(StrFormat("%s%d", kMonthNames[m - 1], y));
+    }
+  }
+  return d;
+}
+
+std::vector<std::string> MfgrDict() {
+  std::vector<std::string> d;
+  for (int i = 1; i <= 5; ++i) d.push_back(StrFormat("MFGR#%d", i));
+  return d;
+}
+
+std::vector<std::string> CategoryDict() {
+  std::vector<std::string> d;
+  for (int m = 1; m <= 5; ++m) {
+    for (int c = 1; c <= 5; ++c) d.push_back(StrFormat("MFGR#%d%d", m, c));
+  }
+  return d;
+}
+
+std::vector<std::string> BrandDict() {
+  std::vector<std::string> d;
+  for (int m = 1; m <= 5; ++m) {
+    for (int c = 1; c <= 5; ++c) {
+      for (int b = 1; b <= 40; ++b) {
+        d.push_back(StrFormat("MFGR#%d%d%02d", m, c, b));
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+uint64_t SsbOptions::PartRows() const {
+  const double rows = 200000.0 * std::max(0.01, scale_factor);
+  return static_cast<uint64_t>(std::max(2000.0, rows));
+}
+uint64_t SsbOptions::CustomerRows() const {
+  return static_cast<uint64_t>(std::max(300.0, 30000.0 * scale_factor));
+}
+uint64_t SsbOptions::SupplierRows() const {
+  return static_cast<uint64_t>(std::max(100.0, 2000.0 * scale_factor));
+}
+uint64_t SsbOptions::LineorderRows() const {
+  return static_cast<uint64_t>(6000000.0 * scale_factor);
+}
+
+int RegionOfNation(int nation) { return kNations[nation].region; }
+const char* NationName(int nation) { return kNations[nation].name; }
+const char* RegionName(int region) { return kRegions[region]; }
+
+int64_t CityCode(const std::string& city_name) {
+  for (int n = 0; n < kNumNations; ++n) {
+    for (int c = 0; c < kCitiesPerNation; ++c) {
+      if (CityName(n, c) == city_name) return n * kCitiesPerNation + c;
+    }
+  }
+  CORADD_CHECK(false);
+  return -1;
+}
+
+int64_t NationCode(const std::string& nation_name) {
+  for (int n = 0; n < kNumNations; ++n) {
+    if (nation_name == kNations[n].name) return n;
+  }
+  CORADD_CHECK(false);
+  return -1;
+}
+
+int64_t RegionCode(const std::string& region_name) {
+  for (int r = 0; r < kNumRegions; ++r) {
+    if (region_name == kRegions[r]) return r;
+  }
+  CORADD_CHECK(false);
+  return -1;
+}
+
+int64_t MfgrCode(const std::string& mfgr) {
+  CORADD_CHECK(mfgr.size() == 6 && mfgr.rfind("MFGR#", 0) == 0);
+  return mfgr[5] - '1';
+}
+
+int64_t CategoryCode(const std::string& category) {
+  CORADD_CHECK(category.size() == 7 && category.rfind("MFGR#", 0) == 0);
+  const int m = category[5] - '1';
+  const int c = category[6] - '1';
+  return m * 5 + c;
+}
+
+int64_t BrandCode(const std::string& brand) {
+  CORADD_CHECK(brand.size() == 9 && brand.rfind("MFGR#", 0) == 0);
+  const int m = brand[5] - '1';
+  const int c = brand[6] - '1';
+  const int b = (brand[7] - '0') * 10 + (brand[8] - '0') - 1;
+  return (m * 5 + c) * 40 + b;
+}
+
+int64_t YearMonthNum(int year, int month) { return year * 100 + month; }
+
+int64_t YearMonthCode(int year, int month) {
+  return (year - kFirstYear) * 12 + (month - 1);
+}
+
+std::unique_ptr<Catalog> MakeCatalog(const SsbOptions& options) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(options.seed);
+
+  // ---- date dimension ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("d_datekey"));
+    s.AddColumn(IntCol("d_year"));
+    s.AddColumn(IntCol("d_yearmonthnum"));
+    s.AddColumn(StrCol("d_yearmonth", 7, YearMonthDict()));
+    s.AddColumn(IntCol("d_monthnuminyear"));
+    s.AddColumn(IntCol("d_weeknuminyear"));
+    s.AddColumn(IntCol("d_daynuminweek"));
+    s.AddColumn(IntCol("d_daynuminmonth"));
+    s.AddColumn(IntCol("d_daynuminyear"));
+    s.AddColumn(StrCol("d_sellingseason", 12, MakeDict(kSeasons, 5)));
+    s.AddColumn(IntCol("d_holidayfl", 1));
+    s.AddColumn(IntCol("d_weekdayfl", 1));
+    auto t = std::make_unique<Table>(std::move(s), "date");
+    const int total = TotalDays();
+    t->Reserve(static_cast<size_t>(total));
+    int day_of_year = 0;
+    int last_year = kFirstYear;
+    for (int i = 0; i < total; ++i) {
+      const Date d = DateOfIndex(i);
+      if (d.year != last_year) {
+        day_of_year = 0;
+        last_year = d.year;
+      }
+      ++day_of_year;
+      const int dow = (i % 7) + 1;  // 1..7, 1992-01-01 treated as day 1.
+      int season;
+      if (d.month == 12) {
+        season = 4;  // Christmas
+      } else if (d.month <= 2) {
+        season = 0;
+      } else if (d.month <= 5) {
+        season = 1;
+      } else if (d.month <= 8) {
+        season = 2;
+      } else {
+        season = 3;
+      }
+      t->AppendRow({d.Key(), d.year, YearMonthNum(d.year, d.month),
+                    YearMonthCode(d.year, d.month), d.month,
+                    (day_of_year - 1) / 7 + 1, dow, d.day, day_of_year, season,
+                    (dow >= 6 || (d.month == 12 && d.day >= 24)) ? 1 : 0,
+                    dow <= 5 ? 1 : 0});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- customer dimension ----
+  const auto city_dict = CityDict();
+  {
+    Schema s;
+    s.AddColumn(IntCol("c_custkey"));
+    s.AddColumn(StrCol("c_city", 10, city_dict));
+    s.AddColumn(StrCol("c_nation", 15, NationDict()));
+    s.AddColumn(StrCol("c_region", 12, MakeDict(kRegions, kNumRegions)));
+    s.AddColumn(StrCol("c_mktsegment", 10, MakeDict(kMktSegments, 5)));
+    auto t = std::make_unique<Table>(std::move(s), "customer");
+    const uint64_t n = options.CustomerRows();
+    t->Reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t nation = static_cast<int64_t>(rng.Uniform(kNumNations));
+      const int64_t city =
+          nation * kCitiesPerNation + static_cast<int64_t>(rng.Uniform(kCitiesPerNation));
+      t->AppendRow({static_cast<int64_t>(i + 1), city, nation,
+                    RegionOfNation(static_cast<int>(nation)),
+                    static_cast<int64_t>(rng.Uniform(5))});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- supplier dimension ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("s_suppkey"));
+    s.AddColumn(StrCol("s_city", 10, city_dict));
+    s.AddColumn(StrCol("s_nation", 15, NationDict()));
+    s.AddColumn(StrCol("s_region", 12, MakeDict(kRegions, kNumRegions)));
+    auto t = std::make_unique<Table>(std::move(s), "supplier");
+    const uint64_t n = options.SupplierRows();
+    t->Reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t nation = static_cast<int64_t>(rng.Uniform(kNumNations));
+      const int64_t city =
+          nation * kCitiesPerNation + static_cast<int64_t>(rng.Uniform(kCitiesPerNation));
+      t->AppendRow({static_cast<int64_t>(i + 1), city, nation,
+                    RegionOfNation(static_cast<int>(nation))});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- part dimension ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("p_partkey"));
+    s.AddColumn(StrCol("p_mfgr", 6, MfgrDict()));
+    s.AddColumn(StrCol("p_category", 7, CategoryDict()));
+    s.AddColumn(StrCol("p_brand1", 9, BrandDict()));
+    s.AddColumn(IntCol("p_color", 11));
+    s.AddColumn(IntCol("p_type", 25));
+    s.AddColumn(IntCol("p_size"));
+    s.AddColumn(IntCol("p_container", 10));
+    auto t = std::make_unique<Table>(std::move(s), "part");
+    const uint64_t n = options.PartRows();
+    t->Reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t brand = static_cast<int64_t>(rng.Uniform(1000));
+      const int64_t category = brand / 40;
+      const int64_t mfgr = category / 5;
+      t->AppendRow({static_cast<int64_t>(i + 1), mfgr, category, brand,
+                    static_cast<int64_t>(rng.Uniform(92)),
+                    static_cast<int64_t>(rng.Uniform(150)),
+                    static_cast<int64_t>(rng.Uniform(50) + 1),
+                    static_cast<int64_t>(rng.Uniform(40))});
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  // ---- lineorder fact ----
+  {
+    Schema s;
+    s.AddColumn(IntCol("lo_orderkey"));
+    s.AddColumn(IntCol("lo_linenumber", 1));
+    s.AddColumn(IntCol("lo_custkey"));
+    s.AddColumn(IntCol("lo_partkey"));
+    s.AddColumn(IntCol("lo_suppkey"));
+    s.AddColumn(IntCol("lo_orderdate"));
+    s.AddColumn(StrCol("lo_orderpriority", 15, MakeDict(kPriorities, 5)));
+    s.AddColumn(IntCol("lo_shippriority", 1));
+    s.AddColumn(IntCol("lo_quantity", 1));
+    s.AddColumn(IntCol("lo_extendedprice"));
+    s.AddColumn(IntCol("lo_ordtotalprice"));
+    s.AddColumn(IntCol("lo_discount", 1));
+    s.AddColumn(IntCol("lo_revenue"));
+    s.AddColumn(IntCol("lo_supplycost"));
+    s.AddColumn(IntCol("lo_tax", 1));
+    s.AddColumn(IntCol("lo_commitdate"));
+    s.AddColumn(StrCol("lo_shipmode", 10, MakeDict(kShipModes, 7)));
+    auto t = std::make_unique<Table>(std::move(s), "lineorder");
+    const uint64_t target = options.LineorderRows();
+    t->Reserve(target);
+    const int total_days = TotalDays();
+    const uint64_t n_cust = options.CustomerRows();
+    const uint64_t n_supp = options.SupplierRows();
+    const uint64_t n_part = options.PartRows();
+
+    uint64_t rows = 0;
+    int64_t orderkey = 0;
+    while (rows < target) {
+      ++orderkey;
+      const int lines =
+          1 + static_cast<int>(rng.Uniform(7));  // 1..7 lines per order.
+      const int order_day = static_cast<int>(rng.Uniform(total_days));
+      const Date od = DateOfIndex(order_day);
+      const int64_t custkey = static_cast<int64_t>(rng.Uniform(n_cust)) + 1;
+      const int64_t ordtotal = static_cast<int64_t>(rng.Uniform(500000)) + 1;
+      for (int l = 1; l <= lines && rows < target; ++l, ++rows) {
+        // Commit 30..90 days after the order, clamped to the calendar:
+        // the correlated pair the paper's Fig 13 visualizes.
+        const int commit_day =
+            std::min(order_day + 30 + static_cast<int>(rng.Uniform(61)),
+                     total_days - 1);
+        const Date cd = DateOfIndex(commit_day);
+        const int64_t quantity = static_cast<int64_t>(rng.Uniform(50)) + 1;
+        const int64_t price = static_cast<int64_t>(rng.Uniform(10000)) + 90;
+        const int64_t discount = static_cast<int64_t>(rng.Uniform(11));
+        const int64_t revenue = price * (100 - discount) / 100;
+        t->AppendRow({orderkey, l, custkey,
+                      static_cast<int64_t>(rng.Uniform(n_part)) + 1,
+                      static_cast<int64_t>(rng.Uniform(n_supp)) + 1, od.Key(),
+                      static_cast<int64_t>(rng.Uniform(5)),
+                      0, quantity, price, ordtotal, discount, revenue,
+                      price * 6 / 10, static_cast<int64_t>(rng.Uniform(9)),
+                      cd.Key(), static_cast<int64_t>(rng.Uniform(7))});
+      }
+    }
+    catalog->AddTable(std::move(t));
+  }
+
+  FactTableInfo fact;
+  fact.name = "lineorder";
+  fact.primary_key = {"lo_orderkey", "lo_linenumber"};
+  fact.foreign_keys = {
+      {"lo_orderdate", "date", "d_datekey"},
+      {"lo_custkey", "customer", "c_custkey"},
+      {"lo_suppkey", "supplier", "s_suppkey"},
+      {"lo_partkey", "part", "p_partkey"},
+  };
+  catalog->RegisterFactTable(std::move(fact));
+  return catalog;
+}
+
+}  // namespace ssb
+}  // namespace coradd

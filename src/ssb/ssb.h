@@ -1,0 +1,80 @@
+// Star Schema Benchmark (O'Neil, O'Neil & Chen 2007) generator and
+// workloads, built from scratch (§7.1 of the paper evaluates on SSB Scale 4
+// and an augmented 52-query variant).
+//
+// The generator reproduces the correlation structure CORADD exploits:
+//   * date hierarchy: d_datekey -> d_yearmonthnum -> d_year; d_weeknuminyear
+//     correlates with month/year (Table 1/2 of the paper),
+//   * geography: city -> nation -> region in customer and supplier,
+//   * product: p_brand1 -> p_category -> p_mfgr,
+//   * lo_commitdate is a few days after lo_orderdate (Fig 13's correlated
+//     secondary-attribute example).
+// All strings are dictionary-encoded; declared byte widths follow the SSB
+// column definitions so size accounting matches the benchmark's row widths.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "workload/query.h"
+
+namespace coradd {
+namespace ssb {
+
+/// Generation knobs. Scale factor 1 = 6M lineorder rows (SSB dbgen).
+struct SsbOptions {
+  double scale_factor = 0.05;
+  uint64_t seed = 7;
+  /// Part table rows; SSB's 200k*(1+log2(SF)) is clamped to scale*200000
+  /// with a floor so small scales stay proportionate.
+  uint64_t PartRows() const;
+  uint64_t CustomerRows() const;
+  uint64_t SupplierRows() const;
+  uint64_t LineorderRows() const;
+};
+
+/// Number of days / years covered by the date dimension (1992..1998).
+inline constexpr int kFirstYear = 1992;
+inline constexpr int kNumYears = 7;
+inline constexpr int kNumNations = 25;
+inline constexpr int kNumRegions = 5;
+inline constexpr int kCitiesPerNation = 10;
+
+/// Region index (0..4) of a nation index (0..24).
+int RegionOfNation(int nation);
+/// Nation display name.
+const char* NationName(int nation);
+/// Region display name.
+const char* RegionName(int region);
+
+/// --- Encoded-value helpers (codes used in generated columns) ---
+/// City code: nation*10 + digit, e.g. CityCode("UNITED KI1").
+int64_t CityCode(const std::string& city_name);
+int64_t NationCode(const std::string& nation_name);
+int64_t RegionCode(const std::string& region_name);
+/// "MFGR#2" -> mfgr code 1 (0-based).
+int64_t MfgrCode(const std::string& mfgr);
+/// "MFGR#12" -> category code: mfgr*5 + (digit-1).
+int64_t CategoryCode(const std::string& category);
+/// "MFGR#2221" -> brand code: category*40 + (suffix-1).
+int64_t BrandCode(const std::string& brand);
+/// Year-month code for d_yearmonthnum-style predicates: yyyymm.
+int64_t YearMonthNum(int year, int month);
+/// d_yearmonth code ("Dec1997" style): (year-kFirstYear)*12 + month-1.
+int64_t YearMonthCode(int year, int month);
+
+/// Builds the SSB catalog: date, customer, supplier, part, lineorder, with
+/// fact metadata (PK lo_orderkey+lo_linenumber; FKs into all dimensions).
+std::unique_ptr<Catalog> MakeCatalog(const SsbOptions& options);
+
+/// The 13 standard SSB queries (Q1.1 .. Q4.3).
+Workload MakeWorkload();
+
+/// The paper's augmented workload: 52 queries derived from the original 13
+/// with varied predicates, target attributes, group-bys and aggregates
+/// (§7.1, Experiment 2).
+Workload MakeAugmentedWorkload();
+
+}  // namespace ssb
+}  // namespace coradd

@@ -1,0 +1,293 @@
+// The 13 SSB queries (flights Q1..Q4) and the paper's augmented 52-query
+// workload. Queries follow O'Neil et al.'s SSB specification; predicates on
+// string-valued attributes use the generator's dictionary codes.
+#include "ssb/ssb.h"
+
+#include "common/string_util.h"
+
+namespace coradd {
+namespace ssb {
+
+namespace {
+
+Query MakeQ1(const std::string& id, std::vector<Predicate> preds) {
+  Query q;
+  q.id = id;
+  q.fact_table = "lineorder";
+  q.predicates = std::move(preds);
+  q.aggregates = {{"lo_extendedprice", "lo_discount"}};
+  return q;
+}
+
+Query MakeQ2(const std::string& id, std::vector<Predicate> preds,
+             std::vector<std::string> group_by = {"d_year", "p_brand1"}) {
+  Query q;
+  q.id = id;
+  q.fact_table = "lineorder";
+  q.predicates = std::move(preds);
+  q.group_by = std::move(group_by);
+  q.aggregates = {{"lo_revenue", ""}};
+  return q;
+}
+
+Query MakeQ3(const std::string& id, std::vector<Predicate> preds,
+             std::vector<std::string> group_by) {
+  Query q;
+  q.id = id;
+  q.fact_table = "lineorder";
+  q.predicates = std::move(preds);
+  q.group_by = std::move(group_by);
+  q.aggregates = {{"lo_revenue", ""}};
+  return q;
+}
+
+Query MakeQ4(const std::string& id, std::vector<Predicate> preds,
+             std::vector<std::string> group_by) {
+  Query q;
+  q.id = id;
+  q.fact_table = "lineorder";
+  q.predicates = std::move(preds);
+  q.group_by = std::move(group_by);
+  // SUM(lo_revenue - lo_supplycost): two sums, same attribute coverage.
+  q.aggregates = {{"lo_revenue", ""}, {"lo_supplycost", ""}};
+  return q;
+}
+
+std::vector<int64_t> Cities(std::initializer_list<const char*> names) {
+  std::vector<int64_t> out;
+  for (const char* n : names) out.push_back(CityCode(n));
+  return out;
+}
+
+}  // namespace
+
+Workload MakeWorkload() {
+  Workload w;
+  w.name = "ssb13";
+
+  // --- Flight 1: restrictions on date + discount + quantity, no group-by.
+  w.queries.push_back(MakeQ1(
+      "Q1.1", {Predicate::Eq("d_year", 1993),
+               Predicate::Range("lo_discount", 1, 3),
+               Predicate::Range("lo_quantity", 1, 24)}));
+  w.queries.push_back(MakeQ1(
+      "Q1.2", {Predicate::Eq("d_yearmonthnum", YearMonthNum(1994, 1)),
+               Predicate::Range("lo_discount", 4, 6),
+               Predicate::Range("lo_quantity", 26, 35)}));
+  w.queries.push_back(MakeQ1(
+      "Q1.3", {Predicate::Eq("d_weeknuminyear", 6),
+               Predicate::Eq("d_year", 1994),
+               Predicate::Range("lo_discount", 5, 7),
+               Predicate::Range("lo_quantity", 26, 35)}));
+
+  // --- Flight 2: part category/brand + supplier region.
+  w.queries.push_back(MakeQ2(
+      "Q2.1", {Predicate::Eq("p_category", CategoryCode("MFGR#12")),
+               Predicate::Eq("s_region", RegionCode("AMERICA"))}));
+  w.queries.push_back(MakeQ2(
+      "Q2.2", {Predicate::Range("p_brand1", BrandCode("MFGR#2221"),
+                                BrandCode("MFGR#2228")),
+               Predicate::Eq("s_region", RegionCode("ASIA"))}));
+  w.queries.push_back(MakeQ2(
+      "Q2.3", {Predicate::Eq("p_brand1", BrandCode("MFGR#2239")),
+               Predicate::Eq("s_region", RegionCode("EUROPE"))}));
+
+  // --- Flight 3: customer/supplier geography over a year range.
+  w.queries.push_back(MakeQ3(
+      "Q3.1",
+      {Predicate::Eq("c_region", RegionCode("ASIA")),
+       Predicate::Eq("s_region", RegionCode("ASIA")),
+       Predicate::Range("d_year", 1992, 1997)},
+      {"c_nation", "s_nation", "d_year"}));
+  w.queries.push_back(MakeQ3(
+      "Q3.2",
+      {Predicate::Eq("c_nation", NationCode("UNITED STATES")),
+       Predicate::Eq("s_nation", NationCode("UNITED STATES")),
+       Predicate::Range("d_year", 1992, 1997)},
+      {"c_city", "s_city", "d_year"}));
+  w.queries.push_back(MakeQ3(
+      "Q3.3",
+      {Predicate::In("c_city", Cities({"UNITED KI1", "UNITED KI5"})),
+       Predicate::In("s_city", Cities({"UNITED KI1", "UNITED KI5"})),
+       Predicate::Range("d_year", 1992, 1997)},
+      {"c_city", "s_city", "d_year"}));
+  w.queries.push_back(MakeQ3(
+      "Q3.4",
+      {Predicate::In("c_city", Cities({"UNITED KI1", "UNITED KI5"})),
+       Predicate::In("s_city", Cities({"UNITED KI1", "UNITED KI5"})),
+       Predicate::Eq("d_yearmonth", YearMonthCode(1997, 12))},
+      {"c_city", "s_city", "d_year"}));
+
+  // --- Flight 4: profit drill-down.
+  w.queries.push_back(MakeQ4(
+      "Q4.1",
+      {Predicate::Eq("c_region", RegionCode("AMERICA")),
+       Predicate::Eq("s_region", RegionCode("AMERICA")),
+       Predicate::In("p_mfgr", {MfgrCode("MFGR#1"), MfgrCode("MFGR#2")})},
+      {"d_year", "c_nation"}));
+  w.queries.push_back(MakeQ4(
+      "Q4.2",
+      {Predicate::Eq("c_region", RegionCode("AMERICA")),
+       Predicate::Eq("s_region", RegionCode("AMERICA")),
+       Predicate::In("d_year", {1997, 1998}),
+       Predicate::In("p_mfgr", {MfgrCode("MFGR#1"), MfgrCode("MFGR#2")})},
+      {"d_year", "s_nation", "p_category"}));
+  w.queries.push_back(MakeQ4(
+      "Q4.3",
+      {Predicate::Eq("c_region", RegionCode("AMERICA")),
+       Predicate::Eq("s_nation", NationCode("UNITED STATES")),
+       Predicate::In("d_year", {1997, 1998}),
+       Predicate::Eq("p_category", CategoryCode("MFGR#14"))},
+      {"d_year", "s_city", "p_brand1"}));
+
+  return w;
+}
+
+Workload MakeAugmentedWorkload() {
+  Workload w = MakeWorkload();
+  w.name = "ssb52";
+
+  auto add = [&w](Query q) { w.queries.push_back(std::move(q)); };
+
+  // ---- Flight 1 variants: other dates, shifted windows, other measures.
+  for (int v = 0; v < 3; ++v) {
+    const int year = 1995 + v;  // 1995, 1996, 1997
+    Query q = MakeQ1(StrFormat("Q1.1v%d", v + 1),
+                     {Predicate::Eq("d_year", year),
+                      Predicate::Range("lo_discount", 1 + v, 3 + v),
+                      Predicate::Range("lo_quantity", 1, 20 + 5 * v)});
+    if (v == 1) q.aggregates = {{"lo_revenue", ""}};  // varied aggregate
+    if (v == 2) q.group_by = {"d_year"};              // varied target attrs
+    add(q);
+  }
+  for (int v = 0; v < 3; ++v) {
+    const int64_t ym = YearMonthNum(1995 + v, 3 + 2 * v);
+    Query q = MakeQ1(StrFormat("Q1.2v%d", v + 1),
+                     {Predicate::Eq("d_yearmonthnum", ym),
+                      Predicate::Range("lo_discount", 4, 6),
+                      Predicate::Range("lo_quantity", 25 - 5 * v, 35)});
+    if (v == 2) q.aggregates = {{"lo_extendedprice", ""}};
+    add(q);
+  }
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ1(StrFormat("Q1.3v%d", v + 1),
+                     {Predicate::Eq("d_weeknuminyear", 10 + 10 * v),
+                      Predicate::Eq("d_year", 1995 + v),
+                      Predicate::Range("lo_discount", 5, 7),
+                      Predicate::Range("lo_quantity", 26, 35)});
+    if (v == 1) q.group_by = {"d_weeknuminyear"};
+    add(q);
+  }
+
+  // ---- Flight 2 variants: other categories/brands/regions and group-bys.
+  const char* kCats[] = {"MFGR#23", "MFGR#31", "MFGR#45"};
+  const char* kRegs[] = {"EUROPE", "AFRICA", "AMERICA"};
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ2(StrFormat("Q2.1v%d", v + 1),
+                     {Predicate::Eq("p_category", CategoryCode(kCats[v])),
+                      Predicate::Eq("s_region", RegionCode(kRegs[v]))});
+    if (v == 2) q.group_by = {"d_year", "p_brand1", "s_nation"};
+    add(q);
+  }
+  const char* kBrandLo[] = {"MFGR#1221", "MFGR#3331", "MFGR#4411"};
+  const char* kBrandHi[] = {"MFGR#1228", "MFGR#3338", "MFGR#4418"};
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ2(
+        StrFormat("Q2.2v%d", v + 1),
+        {Predicate::Range("p_brand1", BrandCode(kBrandLo[v]),
+                          BrandCode(kBrandHi[v])),
+         Predicate::Eq("s_region", RegionCode(kRegs[2 - v]))});
+    if (v == 1) q.aggregates = {{"lo_revenue", ""}, {"lo_quantity", ""}};
+    add(q);
+  }
+  const char* kBrandsEq[] = {"MFGR#1125", "MFGR#3217", "MFGR#5533"};
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ2(StrFormat("Q2.3v%d", v + 1),
+                     {Predicate::Eq("p_brand1", BrandCode(kBrandsEq[v])),
+                      Predicate::Eq("s_region", RegionCode(kRegs[v]))},
+                     {"d_year", "p_brand1"});
+    if (v == 2) q.group_by = {"d_yearmonthnum", "p_brand1"};
+    add(q);
+  }
+
+  // ---- Flight 3 variants: other geographies / time windows.
+  const char* kRegPairs[][2] = {
+      {"EUROPE", "EUROPE"}, {"AMERICA", "ASIA"}, {"AFRICA", "AFRICA"}};
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ3(
+        StrFormat("Q3.1v%d", v + 1),
+        {Predicate::Eq("c_region", RegionCode(kRegPairs[v][0])),
+         Predicate::Eq("s_region", RegionCode(kRegPairs[v][1])),
+         Predicate::Range("d_year", 1993 + v, 1996 + v > 1998 ? 1998 : 1996 + v)},
+        {"c_nation", "s_nation", "d_year"});
+    add(q);
+  }
+  const char* kNats[] = {"CHINA", "FRANCE", "BRAZIL"};
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ3(StrFormat("Q3.2v%d", v + 1),
+                     {Predicate::Eq("c_nation", NationCode(kNats[v])),
+                      Predicate::Eq("s_nation", NationCode(kNats[v])),
+                      Predicate::Range("d_year", 1992, 1995 + v)},
+                     {"c_city", "s_city", "d_year"});
+    add(q);
+  }
+  for (int v = 0; v < 3; ++v) {
+    const char* c1 = v == 0 ? "CHINA    0" : (v == 1 ? "FRANCE   2" : "BRAZIL   4");
+    const char* c2 = v == 0 ? "CHINA    5" : (v == 1 ? "FRANCE   7" : "BRAZIL   9");
+    Query q = MakeQ3(StrFormat("Q3.3v%d", v + 1),
+                     {Predicate::In("c_city", Cities({c1, c2})),
+                      Predicate::In("s_city", Cities({c1, c2})),
+                      Predicate::Range("d_year", 1994, 1997)},
+                     {"c_city", "s_city", "d_year"});
+    add(q);
+  }
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ3(
+        StrFormat("Q3.4v%d", v + 1),
+        {Predicate::In("c_city", Cities({"UNITED KI1", "UNITED KI5"})),
+         Predicate::In("s_city", Cities({"UNITED KI1", "UNITED KI5"})),
+         Predicate::Eq("d_yearmonth", YearMonthCode(1994 + v, 3 + 3 * v))},
+        {"c_city", "s_city", "d_year"});
+    add(q);
+  }
+
+  // ---- Flight 4 variants.
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ4(
+        StrFormat("Q4.1v%d", v + 1),
+        {Predicate::Eq("c_region", RegionCode(kRegs[v])),
+         Predicate::Eq("s_region", RegionCode(kRegs[v])),
+         Predicate::In("p_mfgr",
+                       {MfgrCode("MFGR#3"), MfgrCode("MFGR#4")})},
+        {"d_year", "c_nation"});
+    if (v == 2) q.group_by = {"d_year", "c_nation", "p_mfgr"};
+    add(q);
+  }
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ4(
+        StrFormat("Q4.2v%d", v + 1),
+        {Predicate::Eq("c_region", RegionCode("ASIA")),
+         Predicate::Eq("s_region", RegionCode(kRegs[v])),
+         Predicate::In("d_year", {1995 + v, 1996 + v}),
+         Predicate::In("p_mfgr",
+                       {MfgrCode("MFGR#2"), MfgrCode("MFGR#5")})},
+        {"d_year", "s_nation", "p_category"});
+    add(q);
+  }
+  const char* kCats4[] = {"MFGR#21", "MFGR#33", "MFGR#52"};
+  const char* kNats4[] = {"CHINA", "GERMANY", "CANADA"};
+  for (int v = 0; v < 3; ++v) {
+    Query q = MakeQ4(StrFormat("Q4.3v%d", v + 1),
+                     {Predicate::Eq("c_region", RegionCode("EUROPE")),
+                      Predicate::Eq("s_nation", NationCode(kNats4[v])),
+                      Predicate::In("d_year", {1996, 1997}),
+                      Predicate::Eq("p_category", CategoryCode(kCats4[v]))},
+                     {"d_year", "s_city", "p_brand1"});
+    add(q);
+  }
+
+  return w;
+}
+
+}  // namespace ssb
+}  // namespace coradd

@@ -1,0 +1,92 @@
+#include "stats/ae_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coradd {
+
+namespace {
+
+template <typename T>
+SampleFrequencyProfile ProfileFrom(const std::vector<T>& sample,
+                                   uint64_t total_rows) {
+  SampleFrequencyProfile p;
+  p.sample_rows = sample.size();
+  p.total_rows = total_rows;
+  std::unordered_map<T, uint32_t> counts;
+  counts.reserve(sample.size() * 2);
+  for (const T& v : sample) ++counts[v];
+  p.distinct_in_sample = counts.size();
+  for (const auto& [v, c] : counts) {
+    if (c == 1) ++p.f1;
+    if (c == 2) ++p.f2;
+  }
+  return p;
+}
+
+}  // namespace
+
+SampleFrequencyProfile SampleFrequencyProfile::FromValues(
+    const std::vector<int64_t>& sample, uint64_t total_rows) {
+  return ProfileFrom(sample, total_rows);
+}
+
+SampleFrequencyProfile SampleFrequencyProfile::FromHashes(
+    const std::vector<uint64_t>& sample, uint64_t total_rows) {
+  return ProfileFrom(sample, total_rows);
+}
+
+SampleFrequencyProfile SampleFrequencyProfile::FromSortedValues(
+    const std::vector<int64_t>& sorted_sample, uint64_t total_rows) {
+  SampleFrequencyProfile p;
+  p.sample_rows = sorted_sample.size();
+  p.total_rows = total_rows;
+  size_t i = 0;
+  while (i < sorted_sample.size()) {
+    size_t j = i + 1;
+    while (j < sorted_sample.size() && sorted_sample[j] == sorted_sample[i]) {
+      ++j;
+    }
+    ++p.distinct_in_sample;
+    if (j - i == 1) ++p.f1;
+    if (j - i == 2) ++p.f2;
+    i = j;
+  }
+  return p;
+}
+
+double EstimateDistinctGee(const SampleFrequencyProfile& p) {
+  if (p.sample_rows == 0) return 0.0;
+  if (p.sample_rows >= p.total_rows) {
+    return static_cast<double>(p.distinct_in_sample);
+  }
+  const double scale = std::sqrt(static_cast<double>(p.total_rows) /
+                                 static_cast<double>(p.sample_rows));
+  const double est = scale * static_cast<double>(p.f1) +
+                     static_cast<double>(p.distinct_in_sample - p.f1);
+  return std::clamp(est, static_cast<double>(p.distinct_in_sample),
+                    static_cast<double>(p.total_rows));
+}
+
+double EstimateDistinctAe(const SampleFrequencyProfile& p) {
+  if (p.sample_rows == 0) return 0.0;
+  if (p.sample_rows >= p.total_rows) {
+    return static_cast<double>(p.distinct_in_sample);
+  }
+  if (p.f1 == 0 || p.f2 == 0) return EstimateDistinctGee(p);
+
+  // Poisson fit over rare values (see header). lambda = 2 f2 / f1 is the
+  // method-of-moments solution of the ratio E[f2]/E[f1] = lambda/2.
+  const double f1 = static_cast<double>(p.f1);
+  const double f2 = static_cast<double>(p.f2);
+  const double lambda = 2.0 * f2 / f1;
+  const double d_rare_est = f1 * std::exp(lambda) / lambda;
+  // Distinct values that showed up 3+ times are treated as fully observed.
+  const double d_freq =
+      static_cast<double>(p.distinct_in_sample) - f1 - f2;
+  const double est = d_freq + std::max(d_rare_est, f1 + f2);
+  return std::clamp(est, static_cast<double>(p.distinct_in_sample),
+                    static_cast<double>(p.total_rows));
+}
+
+}  // namespace coradd

@@ -1,0 +1,50 @@
+// Distinct-value estimation from a uniform row sample, after Charikar,
+// Chaudhuri, Motwani & Narasayya, "Towards estimation error guarantees for
+// distinct values" (PODS 2000). CORADD uses AE for composite attributes
+// (§4.1.1) and to estimate `fragments`/`selectivity` for hypothetical MV
+// designs from table synopses (A-2.2).
+//
+// We provide the paper's GEE (Guaranteed-Error Estimator) and the Adaptive
+// Estimator (AE). AE models "rare" values (sample frequency 1 or 2) as
+// Poisson arrivals with a common rate lambda: with E[f1] = D_rare * l*e^-l
+// and E[f2] = D_rare * l^2/2 * e^-l, we get l = 2*f2/f1 and
+// D_rare = f1 * e^l / l. Frequent values are assumed fully observed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace coradd {
+
+/// Frequency-of-frequencies summary of a sample: fof[j] = number of distinct
+/// values appearing exactly j times in the sample.
+struct SampleFrequencyProfile {
+  uint64_t sample_rows = 0;      ///< n
+  uint64_t total_rows = 0;       ///< N
+  uint64_t distinct_in_sample = 0;  ///< d
+  uint64_t f1 = 0;               ///< singletons
+  uint64_t f2 = 0;               ///< doubletons
+
+  /// Builds the profile from raw sampled values (already-drawn sample).
+  static SampleFrequencyProfile FromValues(const std::vector<int64_t>& sample,
+                                           uint64_t total_rows);
+
+  /// Builds from precomputed hashes (for composite attributes).
+  static SampleFrequencyProfile FromHashes(const std::vector<uint64_t>& sample,
+                                           uint64_t total_rows);
+
+  /// Builds from an already-sorted sample with a single linear scan (no
+  /// hashing/allocation; the cost model's hot path).
+  static SampleFrequencyProfile FromSortedValues(
+      const std::vector<int64_t>& sorted_sample, uint64_t total_rows);
+};
+
+/// GEE: sqrt(N/n) * f1 + (d - f1). Guaranteed ratio error O(sqrt(N/n)).
+double EstimateDistinctGee(const SampleFrequencyProfile& p);
+
+/// Adaptive Estimator; falls back to GEE when the Poisson fit is undefined
+/// (f1 == 0 or f2 == 0). Result is clamped to [d, N].
+double EstimateDistinctAe(const SampleFrequencyProfile& p);
+
+}  // namespace coradd

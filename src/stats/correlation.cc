@@ -1,0 +1,56 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace coradd {
+
+CorrelationCatalog::CorrelationCatalog(const Universe* universe,
+                                       const Synopsis* synopsis, bool exact)
+    : universe_(universe), synopsis_(synopsis), exact_(exact) {
+  CORADD_CHECK(universe_ != nullptr);
+  CORADD_CHECK(synopsis_ != nullptr);
+}
+
+double CorrelationCatalog::Distinct(const std::vector<int>& ucols) const {
+  CORADD_CHECK(!ucols.empty());
+  std::vector<int> key = ucols;
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+
+  auto it = distinct_cache_.find(key);
+  if (it != distinct_cache_.end()) return it->second;
+
+  double est;
+  if (exact_) {
+    est = static_cast<double>(universe_->DistinctCountComposite(key));
+  } else {
+    const auto hashes = synopsis_->CompositeHashes(key);
+    const auto profile =
+        SampleFrequencyProfile::FromHashes(hashes, synopsis_->total_rows());
+    est = EstimateDistinctAe(profile);
+  }
+  if (est < 1.0) est = 1.0;
+  distinct_cache_[key] = est;
+  return est;
+}
+
+std::vector<int> CorrelationCatalog::NormalizedUnion(
+    const std::vector<int>& a, const std::vector<int>& b) const {
+  std::vector<int> u = a;
+  u.insert(u.end(), b.begin(), b.end());
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+  return u;
+}
+
+double CorrelationCatalog::Strength(const std::vector<int>& from,
+                                    const std::vector<int>& to) const {
+  const double d_from = Distinct(from);
+  const double d_joint = Distinct(NormalizedUnion(from, to));
+  // Exact counts satisfy d_from <= d_joint; estimates may not, so clamp.
+  return std::min(1.0, d_from / d_joint);
+}
+
+}  // namespace coradd

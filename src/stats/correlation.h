@@ -1,0 +1,54 @@
+// Correlation-strength measurement (§4.1.1). CORADD adopts the CORDS
+// measure: for attribute sets C1, C2,
+//     strength(C1 -> C2) = |C1| / |C1 C2|
+// where |C1| is the number of distinct values of C1 and |C1 C2| the number
+// of distinct joint values. A value near 1 means C1 (soft-)functionally
+// determines C2. Distinct counts are estimated with AE over the synopsis
+// (or computed exactly when the catalog is built in exact mode for tests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/universe.h"
+#include "stats/ae_estimator.h"
+#include "stats/synopsis.h"
+
+namespace coradd {
+
+/// Caches distinct-count estimates and correlation strengths for attribute
+/// sets of one universe.
+class CorrelationCatalog {
+ public:
+  /// `universe` and `synopsis` must outlive the catalog. If `exact` is true,
+  /// distinct counts are computed by full scans (tests / tiny data).
+  CorrelationCatalog(const Universe* universe, const Synopsis* synopsis,
+                     bool exact = false);
+
+  /// Estimated number of distinct joint values of `ucols` in the full data.
+  double Distinct(const std::vector<int>& ucols) const;
+
+  /// strength(from -> to) in (0, 1]: |from| / |from ∪ to|.
+  double Strength(const std::vector<int>& from,
+                  const std::vector<int>& to) const;
+
+  /// Convenience single-attribute strength.
+  double Strength(int from, int to) const {
+    return Strength(std::vector<int>{from}, std::vector<int>{to});
+  }
+
+  bool exact() const { return exact_; }
+
+ private:
+  std::vector<int> NormalizedUnion(const std::vector<int>& a,
+                                   const std::vector<int>& b) const;
+
+  const Universe* universe_;
+  const Synopsis* synopsis_;
+  bool exact_;
+  mutable std::map<std::vector<int>, double> distinct_cache_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,44 @@
+#include "stats/distinct_sampler.h"
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace coradd {
+
+DistinctSampler::DistinctSampler(size_t capacity, uint64_t seed)
+    : capacity_(capacity < 16 ? 16 : capacity), seed_(seed) {}
+
+void DistinctSampler::Add(int64_t value) {
+  const uint64_t h = HashU64(static_cast<uint64_t>(value) ^ seed_);
+  if (!InRegion(h)) return;
+  sample_.insert(value);
+  while (sample_.size() > capacity_) RaiseLevel();
+}
+
+void DistinctSampler::AddAll(const std::vector<int64_t>& values) {
+  for (int64_t v : values) Add(v);
+}
+
+void DistinctSampler::RaiseLevel() {
+  ++level_;
+  CORADD_CHECK(level_ < 64);
+  for (auto it = sample_.begin(); it != sample_.end();) {
+    const uint64_t h = HashU64(static_cast<uint64_t>(*it) ^ seed_);
+    if ((h >> (64 - level_)) != 0) {
+      it = sample_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double DistinctSampler::EstimateDistinct() const {
+  return static_cast<double>(sample_.size()) *
+         static_cast<double>(uint64_t{1} << level_);
+}
+
+std::vector<int64_t> DistinctSampler::SampleValues() const {
+  return std::vector<int64_t>(sample_.begin(), sample_.end());
+}
+
+}  // namespace coradd

@@ -1,0 +1,53 @@
+// Gibbons' Distinct Sampling (VLDB 2001), used by CORADD (§4.1.1) to
+// estimate the number of distinct values of an attribute with one streaming
+// pass and bounded memory. The sketch keeps the set of values whose hash
+// falls in a geometrically shrinking region; halving the region ("raising
+// the level") whenever the set overflows. The distinct-count estimate is
+// |set| * 2^level, and the retained values are a uniform sample of the
+// distinct domain (which also supports incremental maintenance under
+// inserts, per A-2.2's closing remark).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace coradd {
+
+/// Streaming distinct-value sketch with bounded memory.
+class DistinctSampler {
+ public:
+  /// `capacity` bounds the retained distinct values (>= 16 recommended).
+  explicit DistinctSampler(size_t capacity = 1024, uint64_t seed = 0);
+
+  /// Observes one value (any 64-bit encoding; hashed internally).
+  void Add(int64_t value);
+
+  /// Observes a whole column.
+  void AddAll(const std::vector<int64_t>& values);
+
+  /// Estimated number of distinct values seen.
+  double EstimateDistinct() const;
+
+  /// Current sampling level (region = 2^-level of hash space).
+  int level() const { return level_; }
+  size_t sample_size() const { return sample_.size(); }
+
+  /// The retained distinct values (a uniform sample of the distinct domain).
+  std::vector<int64_t> SampleValues() const;
+
+ private:
+  /// True iff the hash of v falls inside the current sampling region.
+  bool InRegion(uint64_t h) const { return (h >> (64 - level_)) == 0 || level_ == 0; }
+
+  void RaiseLevel();
+
+  size_t capacity_;
+  uint64_t seed_;
+  int level_ = 0;
+  /// Values currently retained, with their hashes for re-filtering.
+  std::unordered_set<int64_t> sample_;
+};
+
+}  // namespace coradd

@@ -1,0 +1,95 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace coradd {
+
+Histogram Histogram::Build(const std::vector<int64_t>& values,
+                           size_t max_buckets) {
+  Histogram h;
+  h.num_rows_ = values.size();
+  if (values.empty()) {
+    h.counts_.assign(1, 0);
+    h.bucket_distinct_.assign(1, 0);
+    return h;
+  }
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  h.min_ = *mn;
+  h.max_ = *mx;
+
+  const uint64_t domain = static_cast<uint64_t>(h.max_ - h.min_) + 1;
+  const uint64_t nb = std::min<uint64_t>(domain, max_buckets);
+  h.width_ = static_cast<int64_t>((domain + nb - 1) / nb);
+  if (h.width_ < 1) h.width_ = 1;
+  const size_t buckets = static_cast<size_t>((domain + h.width_ - 1) / h.width_);
+  h.counts_.assign(buckets, 0);
+
+  std::vector<std::unordered_set<int64_t>> per_bucket(buckets);
+  for (int64_t v : values) {
+    const size_t b = h.BucketOf(v);
+    ++h.counts_[b];
+    per_bucket[b].insert(v);
+  }
+  h.bucket_distinct_.resize(buckets);
+  for (size_t b = 0; b < buckets; ++b) {
+    h.bucket_distinct_[b] = per_bucket[b].size();
+    h.distinct_ += per_bucket[b].size();
+  }
+  return h;
+}
+
+size_t Histogram::BucketOf(int64_t v) const {
+  CORADD_CHECK(v >= min_ && v <= max_);
+  return static_cast<size_t>((v - min_) / width_);
+}
+
+double Histogram::SelectivityEqual(int64_t v) const {
+  if (num_rows_ == 0 || v < min_ || v > max_) return 0.0;
+  const size_t b = BucketOf(v);
+  if (counts_[b] == 0 || bucket_distinct_[b] == 0) return 0.0;
+  // Uniform-within-bucket assumption over the bucket's distinct values.
+  return static_cast<double>(counts_[b]) /
+         static_cast<double>(bucket_distinct_[b]) /
+         static_cast<double>(num_rows_);
+}
+
+double Histogram::BucketOverlap(size_t b, int64_t lo, int64_t hi) const {
+  const int64_t b_lo = min_ + static_cast<int64_t>(b) * width_;
+  const int64_t b_hi = std::min(b_lo + width_ - 1, max_);
+  const int64_t o_lo = std::max(b_lo, lo);
+  const int64_t o_hi = std::min(b_hi, hi);
+  if (o_lo > o_hi) return 0.0;
+  return static_cast<double>(o_hi - o_lo + 1) /
+         static_cast<double>(b_hi - b_lo + 1);
+}
+
+double Histogram::SelectivityRange(int64_t lo, int64_t hi) const {
+  if (num_rows_ == 0 || hi < min_ || lo > max_ || lo > hi) return 0.0;
+  lo = std::max(lo, min_);
+  hi = std::min(hi, max_);
+  double rows = 0.0;
+  for (size_t b = BucketOf(lo); b <= BucketOf(hi); ++b) {
+    rows += static_cast<double>(counts_[b]) * BucketOverlap(b, lo, hi);
+  }
+  return rows / static_cast<double>(num_rows_);
+}
+
+double Histogram::SelectivityIn(const std::vector<int64_t>& values) const {
+  double s = 0.0;
+  for (int64_t v : values) s += SelectivityEqual(v);
+  return std::min(s, 1.0);
+}
+
+std::string Histogram::ToString() const {
+  return StrFormat(
+      "Histogram{rows=%llu, min=%lld, max=%lld, buckets=%zu, distinct=%llu}",
+      static_cast<unsigned long long>(num_rows_), static_cast<long long>(min_),
+      static_cast<long long>(max_), counts_.size(),
+      static_cast<unsigned long long>(distinct_));
+}
+
+}  // namespace coradd

@@ -1,0 +1,54 @@
+// Equi-width histogram over int64-coded column values, used to estimate
+// predicate selectivities (§4.1.1: "The vectors are constructed from
+// histograms we build by scanning the database").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coradd {
+
+/// Equi-width histogram with exact min/max/distinct tracked at build time.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds from raw values with at most `max_buckets` buckets. If the value
+  /// domain is narrow (<= max_buckets distinct points of the range), buckets
+  /// are single values and all estimates are exact.
+  static Histogram Build(const std::vector<int64_t>& values,
+                         size_t max_buckets = 256);
+
+  uint64_t num_rows() const { return num_rows_; }
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const { return max_; }
+  uint64_t distinct_estimate() const { return distinct_; }
+  size_t num_buckets() const { return counts_.size(); }
+
+  /// Fraction of rows with value == v.
+  double SelectivityEqual(int64_t v) const;
+
+  /// Fraction of rows with lo <= value <= hi (inclusive).
+  double SelectivityRange(int64_t lo, int64_t hi) const;
+
+  /// Fraction of rows with value in `values`.
+  double SelectivityIn(const std::vector<int64_t>& values) const;
+
+  std::string ToString() const;
+
+ private:
+  size_t BucketOf(int64_t v) const;
+  /// Fraction of bucket `b` that overlaps [lo, hi].
+  double BucketOverlap(size_t b, int64_t lo, int64_t hi) const;
+
+  uint64_t num_rows_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  int64_t width_ = 1;         ///< Bucket width in domain units.
+  uint64_t distinct_ = 0;     ///< Exact distinct count from the build scan.
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> bucket_distinct_;  ///< Distinct values per bucket.
+};
+
+}  // namespace coradd

@@ -1,0 +1,29 @@
+#include "stats/stats_collector.h"
+
+namespace coradd {
+
+UniverseStats::UniverseStats(const Universe* universe,
+                             const StatsOptions& options)
+    : universe_(universe), options_(options) {
+  CORADD_CHECK(universe != nullptr);
+
+  // One scan per column builds all histograms (statistic #1 and the basis of
+  // predicate selectivities, statistic #3).
+  const size_t ncols = universe_->NumColumns();
+  histograms_.resize(ncols);
+  std::vector<int64_t> column;
+  column.reserve(universe_->NumRows());
+  for (size_t c = 0; c < ncols; ++c) {
+    column.clear();
+    for (RowId r = 0; r < universe_->NumRows(); ++r) {
+      column.push_back(universe_->Value(r, static_cast<int>(c)));
+    }
+    histograms_[c] = Histogram::Build(column, options_.histogram_buckets);
+  }
+
+  synopsis_ = Synopsis::Build(*universe_, options_.sample_rows, options_.seed);
+  correlations_ = std::make_unique<CorrelationCatalog>(
+      universe_, &synopsis_, options_.exact_distinct);
+}
+
+}  // namespace coradd

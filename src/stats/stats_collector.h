@@ -1,0 +1,67 @@
+// One-stop statistics container per universe (fact table ⋈ dimensions),
+// gathered with a single scan at startup exactly as listed in A-2.2:
+//   1. cardinality of each attribute,
+//   2. functional-dependency strengths (via CorrelationCatalog, lazily),
+//   3. selectivities of workload predicates (via per-column histograms),
+//   4. table synopses of random samples (for AE on hypothetical designs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "catalog/universe.h"
+#include "stats/correlation.h"
+#include "stats/histogram.h"
+#include "stats/synopsis.h"
+#include "storage/disk_model.h"
+
+namespace coradd {
+
+/// Knobs for statistics collection.
+struct StatsOptions {
+  size_t sample_rows = 8192;
+  size_t histogram_buckets = 256;
+  uint64_t seed = 42;
+  /// Compute distinct counts exactly (full scans) instead of via AE. Slower;
+  /// intended for tests and small data.
+  bool exact_distinct = false;
+  DiskParams disk;
+};
+
+/// Statistics for one universe. Owns histograms, the synopsis, and the
+/// correlation catalog; holds a non-owning pointer to the universe.
+class UniverseStats {
+ public:
+  UniverseStats(const Universe* universe, const StatsOptions& options);
+
+  const Universe& universe() const { return *universe_; }
+  const StatsOptions& options() const { return options_; }
+  uint64_t num_rows() const { return universe_->NumRows(); }
+
+  const Histogram& ColumnHistogram(int ucol) const {
+    return histograms_[static_cast<size_t>(ucol)];
+  }
+  const Synopsis& synopsis() const { return synopsis_; }
+  const CorrelationCatalog& correlations() const { return *correlations_; }
+
+  /// Estimated distinct count of one column (from its histogram's exact
+  /// build-time count — per-column cardinality is statistic #1).
+  double ColumnDistinct(int ucol) const {
+    return static_cast<double>(
+        histograms_[static_cast<size_t>(ucol)].distinct_estimate());
+  }
+
+  /// Estimated distinct count of a composite (AE over synopsis, or exact).
+  double CompositeDistinct(const std::vector<int>& ucols) const {
+    return correlations_->Distinct(ucols);
+  }
+
+ private:
+  const Universe* universe_;
+  StatsOptions options_;
+  std::vector<Histogram> histograms_;
+  Synopsis synopsis_;
+  std::unique_ptr<CorrelationCatalog> correlations_;
+};
+
+}  // namespace coradd

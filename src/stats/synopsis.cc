@@ -1,0 +1,58 @@
+#include "stats/synopsis.h"
+
+#include <algorithm>
+
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace coradd {
+
+Synopsis Synopsis::Build(const Universe& universe, size_t sample_rows,
+                         uint64_t seed) {
+  Synopsis s;
+  s.total_rows_ = universe.NumRows();
+  const size_t n = std::min<size_t>(sample_rows, universe.NumRows());
+
+  // Floyd's algorithm for a uniform sample without replacement.
+  Rng rng(seed);
+  std::vector<RowId> chosen;
+  chosen.reserve(n);
+  {
+    std::unordered_set<uint64_t> in_sample;
+    const uint64_t total = universe.NumRows();
+    for (uint64_t j = total - n; j < total; ++j) {
+      const uint64_t t = rng.Uniform(j + 1);
+      if (in_sample.insert(t).second) {
+        chosen.push_back(static_cast<RowId>(t));
+      } else {
+        in_sample.insert(j);
+        chosen.push_back(static_cast<RowId>(j));
+      }
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+
+  s.values_.resize(universe.NumColumns());
+  for (size_t c = 0; c < universe.NumColumns(); ++c) {
+    auto& col = s.values_[c];
+    col.reserve(n);
+    for (RowId r : chosen) col.push_back(universe.Value(r, static_cast<int>(c)));
+  }
+  return s;
+}
+
+std::vector<uint64_t> Synopsis::CompositeHashes(
+    const std::vector<int>& ucols) const {
+  const size_t n = sample_rows();
+  std::vector<uint64_t> hashes(n, 0x9d0f00d5ULL);
+  for (int c : ucols) {
+    const auto& col = values_[static_cast<size_t>(c)];
+    for (size_t i = 0; i < n; ++i) {
+      hashes[i] = HashCombine(hashes[i], static_cast<uint64_t>(col[i]));
+    }
+  }
+  return hashes;
+}
+
+}  // namespace coradd

@@ -1,0 +1,42 @@
+// Table synopsis: a uniform random sample of universe rows kept in memory
+// (A-2.2 statistic #4, "table synopses consisting of random samples").
+// The cost model runs AE over the synopsis on the fly to estimate
+// `fragments` and distinct counts for hypothetical MV designs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/universe.h"
+#include "common/rng.h"
+
+namespace coradd {
+
+/// Uniform sample (without replacement) of the rows of a Universe.
+class Synopsis {
+ public:
+  Synopsis() = default;
+
+  /// Draws `sample_rows` rows (or all rows if fewer) from `universe`.
+  static Synopsis Build(const Universe& universe, size_t sample_rows,
+                        uint64_t seed);
+
+  uint64_t total_rows() const { return total_rows_; }
+  size_t sample_rows() const { return values_.empty() ? 0 : values_[0].size(); }
+  size_t num_columns() const { return values_.size(); }
+
+  /// Sampled values of universe column `ucol`.
+  const std::vector<int64_t>& Values(int ucol) const {
+    return values_[static_cast<size_t>(ucol)];
+  }
+
+  /// Composite hash per sampled row over the given universe columns.
+  std::vector<uint64_t> CompositeHashes(const std::vector<int>& ucols) const;
+
+ private:
+  uint64_t total_rows_ = 0;
+  /// values_[ucol][i] = value of sampled row i.
+  std::vector<std::vector<int64_t>> values_;
+};
+
+}  // namespace coradd

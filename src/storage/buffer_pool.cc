@@ -1,0 +1,70 @@
+#include "storage/buffer_pool.h"
+
+namespace coradd {
+
+BufferPool::BufferPool(uint64_t capacity_pages, DiskModel* disk)
+    : capacity_(capacity_pages), disk_(disk) {
+  CORADD_CHECK(capacity_pages > 0);
+  CORADD_CHECK(disk != nullptr);
+}
+
+bool BufferPool::Touch(PageKey key, bool dirty) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  it->second->dirty = it->second->dirty || dirty;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void BufferPool::EvictIfFull() {
+  while (map_.size() >= capacity_) {
+    Frame victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim.key);
+    if (victim.dirty) {
+      ++dirty_evictions_;
+      disk_->WritePage();
+    }
+  }
+}
+
+void BufferPool::InsertFrame(PageKey key, bool dirty) {
+  EvictIfFull();
+  lru_.push_front(Frame{key, dirty});
+  map_[key] = lru_.begin();
+}
+
+bool BufferPool::Read(PageKey key) {
+  if (Touch(key, /*dirty=*/false)) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  disk_->Seek();
+  disk_->SequentialRead(1);
+  InsertFrame(key, /*dirty=*/false);
+  return false;
+}
+
+bool BufferPool::Write(PageKey key) {
+  if (Touch(key, /*dirty=*/true)) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  disk_->Seek();
+  disk_->SequentialRead(1);
+  InsertFrame(key, /*dirty=*/true);
+  return false;
+}
+
+void BufferPool::FlushAll() {
+  for (auto& frame : lru_) {
+    if (frame.dirty) {
+      frame.dirty = false;
+      disk_->WritePage();
+    }
+  }
+}
+
+}  // namespace coradd

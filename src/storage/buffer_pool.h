@@ -1,0 +1,87 @@
+// LRU buffer pool simulator.
+//
+// Used by the maintenance experiment (A-3): inserting into a database with
+// more materialized objects dirties more distinct pages, overflowing the
+// pool and forcing evictions, each of which is a random page write. The
+// pool charges misses (seek + read) and dirty evictions (write) to the
+// attached DiskModel.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/disk_model.h"
+
+namespace coradd {
+
+/// Identifies a page globally: (object id, page number within the object).
+struct PageKey {
+  uint32_t object_id;
+  uint64_t page_no;
+
+  bool operator==(const PageKey& o) const {
+    return object_id == o.object_id && page_no == o.page_no;
+  }
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    return static_cast<size_t>(k.page_no * 1000003ULL + k.object_id);
+  }
+};
+
+/// Fixed-capacity LRU pool of simulated pages with dirty tracking.
+class BufferPool {
+ public:
+  /// `capacity_pages` must be > 0. `disk` must outlive the pool.
+  BufferPool(uint64_t capacity_pages, DiskModel* disk);
+
+  /// Touches a page for reading. Charges a random page read on a miss.
+  /// Returns true on a hit.
+  bool Read(PageKey key);
+
+  /// Touches a page for writing (marks dirty). Charges a read on a miss
+  /// (read-modify-write); the write itself is deferred to eviction/flush.
+  /// Returns true on a hit.
+  bool Write(PageKey key);
+
+  /// Writes back all dirty pages (sequential-ish checkpoint: charged as
+  /// random writes, matching the evict path's pessimism).
+  void FlushAll();
+
+  /// Drops every page without writing (the paper discards caches between
+  /// queries; reads after this are cold).
+  void DropAll() {
+    lru_.clear();
+    map_.clear();
+  }
+
+  uint64_t capacity_pages() const { return capacity_; }
+  uint64_t resident_pages() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t dirty_evictions() const { return dirty_evictions_; }
+
+ private:
+  struct Frame {
+    PageKey key;
+    bool dirty;
+  };
+
+  /// Moves the frame to MRU position; returns true if present.
+  bool Touch(PageKey key, bool dirty);
+  void InsertFrame(PageKey key, bool dirty);
+  void EvictIfFull();
+
+  uint64_t capacity_;
+  DiskModel* disk_;
+  std::list<Frame> lru_;  ///< Front = most recently used.
+  std::unordered_map<PageKey, std::list<Frame>::iterator, PageKeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t dirty_evictions_ = 0;
+};
+
+}  // namespace coradd

@@ -1,0 +1,16 @@
+#include "storage/disk_model.h"
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+std::string DiskModel::ToString() const {
+  return StrFormat(
+      "DiskModel{seeks=%llu, pages_read=%llu, pages_written=%llu, elapsed=%s}",
+      static_cast<unsigned long long>(seeks_),
+      static_cast<unsigned long long>(pages_read_),
+      static_cast<unsigned long long>(pages_written_),
+      HumanSeconds(elapsed_).c_str());
+}
+
+}  // namespace coradd

@@ -1,0 +1,90 @@
+// Disk cost simulator.
+//
+// The paper's experimental quantity is disk-bound query time on a 10k RPM
+// SATA disk (§7, A-2.2: "we assume that every operation is disk-bound").
+// DiskModel prices page-level access patterns with the same two primitives
+// the paper's cost model uses: random seeks (5.5 ms, Table 5's typical
+// value) and sequential page reads (derived from a sequential bandwidth).
+// The executor *performs* the access pattern (which pages, in which order)
+// and DiskModel converts it into simulated elapsed time and I/O counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace coradd {
+
+/// Physical parameters of the simulated disk and page layout.
+struct DiskParams {
+  uint32_t page_size_bytes = 8192;
+  /// Random seek + rotational delay, per Table 5 of the paper.
+  double seek_seconds = 0.0055;
+  /// Sequential transfer rate; ~80 MB/s is typical for a 2010 10k SATA disk.
+  double sequential_mbps = 80.0;
+  /// Read-ahead window: page runs separated by a gap of at most this many
+  /// pages are treated as one fragment ("several sequential pages together",
+  /// A-2.2). Also used by fragment coalescing.
+  uint32_t prefetch_pages = 4;
+
+  /// Seconds to sequentially transfer one page.
+  double PageReadSeconds() const {
+    return static_cast<double>(page_size_bytes) / (sequential_mbps * 1e6);
+  }
+};
+
+/// Accumulates simulated I/O. One DiskModel instance is threaded through an
+/// executor run; counters allow asserting on access patterns in tests.
+class DiskModel {
+ public:
+  explicit DiskModel(DiskParams params = DiskParams()) : params_(params) {}
+
+  const DiskParams& params() const { return params_; }
+
+  /// One random seek (head movement + rotational delay).
+  void Seek() {
+    ++seeks_;
+    elapsed_ += params_.seek_seconds;
+  }
+
+  /// `n` pages transferred sequentially (no seek).
+  void SequentialRead(uint64_t n) {
+    pages_read_ += n;
+    elapsed_ += static_cast<double>(n) * params_.PageReadSeconds();
+  }
+
+  /// One page written (seek + transfer); models dirty-page eviction.
+  void WritePage() {
+    ++pages_written_;
+    ++seeks_;
+    elapsed_ += params_.seek_seconds + params_.PageReadSeconds();
+  }
+
+  /// Sequential write of `n` pages (bulk load).
+  void SequentialWrite(uint64_t n) {
+    pages_written_ += n;
+    elapsed_ += static_cast<double>(n) * params_.PageReadSeconds();
+  }
+
+  void Reset() {
+    seeks_ = 0;
+    pages_read_ = 0;
+    pages_written_ = 0;
+    elapsed_ = 0.0;
+  }
+
+  uint64_t seeks() const { return seeks_; }
+  uint64_t pages_read() const { return pages_read_; }
+  uint64_t pages_written() const { return pages_written_; }
+  double elapsed_seconds() const { return elapsed_; }
+
+  std::string ToString() const;
+
+ private:
+  DiskParams params_;
+  uint64_t seeks_ = 0;
+  uint64_t pages_read_ = 0;
+  uint64_t pages_written_ = 0;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace coradd

@@ -1,0 +1,19 @@
+#include "storage/layout.h"
+
+namespace coradd {
+
+std::vector<PageRun> CoalescePages(const std::vector<uint64_t>& sorted_pages,
+                                   uint64_t gap_tolerance) {
+  std::vector<PageRun> runs;
+  for (uint64_t p : sorted_pages) {
+    if (!runs.empty() && p <= runs.back().last_page) continue;  // duplicate
+    if (!runs.empty() && p - runs.back().last_page <= gap_tolerance + 1) {
+      runs.back().last_page = p;
+    } else {
+      runs.push_back(PageRun{p, p});
+    }
+  }
+  return runs;
+}
+
+}  // namespace coradd

@@ -1,0 +1,81 @@
+// Page-layout arithmetic shared by heap files, B+Trees, and size estimation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coradd {
+
+/// Row-to-page mapping of a heap file with fixed-width rows.
+struct HeapLayout {
+  uint64_t num_rows = 0;
+  uint32_t row_width_bytes = 0;
+  uint32_t page_size_bytes = 8192;
+
+  uint64_t RowsPerPage() const {
+    const uint64_t rpp = page_size_bytes / (row_width_bytes == 0 ? 1 : row_width_bytes);
+    return rpp == 0 ? 1 : rpp;
+  }
+  uint64_t NumPages() const {
+    const uint64_t rpp = RowsPerPage();
+    return (num_rows + rpp - 1) / rpp;
+  }
+  uint64_t PageOfRow(uint64_t row) const { return row / RowsPerPage(); }
+  uint64_t SizeBytes() const { return NumPages() * page_size_bytes; }
+};
+
+/// Shape (page counts, height) of a B+Tree with `num_entries` fixed-width
+/// entries, computed bottom-up with a conventional fill factor.
+struct BTreeShape {
+  uint64_t leaf_pages = 0;
+  uint64_t internal_pages = 0;
+  uint32_t height = 1;  ///< Levels from root to leaf inclusive.
+
+  uint64_t TotalPages() const { return leaf_pages + internal_pages; }
+};
+
+/// Computes the shape of a B+Tree holding `num_entries` entries of
+/// `entry_bytes` each, with internal separators of `key_bytes + 8` (child
+/// pointer) and 67% fill.
+inline BTreeShape ComputeBTreeShape(uint64_t num_entries, uint32_t entry_bytes,
+                                    uint32_t key_bytes,
+                                    uint32_t page_size_bytes = 8192) {
+  CORADD_CHECK(entry_bytes > 0);
+  constexpr double kFill = 0.67;
+  BTreeShape shape;
+  const double leaf_cap =
+      kFill * static_cast<double>(page_size_bytes) / entry_bytes;
+  const uint64_t leaf_per_page = leaf_cap < 1.0 ? 1 : static_cast<uint64_t>(leaf_cap);
+  shape.leaf_pages = num_entries == 0 ? 1 : (num_entries + leaf_per_page - 1) / leaf_per_page;
+
+  const double int_cap = kFill * static_cast<double>(page_size_bytes) /
+                         static_cast<double>(key_bytes + 8);
+  const uint64_t fanout = int_cap < 2.0 ? 2 : static_cast<uint64_t>(int_cap);
+
+  uint64_t level_pages = shape.leaf_pages;
+  shape.height = 1;
+  while (level_pages > 1) {
+    level_pages = (level_pages + fanout - 1) / fanout;
+    shape.internal_pages += level_pages;
+    ++shape.height;
+  }
+  return shape;
+}
+
+/// A maximal run of nearby pages accessed together during a sorted index
+/// scan; the unit of the paper's `fragments` statistic.
+struct PageRun {
+  uint64_t first_page;
+  uint64_t last_page;  ///< Inclusive.
+  uint64_t NumPages() const { return last_page - first_page + 1; }
+};
+
+/// Coalesces a sorted list of page numbers into runs, merging runs whose gap
+/// is at most `gap_tolerance` pages (the read-ahead window; A-2.2 treats
+/// "tuples placed at nearby positions" as one fragment).
+std::vector<PageRun> CoalescePages(const std::vector<uint64_t>& sorted_pages,
+                                   uint64_t gap_tolerance);
+
+}  // namespace coradd

@@ -1,0 +1,93 @@
+#include "storage/secondary_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+SecondaryBTreeIndex::SecondaryBTreeIndex(const ClusteredTable* base, int col)
+    : base_(base), col_(col) {
+  CORADD_CHECK(base != nullptr);
+  const Table& t = base->table();
+  CORADD_CHECK(col >= 0 && static_cast<size_t>(col) < t.schema().NumColumns());
+
+  const auto& data = t.ColumnData(static_cast<size_t>(col));
+  const size_t n = data.size();
+
+  // Sort RIDs by (value, rid) to build grouped postings.
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    if (data[a] != data[b]) return data[a] < data[b];
+    return a < b;
+  });
+
+  rids_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const RowId r = order[i];
+    if (i == 0 || data[r] != data[order[i - 1]]) {
+      keys_.push_back(data[r]);
+      offsets_.push_back(static_cast<uint32_t>(rids_.size()));
+    }
+    rids_.push_back(r);
+  }
+  offsets_.push_back(static_cast<uint32_t>(rids_.size()));
+
+  const uint32_t key_bytes =
+      t.schema().Column(static_cast<size_t>(col)).byte_size;
+  // Dense: one (key, RID) entry per tuple.
+  shape_ = ComputeBTreeShape(n, key_bytes + 8, key_bytes,
+                             base->layout().page_size_bytes);
+}
+
+size_t SecondaryBTreeIndex::KeyLowerBound(int64_t v) const {
+  return static_cast<size_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), v) - keys_.begin());
+}
+
+void SecondaryBTreeIndex::AppendPostings(size_t k,
+                                         std::vector<RowId>* out) const {
+  out->insert(out->end(), rids_.begin() + offsets_[k],
+              rids_.begin() + offsets_[k + 1]);
+}
+
+std::vector<RowId> SecondaryBTreeIndex::LookupEqual(int64_t v) const {
+  std::vector<RowId> out;
+  const size_t k = KeyLowerBound(v);
+  if (k < keys_.size() && keys_[k] == v) AppendPostings(k, &out);
+  return out;
+}
+
+std::vector<RowId> SecondaryBTreeIndex::LookupRange(int64_t lo,
+                                                    int64_t hi) const {
+  std::vector<RowId> out;
+  for (size_t k = KeyLowerBound(lo); k < keys_.size() && keys_[k] <= hi; ++k) {
+    AppendPostings(k, &out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RowId> SecondaryBTreeIndex::LookupIn(
+    const std::vector<int64_t>& values) const {
+  std::vector<RowId> out;
+  for (int64_t v : values) {
+    const size_t k = KeyLowerBound(v);
+    if (k < keys_.size() && keys_[k] == v) AppendPostings(k, &out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string SecondaryBTreeIndex::ToString() const {
+  return StrFormat(
+      "SecondaryBTree{col=%s, entries=%zu, distinct=%zu, %s, height=%u}",
+      base_->table().schema().Column(static_cast<size_t>(col_)).name.c_str(),
+      rids_.size(), keys_.size(), HumanBytes(SizeBytes()).c_str(),
+      shape_.height);
+}
+
+}  // namespace coradd

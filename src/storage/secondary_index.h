@@ -1,0 +1,58 @@
+// Dense secondary B+Tree index over one column of a ClusteredTable.
+//
+// This is the conventional structure CMs are compared against in A-1: one
+// (key, RID) entry per tuple. Lookups return RIDs in key order; the executor
+// then sorts RIDs and coalesces page runs, exactly the "sorted index scan"
+// access pattern of A-2.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/clustered_table.h"
+
+namespace coradd {
+
+/// Dense B+Tree secondary index on a single column.
+class SecondaryBTreeIndex {
+ public:
+  /// Builds the index over column `col` of `base` (index into the base
+  /// table's schema). `base` must outlive this index.
+  SecondaryBTreeIndex(const ClusteredTable* base, int col);
+
+  int column() const { return col_; }
+  const BTreeShape& shape() const { return shape_; }
+  uint64_t SizeBytes() const {
+    return shape_.TotalPages() * base_->layout().page_size_bytes;
+  }
+  uint32_t Height() const { return shape_.height; }
+  size_t NumDistinctKeys() const { return keys_.size(); }
+
+  /// RIDs of rows with value == v (ascending RID order). Empty if none.
+  std::vector<RowId> LookupEqual(int64_t v) const;
+
+  /// RIDs of rows with lo <= value <= hi.
+  std::vector<RowId> LookupRange(int64_t lo, int64_t hi) const;
+
+  /// RIDs of rows whose value is any element of `values`.
+  std::vector<RowId> LookupIn(const std::vector<int64_t>& values) const;
+
+  std::string ToString() const;
+
+ private:
+  /// Index of first key >= v in keys_.
+  size_t KeyLowerBound(int64_t v) const;
+
+  /// Appends the RIDs of keys_[k] to out.
+  void AppendPostings(size_t k, std::vector<RowId>* out) const;
+
+  const ClusteredTable* base_;
+  int col_;
+  BTreeShape shape_;
+  std::vector<int64_t> keys_;      ///< Sorted distinct keys.
+  std::vector<uint32_t> offsets_;  ///< offsets_[k]..offsets_[k+1] into rids_.
+  std::vector<RowId> rids_;        ///< Grouped by key, RID-ascending.
+};
+
+}  // namespace coradd

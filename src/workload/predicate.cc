@@ -1,0 +1,92 @@
+#include "workload/predicate.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+Predicate Predicate::Eq(std::string column, int64_t v) {
+  Predicate p;
+  p.column = std::move(column);
+  p.type = PredicateType::kEquality;
+  p.value = v;
+  return p;
+}
+
+Predicate Predicate::Range(std::string column, int64_t lo, int64_t hi) {
+  Predicate p;
+  p.column = std::move(column);
+  p.type = PredicateType::kRange;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+Predicate Predicate::In(std::string column, std::vector<int64_t> values) {
+  Predicate p;
+  p.column = std::move(column);
+  p.type = PredicateType::kIn;
+  p.in_values = std::move(values);
+  std::sort(p.in_values.begin(), p.in_values.end());
+  p.in_values.erase(std::unique(p.in_values.begin(), p.in_values.end()),
+                    p.in_values.end());
+  return p;
+}
+
+bool Predicate::Matches(int64_t v) const {
+  switch (type) {
+    case PredicateType::kEquality:
+      return v == value;
+    case PredicateType::kRange:
+      return v >= lo && v <= hi;
+    case PredicateType::kIn:
+      return std::binary_search(in_values.begin(), in_values.end(), v);
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  switch (type) {
+    case PredicateType::kEquality:
+      return StrFormat("%s = %lld", column.c_str(),
+                       static_cast<long long>(value));
+    case PredicateType::kRange:
+      return StrFormat("%lld <= %s <= %lld", static_cast<long long>(lo),
+                       column.c_str(), static_cast<long long>(hi));
+    case PredicateType::kIn: {
+      std::vector<std::string> vals;
+      for (int64_t v : in_values) vals.push_back(std::to_string(v));
+      return StrFormat("%s IN {%s}", column.c_str(), Join(vals, ",").c_str());
+    }
+  }
+  return "?";
+}
+
+double EstimateSelectivity(const Predicate& pred, const UniverseStats& stats) {
+  const int ucol = stats.universe().ColumnIndex(pred.column);
+  CORADD_CHECK(ucol >= 0);
+  const Histogram& h = stats.ColumnHistogram(ucol);
+  switch (pred.type) {
+    case PredicateType::kEquality:
+      return h.SelectivityEqual(pred.value);
+    case PredicateType::kRange:
+      return h.SelectivityRange(pred.lo, pred.hi);
+    case PredicateType::kIn:
+      return h.SelectivityIn(pred.in_values);
+  }
+  return 1.0;
+}
+
+double ExactSelectivity(const Predicate& pred, const Universe& universe) {
+  const int ucol = universe.ColumnIndex(pred.column);
+  CORADD_CHECK(ucol >= 0);
+  uint64_t matches = 0;
+  const size_t n = universe.NumRows();
+  for (RowId r = 0; r < n; ++r) {
+    if (pred.Matches(universe.Value(r, ucol))) ++matches;
+  }
+  return n == 0 ? 0.0 : static_cast<double>(matches) / static_cast<double>(n);
+}
+
+}  // namespace coradd

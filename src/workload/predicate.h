@@ -1,0 +1,42 @@
+// Predicate representation. CORADD's candidate generation orders clustered
+// key attributes by predicate type — equality, then range, then IN (§4.2:
+// "an equality identifies one range of tuples while an IN clause may point
+// to many non-contiguous ranges") — so the type is first-class here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/stats_collector.h"
+
+namespace coradd {
+
+/// Kind of a conjunct; ordering matters for clustered-index design (§4.2).
+enum class PredicateType { kEquality = 0, kRange = 1, kIn = 2 };
+
+/// One conjunct over a universe column.
+struct Predicate {
+  std::string column;
+  PredicateType type = PredicateType::kEquality;
+  int64_t value = 0;                ///< kEquality.
+  int64_t lo = 0, hi = 0;           ///< kRange, inclusive bounds.
+  std::vector<int64_t> in_values;   ///< kIn.
+
+  static Predicate Eq(std::string column, int64_t v);
+  static Predicate Range(std::string column, int64_t lo, int64_t hi);
+  static Predicate In(std::string column, std::vector<int64_t> values);
+
+  /// True iff a stored value satisfies this conjunct.
+  bool Matches(int64_t v) const;
+
+  std::string ToString() const;
+};
+
+/// Estimated fraction of rows satisfying `pred`, from the column histogram.
+double EstimateSelectivity(const Predicate& pred, const UniverseStats& stats);
+
+/// Exact fraction of universe rows satisfying `pred` (full scan; tests).
+double ExactSelectivity(const Predicate& pred, const Universe& universe);
+
+}  // namespace coradd

@@ -1,0 +1,79 @@
+#include "workload/query.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+void PushUnique(std::vector<std::string>* out, const std::string& s) {
+  if (std::find(out->begin(), out->end(), s) == out->end()) out->push_back(s);
+}
+}  // namespace
+
+std::vector<std::string> Query::PredicateColumns() const {
+  std::vector<std::string> out;
+  for (const auto& p : predicates) PushUnique(&out, p.column);
+  return out;
+}
+
+std::vector<std::string> Query::TargetColumns() const {
+  std::vector<std::string> preds = PredicateColumns();
+  std::vector<std::string> out;
+  auto add = [&](const std::string& c) {
+    if (std::find(preds.begin(), preds.end(), c) == preds.end()) {
+      PushUnique(&out, c);
+    }
+  };
+  for (const auto& g : group_by) add(g);
+  for (const auto& a : aggregates) {
+    add(a.col_a);
+    if (!a.col_b.empty()) add(a.col_b);
+  }
+  return out;
+}
+
+std::vector<std::string> Query::AllColumns() const {
+  std::vector<std::string> out = PredicateColumns();
+  for (const auto& t : TargetColumns()) PushUnique(&out, t);
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::vector<std::string> preds;
+  for (const auto& p : predicates) preds.push_back(p.ToString());
+  std::vector<std::string> aggs;
+  for (const auto& a : aggregates) {
+    aggs.push_back(a.col_b.empty()
+                       ? StrFormat("SUM(%s)", a.col_a.c_str())
+                       : StrFormat("SUM(%s*%s)", a.col_a.c_str(),
+                                   a.col_b.c_str()));
+  }
+  std::string s = StrFormat("%s: SELECT %s FROM %s", id.c_str(),
+                            Join(aggs, ", ").c_str(), fact_table.c_str());
+  if (!predicates.empty()) s += " WHERE " + Join(preds, " AND ");
+  if (!group_by.empty()) s += " GROUP BY " + Join(group_by, ", ");
+  return s;
+}
+
+std::vector<const Query*> Workload::QueriesForFact(
+    const std::string& fact) const {
+  std::vector<const Query*> out;
+  for (const auto& q : queries) {
+    if (q.fact_table == fact) out.push_back(&q);
+  }
+  return out;
+}
+
+std::vector<std::string> Workload::FactTables() const {
+  std::vector<std::string> out;
+  for (const auto& q : queries) {
+    if (std::find(out.begin(), out.end(), q.fact_table) == out.end()) {
+      out.push_back(q.fact_table);
+    }
+  }
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,60 @@
+// Workload queries: conjunctive star-join aggregates, the query class both
+// SSB and APB-1 consist of (SELECT agg(...) FROM fact ⋈ dims WHERE
+// conjuncts GROUP BY attrs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/predicate.h"
+
+namespace coradd {
+
+/// The aggregate computed by a query. Our executor computes
+/// SUM(col_a * col_b) (or SUM(col_a) when col_b is empty) over matching
+/// rows; grouping is tracked for attribute coverage (the MV must contain the
+/// GROUP BY columns) but adds no I/O in the disk-bound model.
+struct Aggregate {
+  std::string col_a;
+  std::string col_b;  ///< Empty for plain SUM(col_a).
+};
+
+/// One workload query.
+struct Query {
+  std::string id;          ///< E.g. "Q1.1".
+  std::string fact_table;  ///< Universe this query runs against.
+  std::vector<Predicate> predicates;
+  std::vector<std::string> group_by;
+  std::vector<Aggregate> aggregates;
+  /// Relative frequency in the workload (§5.3: cost is multiplied by the
+  /// frequency when the workload is compressed).
+  double frequency = 1.0;
+
+  /// All universe columns the query references: predicate columns first
+  /// (deduplicated, in predicate order), then group-by, then aggregate
+  /// inputs. An MV can serve this query iff it contains all of them.
+  std::vector<std::string> AllColumns() const;
+
+  /// Columns appearing in predicates (deduplicated, in order).
+  std::vector<std::string> PredicateColumns() const;
+
+  /// Target attributes: SELECT list / GROUP BY inputs (§4.1.3), i.e.
+  /// AllColumns() minus predicate-only columns.
+  std::vector<std::string> TargetColumns() const;
+
+  std::string ToString() const;
+};
+
+/// A named list of queries.
+struct Workload {
+  std::string name;
+  std::vector<Query> queries;
+
+  /// Queries touching the given fact table, in workload order.
+  std::vector<const Query*> QueriesForFact(const std::string& fact) const;
+
+  /// Distinct fact tables referenced, in first-appearance order.
+  std::vector<std::string> FactTables() const;
+};
+
+}  // namespace coradd

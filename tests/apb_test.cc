@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apb/apb.h"
+#include "catalog/universe.h"
+
+namespace coradd {
+namespace apb {
+namespace {
+
+class ApbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    options_ = new ApbOptions();
+    options_->scale = 0.0005;  // ~22.5k actuals rows
+    catalog_ = MakeCatalog(*options_).release();
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete options_;
+  }
+  static ApbOptions* options_;
+  static Catalog* catalog_;
+};
+
+ApbOptions* ApbTest::options_ = nullptr;
+Catalog* ApbTest::catalog_ = nullptr;
+
+TEST_F(ApbTest, TwoFactTablesRegistered) {
+  EXPECT_NE(catalog_->GetFactInfo("actuals"), nullptr);
+  EXPECT_NE(catalog_->GetFactInfo("budget"), nullptr);
+  EXPECT_EQ(catalog_->GetTable("actuals")->NumRows(), options_->ActualsRows());
+  EXPECT_EQ(catalog_->GetTable("budget")->NumRows(), options_->BudgetRows());
+}
+
+TEST_F(ApbTest, ProductHierarchyIsFunctionalUpward) {
+  const Table* p = catalog_->GetTable("product");
+  const int code = p->schema().ColumnIndex("pr_code");
+  const int cls = p->schema().ColumnIndex("pr_class");
+  const int grp = p->schema().ColumnIndex("pr_group");
+  const int fam = p->schema().ColumnIndex("pr_family");
+  const int lin = p->schema().ColumnIndex("pr_line");
+  const int div = p->schema().ColumnIndex("pr_division");
+  // Each level must functionally determine all coarser levels.
+  std::map<int64_t, int64_t> cls_to_grp, grp_to_fam, fam_to_lin, lin_to_div;
+  for (RowId r = 0; r < p->NumRows(); ++r) {
+    EXPECT_EQ(p->Value(r, code), static_cast<int64_t>(r));
+    auto check = [&](std::map<int64_t, int64_t>& m, int64_t k, int64_t v) {
+      auto it = m.find(k);
+      if (it == m.end()) {
+        m[k] = v;
+      } else {
+        EXPECT_EQ(it->second, v);
+      }
+    };
+    check(cls_to_grp, p->Value(r, cls), p->Value(r, grp));
+    check(grp_to_fam, p->Value(r, grp), p->Value(r, fam));
+    check(fam_to_lin, p->Value(r, fam), p->Value(r, lin));
+    check(lin_to_div, p->Value(r, lin), p->Value(r, div));
+  }
+}
+
+TEST_F(ApbTest, HierarchyWidthsDecreaseUpward) {
+  const ProductHierarchy h = ProductHierarchy::For(3000);
+  EXPECT_GT(h.codes, h.classes);
+  EXPECT_GT(h.classes, h.groups);
+  EXPECT_GT(h.groups, h.families);
+  EXPECT_GT(h.families, h.lines);
+  EXPECT_GT(h.lines, h.divisions);
+  EXPECT_GE(h.divisions, 2u);
+}
+
+TEST_F(ApbTest, StoreRetailerHierarchy) {
+  const Table* c = catalog_->GetTable("customer");
+  const int store = c->schema().ColumnIndex("cu_store");
+  const int retailer = c->schema().ColumnIndex("cu_retailer");
+  for (RowId r = 0; r < c->NumRows(); ++r) {
+    EXPECT_EQ(c->Value(r, retailer), c->Value(r, store) / 10);
+  }
+}
+
+TEST_F(ApbTest, TimeDimensionCoversTwoYears) {
+  const Table* t = catalog_->GetTable("time");
+  EXPECT_EQ(t->NumRows(), static_cast<size_t>(kNumMonths));
+  const int year = t->schema().ColumnIndex("t_year");
+  const int qk = t->schema().ColumnIndex("t_quarterkey");
+  std::set<int64_t> years, quarters;
+  for (RowId r = 0; r < t->NumRows(); ++r) {
+    years.insert(t->Value(r, year));
+    quarters.insert(t->Value(r, qk));
+  }
+  EXPECT_EQ(years.size(), 2u);
+  EXPECT_EQ(quarters.size(), 8u);
+}
+
+TEST_F(ApbTest, FactForeignKeysResolve) {
+  Universe actuals(*catalog_, *catalog_->GetFactInfo("actuals"));
+  Universe budget(*catalog_, *catalog_->GetFactInfo("budget"));
+  EXPECT_GT(actuals.NumColumns(), 7u);
+  EXPECT_GT(budget.NumColumns(), 5u);
+}
+
+TEST_F(ApbTest, ProductPopularityIsSkewed) {
+  const Table* a = catalog_->GetTable("actuals");
+  const int prod = a->schema().ColumnIndex("a_product");
+  uint64_t top_decile = 0;
+  const ProductHierarchy h = ProductHierarchy::For(options_->num_products);
+  for (RowId r = 0; r < a->NumRows(); ++r) {
+    if (a->Value(r, prod) < static_cast<int64_t>(h.codes / 10)) ++top_decile;
+  }
+  EXPECT_GT(top_decile, a->NumRows() / 5);  // >20% of sales in top 10%
+}
+
+TEST_F(ApbTest, WorkloadHas31QueriesAcrossBothFacts) {
+  const Workload w = MakeWorkload(*options_);
+  EXPECT_EQ(w.queries.size(), 31u);
+  EXPECT_EQ(w.QueriesForFact("actuals").size(), 24u);
+  EXPECT_EQ(w.QueriesForFact("budget").size(), 7u);
+  std::set<std::string> ids;
+  for (const auto& q : w.queries) ids.insert(q.id);
+  EXPECT_EQ(ids.size(), 31u);
+}
+
+TEST_F(ApbTest, WorkloadColumnsResolve) {
+  Universe actuals(*catalog_, *catalog_->GetFactInfo("actuals"));
+  Universe budget(*catalog_, *catalog_->GetFactInfo("budget"));
+  for (const auto& q : MakeWorkload(*options_).queries) {
+    const Universe& u = q.fact_table == "actuals" ? actuals : budget;
+    for (const auto& col : q.AllColumns()) {
+      EXPECT_GE(u.ColumnIndex(col), 0) << q.id << " references " << col;
+    }
+  }
+}
+
+TEST_F(ApbTest, FrequenciesArePositive) {
+  for (const auto& q : MakeWorkload(*options_).queries) {
+    EXPECT_GT(q.frequency, 0.0) << q.id;
+  }
+}
+
+TEST_F(ApbTest, Deterministic) {
+  auto again = MakeCatalog(*options_);
+  const Table* a = catalog_->GetTable("actuals");
+  const Table* b = again->GetTable("actuals");
+  ASSERT_EQ(a->NumRows(), b->NumRows());
+  for (RowId r = 0; r < 200; ++r) {
+    for (size_t c = 0; c < a->schema().NumColumns(); ++c) {
+      ASSERT_EQ(a->Value(r, c), b->Value(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apb
+}  // namespace coradd

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/universe.h"
+
+namespace coradd {
+namespace {
+
+ColumnDef Int(const std::string& name, uint32_t bytes = 4) {
+  ColumnDef c;
+  c.name = name;
+  c.byte_size = bytes;
+  return c;
+}
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s;
+  s.AddColumn(Int("a"));
+  s.AddColumn(Int("b", 8));
+  EXPECT_EQ(s.NumColumns(), 2u);
+  EXPECT_EQ(s.ColumnIndex("a"), 0);
+  EXPECT_EQ(s.ColumnIndex("b"), 1);
+  EXPECT_EQ(s.ColumnIndex("z"), -1);
+  EXPECT_TRUE(s.HasColumn("b"));
+  EXPECT_FALSE(s.HasColumn("z"));
+}
+
+TEST(SchemaTest, RowWidthSumsByteSizes) {
+  Schema s({Int("a", 4), Int("b", 10), Int("c", 1)});
+  EXPECT_EQ(s.RowWidthBytes(), 15u);
+}
+
+TEST(SchemaTest, ProjectPreservesOrderAndWidths) {
+  Schema s({Int("a", 4), Int("b", 8), Int("c", 2)});
+  Schema p = s.Project({2, 0});
+  ASSERT_EQ(p.NumColumns(), 2u);
+  EXPECT_EQ(p.Column(0).name, "c");
+  EXPECT_EQ(p.Column(1).name, "a");
+  EXPECT_EQ(p.RowWidthBytes(), 6u);
+}
+
+TEST(SchemaTest, RenderUsesDictionary) {
+  ColumnDef c;
+  c.name = "city";
+  c.type = ValueType::kString;
+  c.dictionary = {"BOSTON", "NYC"};
+  EXPECT_EQ(c.Render(0), "BOSTON");
+  EXPECT_EQ(c.Render(1), "NYC");
+  ColumnDef i = Int("n");
+  EXPECT_EQ(i.Render(12), "12");
+}
+
+// ---------- Table ----------
+
+TEST(TableTest, AppendAndRead) {
+  Table t(Schema({Int("a"), Int("b")}), "t");
+  t.AppendRow({1, 10});
+  t.AppendRow({2, 20});
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.Value(0, 0), 1);
+  EXPECT_EQ(t.Value(1, 1), 20);
+}
+
+TEST(TableTest, SortByColumnsLexicographic) {
+  Table t(Schema({Int("a"), Int("b")}), "t");
+  t.AppendRow({2, 1});
+  t.AppendRow({1, 9});
+  t.AppendRow({2, 0});
+  t.AppendRow({1, 3});
+  t.SortByColumns({0, 1});
+  EXPECT_EQ(t.Value(0, 0), 1);
+  EXPECT_EQ(t.Value(0, 1), 3);
+  EXPECT_EQ(t.Value(1, 1), 9);
+  EXPECT_EQ(t.Value(2, 1), 0);
+  EXPECT_EQ(t.Value(3, 1), 1);
+}
+
+TEST(TableTest, SortReturnsPermutation) {
+  Table t(Schema({Int("a")}), "t");
+  t.AppendRow({3});
+  t.AppendRow({1});
+  t.AppendRow({2});
+  const auto perm = t.SortByColumns({0});
+  // perm[new_pos] = old_pos
+  EXPECT_EQ(perm[0], 1u);
+  EXPECT_EQ(perm[1], 2u);
+  EXPECT_EQ(perm[2], 0u);
+}
+
+TEST(TableTest, SortIsStable) {
+  Table t(Schema({Int("k"), Int("tag")}), "t");
+  for (int i = 0; i < 10; ++i) t.AppendRow({i % 2, i});
+  t.SortByColumns({0});
+  // Within equal keys, original order preserved.
+  for (size_t r = 1; r < 5; ++r) EXPECT_LT(t.Value(r - 1, 1), t.Value(r, 1));
+}
+
+TEST(TableTest, DistinctCounts) {
+  Table t(Schema({Int("a"), Int("b")}), "t");
+  t.AppendRow({1, 1});
+  t.AppendRow({1, 2});
+  t.AppendRow({2, 1});
+  t.AppendRow({2, 1});
+  EXPECT_EQ(t.DistinctCount(0), 2u);
+  EXPECT_EQ(t.DistinctCount(1), 2u);
+  EXPECT_EQ(t.DistinctCountComposite({0, 1}), 3u);
+}
+
+TEST(TableTest, DataBytes) {
+  Table t(Schema({Int("a", 4), Int("b", 6)}), "t");
+  t.AppendRow({1, 1});
+  t.AppendRow({2, 2});
+  EXPECT_EQ(t.DataBytes(), 20u);
+}
+
+// ---------- Catalog ----------
+
+TEST(CatalogTest, AddAndGet) {
+  Catalog cat;
+  auto t = std::make_unique<Table>(Schema({Int("a")}), "t1");
+  Table* raw = cat.AddTable(std::move(t));
+  EXPECT_EQ(cat.GetTable("t1"), raw);
+  EXPECT_EQ(cat.GetTable("nope"), nullptr);
+}
+
+TEST(CatalogTest, FactRegistration) {
+  Catalog cat;
+  {
+    auto dim = std::make_unique<Table>(Schema({Int("d_k"), Int("d_v")}), "dim");
+    dim->AppendRow({1, 100});
+    cat.AddTable(std::move(dim));
+    auto fact = std::make_unique<Table>(Schema({Int("f_id"), Int("f_d")}), "fact");
+    fact->AppendRow({1, 1});
+    cat.AddTable(std::move(fact));
+  }
+  FactTableInfo info;
+  info.name = "fact";
+  info.primary_key = {"f_id"};
+  info.foreign_keys = {{"f_d", "dim", "d_k"}};
+  cat.RegisterFactTable(info);
+  ASSERT_NE(cat.GetFactInfo("fact"), nullptr);
+  EXPECT_EQ(cat.GetFactInfo("fact")->foreign_keys.size(), 1u);
+  EXPECT_EQ(cat.GetFactInfo("dim"), nullptr);
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog cat;
+  cat.AddTable(std::make_unique<Table>(Schema({Int("x")}), "zeta"));
+  cat.AddTable(std::make_unique<Table>(Schema({Int("x")}), "alpha"));
+  const auto names = cat.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+// ---------- Universe ----------
+
+class UniverseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dim = std::make_unique<Table>(
+        Schema({Int("d_key"), Int("d_city"), Int("d_state")}), "dim");
+    // d_city determines d_state: city c -> state c / 2.
+    for (int64_t k = 0; k < 10; ++k) dim->AppendRow({k, k, k / 2});
+    catalog_.AddTable(std::move(dim));
+
+    auto fact = std::make_unique<Table>(
+        Schema({Int("f_id"), Int("f_dim"), Int("f_val", 8)}), "fact");
+    for (int64_t i = 0; i < 100; ++i) fact->AppendRow({i, i % 10, i * 2});
+    catalog_.AddTable(std::move(fact));
+
+    info_.name = "fact";
+    info_.primary_key = {"f_id"};
+    info_.foreign_keys = {{"f_dim", "dim", "d_key"}};
+    catalog_.RegisterFactTable(info_);
+  }
+
+  Catalog catalog_;
+  FactTableInfo info_;
+};
+
+TEST_F(UniverseTest, ColumnsAreFactThenDims) {
+  Universe u(catalog_, info_);
+  EXPECT_EQ(u.NumColumns(), 6u);  // 3 fact + 3 dim
+  EXPECT_EQ(u.ColumnIndex("f_id"), 0);
+  EXPECT_GE(u.ColumnIndex("d_city"), 3);
+  EXPECT_EQ(u.ColumnIndex("nope"), -1);
+}
+
+TEST_F(UniverseTest, JoinValuesResolve) {
+  Universe u(catalog_, info_);
+  const int d_state = u.ColumnIndex("d_state");
+  for (RowId r = 0; r < 100; ++r) {
+    EXPECT_EQ(u.Value(r, d_state), static_cast<int64_t>((r % 10) / 2));
+  }
+}
+
+TEST_F(UniverseTest, DistinctCounts) {
+  Universe u(catalog_, info_);
+  EXPECT_EQ(u.DistinctCount(u.ColumnIndex("d_city")), 10u);
+  EXPECT_EQ(u.DistinctCount(u.ColumnIndex("d_state")), 5u);
+  EXPECT_EQ(u.DistinctCountComposite(
+                {u.ColumnIndex("d_city"), u.ColumnIndex("d_state")}),
+            10u);  // city determines state
+}
+
+TEST_F(UniverseTest, MaterializeProjection) {
+  Universe u(catalog_, info_);
+  auto t = u.MaterializeProjection(
+      {u.ColumnIndex("f_val"), u.ColumnIndex("d_state")}, "mv");
+  ASSERT_EQ(t->NumRows(), 100u);
+  EXPECT_EQ(t->schema().Column(0).name, "f_val");
+  EXPECT_EQ(t->schema().Column(1).name, "d_state");
+  EXPECT_EQ(t->Value(13, 0), 26);
+  EXPECT_EQ(t->Value(13, 1), 1);  // dim 3 -> state 1
+  EXPECT_EQ(t->schema().RowWidthBytes(), 12u);
+}
+
+TEST_F(UniverseTest, MakeSchemaCarriesWidths) {
+  Universe u(catalog_, info_);
+  Schema s = u.MakeSchema({u.ColumnIndex("f_val")});
+  EXPECT_EQ(s.RowWidthBytes(), 8u);
+}
+
+}  // namespace
+}  // namespace coradd

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "cm/cm_designer.h"
+#include "cm/correlation_map.h"
+#include "common/rng.h"
+#include "ssb/ssb.h"
+
+namespace coradd {
+namespace {
+
+ColumnDef Int(const std::string& name, uint32_t bytes = 4) {
+  ColumnDef c;
+  c.name = name;
+  c.byte_size = bytes;
+  return c;
+}
+
+/// A People-like table (the A-1 example): city -> state functional.
+/// Clustered on state; secondary attribute city.
+std::unique_ptr<ClusteredTable> MakePeople(int rows, uint32_t page_size = 512) {
+  auto t = std::make_unique<Table>(
+      Schema({Int("state"), Int("city"), Int("salary")}), "people");
+  Rng rng(31);
+  for (int i = 0; i < rows; ++i) {
+    const int64_t city = static_cast<int64_t>(rng.Uniform(50));
+    t->AppendRow({city / 10, city, static_cast<int64_t>(rng.Uniform(100000))});
+  }
+  return std::make_unique<ClusteredTable>(std::move(t), std::vector<int>{0},
+                                          page_size);
+}
+
+CorrelationMap BuildCm(const ClusteredTable& ct, int key_col,
+                       CmBucketing bucketing = {}) {
+  return CorrelationMap(
+      {ct.table().schema().Column(static_cast<size_t>(key_col)).name},
+      {&ct.table().ColumnData(static_cast<size_t>(key_col))},
+      {ct.table().schema().Column(static_cast<size_t>(key_col)).byte_size},
+      ct, bucketing);
+}
+
+// ---------- CorrelationMap structure ----------
+
+TEST(CorrelationMapTest, DistinctToDistinctCompression) {
+  auto ct = MakePeople(5000);
+  const CorrelationMap cm = BuildCm(*ct, 1);
+  // 50 cities, each mapping to the buckets of exactly one state: the CM has
+  // one entry per city and far fewer pairs than rows.
+  EXPECT_EQ(cm.NumKeyEntries(), 50u);
+  EXPECT_LT(cm.NumPairs(), 5000u / 4);
+}
+
+TEST(CorrelationMapTest, SizeBytesMatchesPairArithmetic) {
+  auto ct = MakePeople(5000);
+  const CorrelationMap cm = BuildCm(*ct, 1);
+  EXPECT_EQ(cm.SizeBytes(), cm.NumPairs() * (4u + 4u));
+}
+
+TEST(CorrelationMapTest, LookupCoversAllMatchingRows) {
+  auto ct = MakePeople(5000);
+  const CorrelationMap cm = BuildCm(*ct, 1);
+  // For each city value, the returned buckets must cover every row with
+  // that city (CMs may return a superset; never a subset).
+  for (int64_t city = 0; city < 50; city += 7) {
+    const auto buckets = cm.LookupBuckets(
+        {[city](int64_t lo, int64_t hi) { return city >= lo && city <= hi; }});
+    std::set<uint64_t> covered_pages;
+    for (uint32_t b : buckets) {
+      const PageRun run = cm.BucketPages(b, ct->NumPages());
+      for (uint64_t p = run.first_page; p <= run.last_page; ++p) {
+        covered_pages.insert(p);
+      }
+    }
+    for (RowId r = 0; r < ct->NumRows(); ++r) {
+      if (ct->table().Value(r, 1) == city) {
+        EXPECT_TRUE(covered_pages.count(ct->PageOfRow(r)))
+            << "city " << city << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(CorrelationMapTest, CorrelatedKeyYieldsFewBucketsPerValue) {
+  auto ct = MakePeople(5000);
+  const CorrelationMap cm = BuildCm(*ct, 1);
+  // city determines state -> each city co-occurs with ~1/5 of the table's
+  // buckets (one state's worth), not all of them.
+  const uint64_t total_buckets =
+      (ct->NumPages() + cm.bucketing().clustered_bucket_pages - 1) /
+      cm.bucketing().clustered_bucket_pages;
+  const auto buckets = cm.LookupBuckets(
+      {[](int64_t lo, int64_t hi) { return 25 >= lo && 25 <= hi; }});
+  EXPECT_LT(buckets.size(), total_buckets / 3);
+}
+
+TEST(CorrelationMapTest, UncorrelatedKeyTouchesMostBuckets) {
+  auto ct = MakePeople(5000);
+  const CorrelationMap cm = BuildCm(*ct, 2);  // salary: uncorrelated
+  const auto buckets = cm.LookupBuckets(
+      {[](int64_t lo, int64_t hi) { return lo <= 50000 && 40000 <= hi; }});
+  const uint64_t total_buckets =
+      (ct->NumPages() + cm.bucketing().clustered_bucket_pages - 1) /
+      cm.bucketing().clustered_bucket_pages;
+  EXPECT_GT(buckets.size(), total_buckets / 2);
+}
+
+TEST(CorrelationMapTest, KeyBucketingShrinksCm) {
+  auto ct = MakePeople(5000);
+  const CorrelationMap fine = BuildCm(*ct, 2, {1, 8});
+  const CorrelationMap coarse = BuildCm(*ct, 2, {1024, 8});
+  EXPECT_LT(coarse.NumKeyEntries(), fine.NumKeyEntries());
+  EXPECT_LE(coarse.SizeBytes(), fine.SizeBytes());
+}
+
+TEST(CorrelationMapTest, BucketedLookupStillCovers) {
+  auto ct = MakePeople(5000);
+  const CorrelationMap cm = BuildCm(*ct, 2, {4096, 8});  // coarse salary CM
+  const int64_t lo = 30000, hi = 31000;
+  const auto buckets = cm.LookupBuckets(
+      {[&](int64_t blo, int64_t bhi) { return lo <= bhi && blo <= hi; }});
+  std::set<uint64_t> covered;
+  for (uint32_t b : buckets) {
+    const PageRun run = cm.BucketPages(b, ct->NumPages());
+    for (uint64_t p = run.first_page; p <= run.last_page; ++p) covered.insert(p);
+  }
+  for (RowId r = 0; r < ct->NumRows(); ++r) {
+    const int64_t v = ct->table().Value(r, 2);
+    if (v >= lo && v <= hi) {
+      EXPECT_TRUE(covered.count(ct->PageOfRow(r)));
+    }
+  }
+}
+
+TEST(CorrelationMapTest, CompositeKeyLookup) {
+  auto ct = MakePeople(3000);
+  const CorrelationMap cm(
+      {"city", "salary"},
+      {&ct->table().ColumnData(1), &ct->table().ColumnData(2)}, {4, 4}, *ct,
+      CmBucketing{1024, 8});
+  const auto buckets = cm.LookupBuckets(
+      {[](int64_t lo, int64_t hi) { return 12 >= lo && 12 <= hi; },
+       [](int64_t, int64_t) { return true; }});
+  EXPECT_FALSE(buckets.empty());
+}
+
+TEST(CorrelationMapTest, BucketPagesClampedToTable) {
+  auto ct = MakePeople(100);
+  const CorrelationMap cm = BuildCm(*ct, 1);
+  const uint64_t pages = ct->NumPages();
+  const PageRun last = cm.BucketPages(
+      static_cast<uint32_t>((pages - 1) / cm.bucketing().clustered_bucket_pages),
+      pages);
+  EXPECT_LE(last.last_page, pages - 1);
+}
+
+// ---------- CM designer on SSB ----------
+
+class CmDesignerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.005;
+    catalog_ = ssb::MakeCatalog(options).release();
+    universe_ = new Universe(*catalog_, *catalog_->GetFactInfo("lineorder"));
+    StatsOptions sopt;
+    sopt.sample_rows = 4096;
+    sopt.disk.page_size_bytes = 1024;
+    stats_ = new UniverseStats(universe_, sopt);
+    registry_ = new StatsRegistry();
+    registry_->Register(stats_);
+    model_ = new CorrelationCostModel(registry_);
+    workload_ = new Workload(ssb::MakeWorkload());
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete model_;
+    delete registry_;
+    delete stats_;
+    delete universe_;
+    delete catalog_;
+  }
+
+  static MvSpec FactRecluster(std::vector<std::string> key) {
+    MvSpec spec;
+    spec.name = "recluster";
+    spec.fact_table = "lineorder";
+    for (size_t c = 0; c < universe_->fact_table().schema().NumColumns(); ++c) {
+      spec.columns.push_back(universe_->fact_table().schema().Column(c).name);
+    }
+    spec.clustered_key = std::move(key);
+    spec.is_fact_recluster = true;
+    return spec;
+  }
+
+  static Catalog* catalog_;
+  static Universe* universe_;
+  static UniverseStats* stats_;
+  static StatsRegistry* registry_;
+  static CorrelationCostModel* model_;
+  static Workload* workload_;
+};
+
+Catalog* CmDesignerTest::catalog_ = nullptr;
+Universe* CmDesignerTest::universe_ = nullptr;
+UniverseStats* CmDesignerTest::stats_ = nullptr;
+StatsRegistry* CmDesignerTest::registry_ = nullptr;
+CorrelationCostModel* CmDesignerTest::model_ = nullptr;
+Workload* CmDesignerTest::workload_ = nullptr;
+
+TEST_F(CmDesignerTest, DesignsCmForDatePredicateOnOrderdateClustering) {
+  CmDesigner designer(registry_, model_);
+  const MvSpec spec = FactRecluster({"lo_orderdate"});
+  std::vector<const Query*> queries;
+  for (const auto& q : workload_->queries) queries.push_back(&q);
+  const auto cms = designer.Design(spec, queries);
+  // At least one CM keyed on a date-dimension attribute must be chosen:
+  // that is the §4.3 mechanism for serving date predicates.
+  bool has_date_cm = false;
+  for (const auto& cm : cms) {
+    for (const auto& col : cm.key_columns) {
+      if (col.rfind("d_", 0) == 0) has_date_cm = true;
+    }
+    EXPECT_LE(cm.est_size_bytes, (1u << 20)) << cm.ToString();
+  }
+  EXPECT_TRUE(has_date_cm);
+}
+
+TEST_F(CmDesignerTest, DeduplicatesAcrossQueries) {
+  CmDesigner designer(registry_, model_);
+  const MvSpec spec = FactRecluster({"lo_orderdate"});
+  // Q1.1 and a synthetic twin: same predicates -> same winning CM key set.
+  Query twin = workload_->queries[0];
+  twin.id = "Q1.1twin";
+  const std::vector<const Query*> queries = {&workload_->queries[0], &twin};
+  const auto cms = designer.Design(spec, queries);
+  std::set<std::vector<std::string>> keys;
+  for (const auto& cm : cms) keys.insert(cm.key_columns);
+  EXPECT_EQ(keys.size(), cms.size());
+}
+
+TEST_F(CmDesignerTest, NoCmWhenClusteredIndexWins) {
+  CmDesigner designer(registry_, model_);
+  // Dedicated MV for Q1.1: clustered scan is optimal, no CM needed.
+  MvSpec spec;
+  spec.name = "dedicated";
+  spec.fact_table = "lineorder";
+  spec.columns = {"d_year", "lo_discount", "lo_quantity", "lo_extendedprice"};
+  spec.clustered_key = {"d_year", "lo_discount", "lo_quantity"};
+  const auto cms = designer.Design(spec, {&workload_->queries[0]});
+  EXPECT_TRUE(cms.empty());
+}
+
+TEST_F(CmDesignerTest, SizeEstimateTracksActual) {
+  CmDesigner designer(registry_, model_);
+  const MvSpec spec = FactRecluster({"lo_orderdate"});
+  const CmBucketing bucketing{1, 8};
+  const uint64_t est = designer.EstimateCmSize(spec, {"d_year"}, bucketing);
+
+  // Materialize the actual CM and compare.
+  auto projected = universe_->MaterializeProjection(
+      [&] {
+        std::vector<int> cols;
+        for (const auto& c : spec.columns) {
+          cols.push_back(universe_->ColumnIndex(c));
+        }
+        return cols;
+      }(),
+      "fact_copy");
+  std::vector<int> key_cols{projected->schema().ColumnIndex("lo_orderdate")};
+  ClusteredTable ct(std::move(projected), key_cols,
+                    stats_->options().disk.page_size_bytes);
+  std::vector<int64_t> d_year(ct.NumRows());
+  const int od = ct.table().schema().ColumnIndex("lo_orderdate");
+  for (RowId r = 0; r < ct.NumRows(); ++r) {
+    d_year[r] = ct.table().Value(r, static_cast<size_t>(od)) / 10000;
+  }
+  const CorrelationMap cm({"d_year"}, {&d_year}, {4}, ct, bucketing);
+  EXPECT_GT(est, 0u);
+  EXPECT_LT(est, cm.SizeBytes() * 8 + 4096);
+  EXPECT_GT(est * 8 + 4096, cm.SizeBytes());
+}
+
+}  // namespace
+}  // namespace coradd

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace coradd {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::OutOfRange("").code(),      Status::AlreadyExists("").code(),
+      Status::Internal("").code(),        Status::NotImplemented("").code(),
+      Status::ResourceExhausted("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndSkews) {
+  Rng rng(19);
+  uint64_t low = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.Zipf(1000, 0.8);
+    ASSERT_LT(v, 1000u);
+    if (v < 100) ++low;
+  }
+  // Skewed: the first 10% of ranks receive far more than 10% of the mass.
+  EXPECT_GT(low, 20000 * 0.3);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(21);
+  EXPECT_EQ(rng.Zipf(1, 1.2), 0u);
+}
+
+// ---------- Hash ----------
+
+TEST(HashTest, HashU64IsDeterministicAndSpreads) {
+  EXPECT_EQ(HashU64(42), HashU64(42));
+  EXPECT_NE(HashU64(42), HashU64(43));
+  // Low bits of sequential keys should differ (avalanche).
+  int same_low = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    if ((HashU64(i) & 0xff) == (HashU64(i + 1) & 0xff)) ++same_low;
+  }
+  EXPECT_LT(same_low, 5);
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  const uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  const uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashTest, HashBytes) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+}
+
+// ---------- String utils ----------
+
+TEST(StringUtilTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, StrFormatLongOutput) {
+  const std::string s = StrFormat("%0512d", 1);
+  EXPECT_EQ(s.size(), 512u);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(StringUtilTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(0.5e-4), "50.0 us");
+  EXPECT_EQ(HumanSeconds(0.25), "250.0 ms");
+  EXPECT_EQ(HumanSeconds(2.5), "2.50 s");
+  EXPECT_EQ(HumanSeconds(600), "10.0 min");
+}
+
+TEST(StringUtilTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+}  // namespace
+}  // namespace coradd

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline_designers.h"
+#include "core/coradd_designer.h"
+#include "core/evaluator.h"
+#include "ssb/ssb.h"
+
+namespace coradd {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.003;
+    catalog_ = ssb::MakeCatalog(options).release();
+    workload_ = new Workload(ssb::MakeWorkload());
+    StatsOptions sopt;
+    sopt.sample_rows = 2048;
+    sopt.disk.page_size_bytes = 1024;
+    context_ = new DesignContext(catalog_, *workload_, sopt);
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete workload_;
+    delete catalog_;
+  }
+
+  static CoraddOptions FastOptions() {
+    CoraddOptions options;
+    options.candidates.grouping.alphas = {0.0, 0.5};
+    options.candidates.grouping.restarts = 1;
+    options.feedback.max_iterations = 1;
+    return options;
+  }
+
+  static Catalog* catalog_;
+  static Workload* workload_;
+  static DesignContext* context_;
+};
+
+Catalog* CoreTest::catalog_ = nullptr;
+Workload* CoreTest::workload_ = nullptr;
+DesignContext* CoreTest::context_ = nullptr;
+
+TEST_F(CoreTest, ContextBuildsUniversePerFact) {
+  EXPECT_NE(context_->UniverseForFact("lineorder"), nullptr);
+  EXPECT_EQ(context_->UniverseForFact("nope"), nullptr);
+  EXPECT_NE(context_->StatsForFact("lineorder"), nullptr);
+}
+
+TEST_F(CoreTest, DesignRespectsBudget) {
+  CoraddDesigner designer(context_, FastOptions());
+  for (uint64_t budget : {0ull, 1ull << 20, 8ull << 20, 64ull << 20}) {
+    const DatabaseDesign d = designer.Design(*workload_, budget);
+    EXPECT_LE(d.object_bytes, budget) << budget;
+    // Every query routed somewhere.
+    for (int oi : d.object_for_query) {
+      ASSERT_GE(oi, 0);
+      ASSERT_LT(static_cast<size_t>(oi), d.objects.size());
+    }
+  }
+}
+
+TEST_F(CoreTest, ExpectedCostMonotoneInBudget) {
+  CoraddDesigner designer(context_, FastOptions());
+  double prev = -1.0;
+  for (uint64_t budget : {0ull, 2ull << 20, 8ull << 20, 32ull << 20}) {
+    const DatabaseDesign d = designer.Design(*workload_, budget);
+    if (prev >= 0.0) {
+      EXPECT_LE(d.expected_seconds, prev + 1e-9) << budget;
+    }
+    prev = d.expected_seconds;
+  }
+}
+
+TEST_F(CoreTest, ZeroBudgetIsBaseOnlyDesign) {
+  CoraddDesigner designer(context_, FastOptions());
+  const DatabaseDesign d = designer.Design(*workload_, 0);
+  ASSERT_EQ(d.objects.size(), 1u);
+  EXPECT_TRUE(d.objects[0].spec.is_base);
+  EXPECT_EQ(d.object_bytes, 0u);
+}
+
+TEST_F(CoreTest, AtMostOneFactClustering) {
+  CoraddDesigner designer(context_, FastOptions());
+  for (uint64_t budget : {4ull << 20, 64ull << 20}) {
+    const DatabaseDesign d = designer.Design(*workload_, budget);
+    int reclusters = 0;
+    for (const auto& obj : d.objects) {
+      if (obj.spec.is_fact_recluster && !obj.spec.is_base) ++reclusters;
+    }
+    EXPECT_LE(reclusters, 1) << budget;
+  }
+}
+
+TEST_F(CoreTest, RunInfoIsPopulated) {
+  CoraddDesigner designer(context_, FastOptions());
+  designer.Design(*workload_, 8ull << 20);
+  const CoraddRunInfo& info = designer.last_run();
+  EXPECT_GT(info.candidates_enumerated, 0u);
+  EXPECT_GT(info.candidates_after_domination, 0u);
+  EXPECT_LE(info.candidates_after_domination, info.candidates_enumerated);
+  EXPECT_GT(info.candgen_seconds, 0.0);
+}
+
+TEST_F(CoreTest, ChosenMvsGetCmsWhenSecondaryAccessWins) {
+  CoraddDesigner designer(context_, FastOptions());
+  const DatabaseDesign d = designer.Design(*workload_, 16ull << 20);
+  size_t total_cms = 0;
+  for (const auto& obj : d.objects) total_cms += obj.cms.size();
+  // With a fact re-clustering in the design, date/geography predicates need
+  // CMs; expect at least one somewhere.
+  bool has_recluster = false;
+  for (const auto& obj : d.objects) {
+    has_recluster |= obj.spec.is_fact_recluster && !obj.spec.is_base;
+  }
+  if (has_recluster) {
+    EXPECT_GT(total_cms, 0u);
+  }
+}
+
+TEST_F(CoreTest, NaiveProducesOnlyDedicatedAndReclusters) {
+  NaiveDesigner naive(context_);
+  const DatabaseDesign d = naive.Design(*workload_, 32ull << 20);
+  for (const auto& obj : d.objects) {
+    if (obj.spec.is_fact_recluster) continue;
+    EXPECT_EQ(obj.spec.query_group.size(), 1u) << obj.spec.name;
+  }
+}
+
+TEST_F(CoreTest, CommercialUsesBTreesNotCms) {
+  CommercialDesigner commercial(context_);
+  const DatabaseDesign d = commercial.Design(*workload_, 32ull << 20);
+  for (const auto& obj : d.objects) {
+    EXPECT_TRUE(obj.cms.empty()) << obj.spec.name;
+  }
+  EXPECT_LE(d.object_bytes, 32ull << 20);
+}
+
+TEST_F(CoreTest, EvaluatorCachesAcrossBudgets) {
+  CoraddDesigner designer(context_, FastOptions());
+  DesignEvaluator evaluator(context_);
+  const DatabaseDesign d1 = designer.Design(*workload_, 8ull << 20);
+  evaluator.Run(d1, *workload_, designer.model());
+  const uint64_t hits_before = evaluator.cache_hits();
+  evaluator.Run(d1, *workload_, designer.model());
+  EXPECT_GT(evaluator.cache_hits(), hits_before);
+}
+
+TEST_F(CoreTest, RealAndExpectedAgreeOnOrderOfMagnitude) {
+  // CORADD-Model tracked reality well in Fig 9; at minimum the two must
+  // agree within an order of magnitude on the total.
+  CoraddDesigner designer(context_, FastOptions());
+  DesignEvaluator evaluator(context_);
+  const DatabaseDesign d = designer.Design(*workload_, 16ull << 20);
+  const WorkloadRunResult run =
+      evaluator.Run(d, *workload_, designer.model());
+  EXPECT_GT(run.total_seconds, 0.0);
+  EXPECT_GT(run.expected_seconds, 0.0);
+  EXPECT_LT(run.total_seconds, run.expected_seconds * 10);
+  EXPECT_GT(run.total_seconds, run.expected_seconds / 10);
+}
+
+TEST_F(CoreTest, DesignsDisableFeedbackStillValid) {
+  CoraddOptions options = FastOptions();
+  options.use_feedback = false;
+  CoraddDesigner designer(context_, options);
+  const DatabaseDesign d = designer.Design(*workload_, 8ull << 20);
+  EXPECT_FALSE(d.objects.empty());
+  EXPECT_LE(d.object_bytes, 8ull << 20);
+}
+
+TEST_F(CoreTest, FeedbackNeverHurtsExpectedCost) {
+  CoraddOptions with = FastOptions();
+  CoraddOptions without = FastOptions();
+  without.use_feedback = false;
+  CoraddDesigner d_with(context_, with);
+  CoraddDesigner d_without(context_, without);
+  for (uint64_t budget : {2ull << 20, 16ull << 20}) {
+    const double c_with = d_with.Design(*workload_, budget).expected_seconds;
+    const double c_without =
+        d_without.Design(*workload_, budget).expected_seconds;
+    EXPECT_LE(c_with, c_without + 1e-9) << budget;
+  }
+}
+
+}  // namespace
+}  // namespace coradd

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "cost/correlation_cost_model.h"
+#include "cost/oblivious_cost_model.h"
+#include "ssb/ssb.h"
+
+namespace coradd {
+namespace {
+
+// Shared tiny-SSB fixture.
+class CostModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.02;  // 120k rows
+    catalog_ = ssb::MakeCatalog(options).release();
+    universe_ = new Universe(*catalog_, *catalog_->GetFactInfo("lineorder"));
+    StatsOptions sopt;
+    sopt.sample_rows = 4096;
+    // Small pages keep paper-like page-count geometry at test scale, and
+    // the seek cost is scaled with the page size to preserve the paper's
+    // seek : page-transfer ratio.
+    sopt.disk.page_size_bytes = 1024;
+    sopt.disk.seek_seconds = 0.0055 / 8.0;
+    stats_ = new UniverseStats(universe_, sopt);
+    registry_ = new StatsRegistry();
+    registry_->Register(stats_);
+    workload_ = new Workload(ssb::MakeWorkload());
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete registry_;
+    delete stats_;
+    delete universe_;
+    delete catalog_;
+  }
+
+  /// An MV holding Q1.1's columns with the given clustered key.
+  static MvSpec Q11Spec(std::vector<std::string> key) {
+    MvSpec spec;
+    spec.name = "test_mv";
+    spec.fact_table = "lineorder";
+    spec.columns = {"d_year",      "lo_discount",      "lo_quantity",
+                    "lo_extendedprice", "d_yearmonthnum", "lo_orderdate"};
+    spec.clustered_key = std::move(key);
+    return spec;
+  }
+
+  static MvSpec BaseSpec() {
+    MvSpec spec;
+    spec.name = "base";
+    spec.fact_table = "lineorder";
+    for (size_t c = 0; c < universe_->fact_table().schema().NumColumns(); ++c) {
+      spec.columns.push_back(universe_->fact_table().schema().Column(c).name);
+    }
+    spec.clustered_key = {"lo_orderkey", "lo_linenumber"};
+    spec.is_fact_recluster = true;
+    spec.is_base = true;
+    return spec;
+  }
+
+  static Catalog* catalog_;
+  static Universe* universe_;
+  static UniverseStats* stats_;
+  static StatsRegistry* registry_;
+  static Workload* workload_;
+};
+
+Catalog* CostModelTest::catalog_ = nullptr;
+Universe* CostModelTest::universe_ = nullptr;
+UniverseStats* CostModelTest::stats_ = nullptr;
+StatsRegistry* CostModelTest::registry_ = nullptr;
+Workload* CostModelTest::workload_ = nullptr;
+
+// ---------- MvSpec sizing ----------
+
+TEST_F(CostModelTest, RowWidthSumsColumnWidths) {
+  const MvSpec spec = Q11Spec({"d_year"});
+  // d_year 4 + lo_discount 1 + lo_quantity 1 + lo_extendedprice 4 +
+  // d_yearmonthnum 4 + lo_orderdate 4 = 18.
+  EXPECT_EQ(MvRowWidthBytes(spec, *stats_), 18u);
+}
+
+TEST_F(CostModelTest, MoreColumnsMeansMorePages) {
+  MvSpec narrow = Q11Spec({"d_year"});
+  narrow.columns = {"d_year", "lo_discount"};
+  const MvSpec wide = Q11Spec({"d_year"});
+  EXPECT_LT(MvHeapPages(narrow, *stats_, stats_->options().disk),
+            MvHeapPages(wide, *stats_, stats_->options().disk));
+}
+
+TEST_F(CostModelTest, SizeIncludesClusteredInternals) {
+  const MvSpec spec = Q11Spec({"d_year"});
+  const uint64_t heap_bytes =
+      MvHeapPages(spec, *stats_, stats_->options().disk) *
+      stats_->options().disk.page_size_bytes;
+  EXPECT_GE(EstimateMvSizeBytes(spec, *stats_, stats_->options().disk),
+            heap_bytes);
+}
+
+TEST_F(CostModelTest, BaseChargesNothing) {
+  EXPECT_EQ(EstimateMvSizeBytes(BaseSpec(), *stats_, stats_->options().disk),
+            0u);
+}
+
+TEST_F(CostModelTest, ReclusterChargesPkIndex) {
+  MvSpec recluster = BaseSpec();
+  recluster.is_base = false;
+  recluster.clustered_key = {"lo_orderdate"};
+  const uint64_t size =
+      EstimateMvSizeBytes(recluster, *stats_, stats_->options().disk);
+  EXPECT_GT(size, 0u);
+  // A dense PK index is far smaller than the full fact heap.
+  const uint64_t heap_bytes =
+      MvHeapPages(recluster, *stats_, stats_->options().disk) * 8192;
+  EXPECT_LT(size, heap_bytes);
+}
+
+// ---------- Feasibility ----------
+
+TEST_F(CostModelTest, MvCanServeRequiresColumns) {
+  const Query& q11 = workload_->queries[0];
+  EXPECT_TRUE(MvCanServe(q11, Q11Spec({"d_year"})));
+  MvSpec missing = Q11Spec({"d_year"});
+  missing.columns = {"d_year", "lo_discount"};  // no quantity/price
+  EXPECT_FALSE(MvCanServe(q11, missing));
+  // Fact re-clusterings serve everything on their fact.
+  EXPECT_TRUE(MvCanServe(q11, BaseSpec()));
+  // Wrong fact table serves nothing.
+  MvSpec other = Q11Spec({"d_year"});
+  other.fact_table = "nope";
+  EXPECT_FALSE(MvCanServe(q11, other));
+}
+
+TEST_F(CostModelTest, InfeasiblePairCostsInfinity) {
+  CorrelationCostModel model(registry_);
+  MvSpec missing = Q11Spec({"d_year"});
+  missing.columns = {"d_year"};
+  EXPECT_EQ(model.Seconds(workload_->queries[0], missing), kInfeasibleCost);
+}
+
+// ---------- Clustered prefix analysis ----------
+
+TEST_F(CostModelTest, PrefixWalkConsumesEqThenRange) {
+  const Query& q11 = workload_->queries[0];  // year EQ, discount+qty RANGE
+  const auto plan = AnalyzeClusteredPrefix(
+      q11, {"d_year", "lo_discount", "lo_quantity"}, *stats_);
+  // EQ(year) consumed, RANGE(discount) consumed and stops the walk.
+  EXPECT_EQ(plan.consumed_key_columns, 2);
+  EXPECT_LT(plan.selectivity, 0.1);
+  EXPECT_EQ(plan.num_ranges, 1.0);
+}
+
+TEST_F(CostModelTest, PrefixWalkStopsAtUnpredicatedColumn) {
+  const Query& q11 = workload_->queries[0];
+  const auto plan = AnalyzeClusteredPrefix(
+      q11, {"lo_orderdate", "d_year"}, *stats_);
+  EXPECT_FALSE(plan.usable());
+}
+
+TEST_F(CostModelTest, InMultipliesRanges) {
+  Query q;
+  q.id = "t_in";
+  q.fact_table = "lineorder";
+  q.predicates = {Predicate::In("d_year", {1993, 1995, 1997})};
+  const auto plan = AnalyzeClusteredPrefix(q, {"d_year"}, *stats_);
+  EXPECT_EQ(plan.num_ranges, 3.0);
+}
+
+// ---------- Correlation-aware model behaviour ----------
+
+TEST_F(CostModelTest, DedicatedClusteringBeatsFullScan) {
+  CorrelationCostModel model(registry_);
+  const Query& q11 = workload_->queries[0];
+  const MvSpec dedicated = Q11Spec({"d_year", "lo_discount", "lo_quantity"});
+  const MvSpec unclustered = Q11Spec({"lo_extendedprice"});
+  const CostBreakdown fast = model.Cost(q11, dedicated);
+  const CostBreakdown slow = model.Cost(q11, unclustered);
+  EXPECT_LT(fast.seconds, slow.seconds);
+  // The winning plan on a dedicated clustering reads a small slice, never
+  // the whole object (clustered scan and its CM equivalent both qualify).
+  EXPECT_NE(fast.path, AccessPath::kFullScan);
+  EXPECT_LT(fast.selectivity, 0.2);
+}
+
+TEST_F(CostModelTest, CorrelatedClusteringCheaperThanUncorrelated) {
+  // Q1.2 predicates d_yearmonthnum; clustering on lo_orderdate is highly
+  // correlated with it, clustering on lo_extendedprice is not. The
+  // correlation-aware secondary path must price the former far cheaper.
+  CorrelationCostModel model(registry_);
+  const Query& q12 = workload_->queries[1];
+  MvSpec correlated = Q11Spec({"lo_orderdate"});
+  MvSpec uncorrelated = Q11Spec({"lo_extendedprice"});
+  const CostBreakdown corr =
+      model.SecondaryPathCost(q12, correlated, {"d_yearmonthnum"});
+  const CostBreakdown uncorr =
+      model.SecondaryPathCost(q12, uncorrelated, {"d_yearmonthnum"});
+  ASSERT_TRUE(corr.feasible());
+  ASSERT_TRUE(uncorr.feasible());
+  EXPECT_LT(corr.seconds * 2, uncorr.seconds);
+  // The correlated plan touches a fraction of the heap; the uncorrelated
+  // one sweeps almost all of it.
+  EXPECT_LT(corr.selectivity * 5, uncorr.selectivity);
+}
+
+TEST_F(CostModelTest, SecondaryNeverBeatsPhysicalLimits) {
+  CorrelationCostModel model(registry_);
+  const Query& q11 = workload_->queries[0];
+  const MvSpec spec = Q11Spec({"lo_orderdate"});
+  const CostBreakdown any = model.Cost(q11, spec);
+  ASSERT_TRUE(any.feasible());
+  EXPECT_GT(any.seconds, 0.0);
+  const double fullscan =
+      MvFullScanSeconds(spec, *stats_, stats_->options().disk) +
+      stats_->options().disk.seek_seconds;
+  EXPECT_LE(any.seconds, fullscan + 1e-9);
+}
+
+TEST_F(CostModelTest, CostIsDeterministicAndCached) {
+  CorrelationCostModel model(registry_);
+  const Query& q13 = workload_->queries[2];
+  const MvSpec spec = Q11Spec({"d_year", "lo_discount"});
+  const double a = model.Seconds(q13, spec);
+  const double b = model.Seconds(q13, spec);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CostModelTest, BaseServesAllThirteenQueries) {
+  CorrelationCostModel model(registry_);
+  for (const auto& q : workload_->queries) {
+    EXPECT_NE(model.Seconds(q, BaseSpec()), kInfeasibleCost) << q.id;
+  }
+}
+
+// ---------- Oblivious model: the Fig 10 property ----------
+
+TEST_F(CostModelTest, ObliviousModelIsFlatAcrossClusterings) {
+  ObliviousCostModel model(registry_);
+  const Query& q12 = workload_->queries[1];
+  const CostBreakdown a =
+      model.SecondaryCost(q12, Q11Spec({"lo_orderdate"}), {"d_yearmonthnum"});
+  const CostBreakdown b = model.SecondaryCost(
+      q12, Q11Spec({"lo_extendedprice"}), {"d_yearmonthnum"});
+  ASSERT_TRUE(a.feasible());
+  ASSERT_TRUE(b.feasible());
+  EXPECT_NEAR(a.seconds, b.seconds, 1e-9);  // clustering-independent
+}
+
+TEST_F(CostModelTest, ObliviousUnderestimatesUncorrelatedDesigns) {
+  CorrelationCostModel aware(registry_);
+  ObliviousCostModel oblivious(registry_);
+  const Query& q12 = workload_->queries[1];
+  const MvSpec uncorrelated = Q11Spec({"lo_extendedprice"});
+  const CostBreakdown real =
+      aware.SecondaryPathCost(q12, uncorrelated, {"d_yearmonthnum"});
+  const CostBreakdown rosy =
+      oblivious.SecondaryCost(q12, uncorrelated, {"d_yearmonthnum"});
+  ASSERT_TRUE(real.feasible());
+  ASSERT_TRUE(rosy.feasible());
+  EXPECT_LT(rosy.seconds * 3, real.seconds);
+}
+
+TEST_F(CostModelTest, ModelsAgreeOnFullScans) {
+  CorrelationCostModel aware(registry_);
+  ObliviousCostModel oblivious(registry_);
+  Query no_pred;
+  no_pred.id = "t_scan";
+  no_pred.fact_table = "lineorder";
+  no_pred.aggregates = {{"lo_extendedprice", ""}};
+  const MvSpec spec = Q11Spec({"d_year"});
+  EXPECT_NEAR(aware.Seconds(no_pred, spec), oblivious.Seconds(no_pred, spec),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace coradd

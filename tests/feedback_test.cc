@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "cost/correlation_cost_model.h"
+#include "feedback/ilp_feedback.h"
+#include "ssb/ssb.h"
+
+namespace coradd {
+namespace {
+
+class FeedbackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.003;
+    catalog_ = ssb::MakeCatalog(options).release();
+    universe_ = new Universe(*catalog_, *catalog_->GetFactInfo("lineorder"));
+    StatsOptions sopt;
+    sopt.sample_rows = 2048;
+    sopt.disk.page_size_bytes = 1024;
+    stats_ = new UniverseStats(universe_, sopt);
+    registry_ = new StatsRegistry();
+    registry_->Register(stats_);
+    model_ = new CorrelationCostModel(registry_);
+    workload_ = new Workload(ssb::MakeWorkload());
+    CandidateGeneratorOptions gopt;
+    gopt.grouping.alphas = {0.0, 0.5};
+    gopt.grouping.restarts = 1;
+    generator_ = new MvCandidateGenerator(catalog_, registry_, model_, gopt);
+  }
+  static void TearDownTestSuite() {
+    delete generator_;
+    delete workload_;
+    delete model_;
+    delete registry_;
+    delete stats_;
+    delete universe_;
+    delete catalog_;
+  }
+
+  static BuiltProblem InitialProblem(uint64_t budget) {
+    CandidateSet set = generator_->Generate(*workload_);
+    return BuildSelectionProblem(*workload_, std::move(set.mvs), *model_,
+                                 *registry_, budget);
+  }
+
+  static Catalog* catalog_;
+  static Universe* universe_;
+  static UniverseStats* stats_;
+  static StatsRegistry* registry_;
+  static CorrelationCostModel* model_;
+  static Workload* workload_;
+  static MvCandidateGenerator* generator_;
+};
+
+Catalog* FeedbackTest::catalog_ = nullptr;
+Universe* FeedbackTest::universe_ = nullptr;
+UniverseStats* FeedbackTest::stats_ = nullptr;
+StatsRegistry* FeedbackTest::registry_ = nullptr;
+CorrelationCostModel* FeedbackTest::model_ = nullptr;
+Workload* FeedbackTest::workload_ = nullptr;
+MvCandidateGenerator* FeedbackTest::generator_ = nullptr;
+
+TEST_F(FeedbackTest, NeverWorseThanInitialSolution) {
+  const uint64_t budget = 8ull << 20;
+  BuiltProblem initial = InitialProblem(budget);
+  const double before = SolveSelectionExact(initial.problem).expected_cost;
+  FeedbackOptions options;
+  options.max_iterations = 2;
+  const FeedbackOutcome out = RunIlpFeedback(
+      *workload_, *generator_, *model_, *registry_, std::move(initial),
+      budget, options);
+  EXPECT_LE(out.result.expected_cost, before + 1e-9);
+  EXPECT_GE(out.iterations, 1);
+}
+
+TEST_F(FeedbackTest, AddsCandidatesFromSolution) {
+  const uint64_t budget = 8ull << 20;
+  const FeedbackOutcome out = RunIlpFeedback(
+      *workload_, *generator_, *model_, *registry_, InitialProblem(budget),
+      budget, FeedbackOptions{1, 6, 500});
+  EXPECT_GT(out.candidates_added, 0u);
+  EXPECT_GT(out.problem.specs.size(), 0u);
+}
+
+TEST_F(FeedbackTest, ZeroIterationsIsPlainSolve) {
+  const uint64_t budget = 4ull << 20;
+  BuiltProblem initial = InitialProblem(budget);
+  const double plain = SolveSelectionExact(initial.problem).expected_cost;
+  const FeedbackOutcome out = RunIlpFeedback(
+      *workload_, *generator_, *model_, *registry_, std::move(initial),
+      budget, FeedbackOptions{0, 6, 500});
+  EXPECT_NEAR(out.result.expected_cost, plain, 1e-9);
+  EXPECT_EQ(out.candidates_added, 0u);
+}
+
+TEST_F(FeedbackTest, RespectsBudgetAfterFeedback) {
+  for (uint64_t budget : {2ull << 20, 16ull << 20}) {
+    const FeedbackOutcome out = RunIlpFeedback(
+        *workload_, *generator_, *model_, *registry_, InitialProblem(budget),
+        budget, FeedbackOptions{1, 4, 200});
+    EXPECT_LE(out.result.used_bytes, budget);
+    EXPECT_TRUE(SelectionFeasible(out.problem.problem, out.result.chosen));
+  }
+}
+
+TEST_F(FeedbackTest, TighterBudgetNeverBeatsLooser) {
+  const FeedbackOutcome tight = RunIlpFeedback(
+      *workload_, *generator_, *model_, *registry_,
+      InitialProblem(1ull << 20), 1ull << 20, FeedbackOptions{1, 4, 200});
+  const FeedbackOutcome loose = RunIlpFeedback(
+      *workload_, *generator_, *model_, *registry_,
+      InitialProblem(32ull << 20), 32ull << 20, FeedbackOptions{1, 4, 200});
+  EXPECT_GE(tight.result.expected_cost, loose.result.expected_cost - 1e-9);
+}
+
+}  // namespace
+}  // namespace coradd

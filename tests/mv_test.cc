@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include "cost/correlation_cost_model.h"
+#include "mv/candidate_generator.h"
+#include "mv/fk_clustering.h"
+#include "mv/index_merging.h"
+#include "mv/kmeans.h"
+#include "mv/query_grouping.h"
+#include "mv/selectivity_vector.h"
+#include "ssb/ssb.h"
+
+namespace coradd {
+namespace {
+
+class MvModuleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.005;
+    catalog_ = ssb::MakeCatalog(options).release();
+    universe_ = new Universe(*catalog_, *catalog_->GetFactInfo("lineorder"));
+    StatsOptions sopt;
+    sopt.sample_rows = 4096;
+    sopt.disk.page_size_bytes = 1024;
+    stats_ = new UniverseStats(universe_, sopt);
+    registry_ = new StatsRegistry();
+    registry_->Register(stats_);
+    model_ = new CorrelationCostModel(registry_);
+    workload_ = new Workload(ssb::MakeWorkload());
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete model_;
+    delete registry_;
+    delete stats_;
+    delete universe_;
+    delete catalog_;
+  }
+
+  static Catalog* catalog_;
+  static Universe* universe_;
+  static UniverseStats* stats_;
+  static StatsRegistry* registry_;
+  static CorrelationCostModel* model_;
+  static Workload* workload_;
+};
+
+Catalog* MvModuleTest::catalog_ = nullptr;
+Universe* MvModuleTest::universe_ = nullptr;
+UniverseStats* MvModuleTest::stats_ = nullptr;
+StatsRegistry* MvModuleTest::registry_ = nullptr;
+CorrelationCostModel* MvModuleTest::model_ = nullptr;
+Workload* MvModuleTest::workload_ = nullptr;
+
+// ---------- Selectivity vectors (Tables 1-2) ----------
+
+TEST_F(MvModuleTest, RawVectorHoldsPredicateSelectivities) {
+  SelectivityVectorBuilder builder(stats_);
+  const auto v = builder.Raw(workload_->queries[0]);  // Q1.1
+  const int year = universe_->ColumnIndex("d_year");
+  const int discount = universe_->ColumnIndex("lo_discount");
+  const int price = universe_->ColumnIndex("lo_extendedprice");
+  EXPECT_NEAR(v[static_cast<size_t>(year)], 1.0 / 7, 0.03);
+  EXPECT_NEAR(v[static_cast<size_t>(discount)], 3.0 / 11, 0.05);
+  EXPECT_EQ(v[static_cast<size_t>(price)], 1.0);
+}
+
+TEST_F(MvModuleTest, PropagationPushesYearmonthDownToYear) {
+  // Table 2's key effect: Q1.2 predicates yearmonthnum only, but after
+  // propagation d_year's selectivity drops to roughly a single year.
+  SelectivityVectorBuilder builder(stats_);
+  const Query& q12 = workload_->queries[1];
+  const auto raw = builder.Raw(q12);
+  const auto prop = builder.Propagated(q12);
+  const int year = universe_->ColumnIndex("d_year");
+  EXPECT_EQ(raw[static_cast<size_t>(year)], 1.0);
+  EXPECT_LT(prop[static_cast<size_t>(year)], 0.5);
+}
+
+TEST_F(MvModuleTest, PropagationAlsoReachesOrderdate) {
+  // yearmonthnum determines ~30 orderdates of ~2557: lo_orderdate's
+  // propagated selectivity must fall well below 1.
+  SelectivityVectorBuilder builder(stats_);
+  const auto prop = builder.Propagated(workload_->queries[1]);
+  const int od = universe_->ColumnIndex("lo_orderdate");
+  EXPECT_LT(prop[static_cast<size_t>(od)], 0.3);
+}
+
+TEST_F(MvModuleTest, PropagationNeverIncreasesSelectivity) {
+  SelectivityVectorBuilder builder(stats_);
+  for (const auto& q : workload_->queries) {
+    const auto raw = builder.Raw(q);
+    const auto prop = builder.Propagated(q);
+    for (size_t i = 0; i < raw.size(); ++i) {
+      EXPECT_LE(prop[i], raw[i] + 1e-12) << q.id << " col " << i;
+      EXPECT_GE(prop[i], 0.0);
+    }
+  }
+}
+
+TEST_F(MvModuleTest, PropagationTerminates) {
+  // A-4: at most |A| steps. Run with the bound and without; same result.
+  SelectivityVectorBuilder builder(stats_);
+  const Query& q13 = workload_->queries[2];
+  const auto bounded = builder.Propagated(q13);
+  const auto generous = builder.Propagated(q13, 1000);
+  for (size_t i = 0; i < bounded.size(); ++i) {
+    EXPECT_NEAR(bounded[i], generous[i], 1e-9);
+  }
+}
+
+TEST_F(MvModuleTest, ExtendedVectorEncodesTargetBytes) {
+  SelectivityVectorBuilder builder(stats_);
+  const Query& q11 = workload_->queries[0];
+  const auto base = builder.Propagated(q11);
+  const auto ext = ExtendWithTargets(base, q11, *stats_, 0.5);
+  ASSERT_EQ(ext.size(), base.size() + universe_->NumColumns());
+  const int price = universe_->ColumnIndex("lo_extendedprice");
+  const int ck = universe_->ColumnIndex("lo_custkey");
+  EXPECT_GT(ext[base.size() + static_cast<size_t>(price)], 0.0);  // used
+  EXPECT_EQ(ext[base.size() + static_cast<size_t>(ck)], 0.0);     // unused
+  // Alpha zero zeroes the extension.
+  const auto ext0 = ExtendWithTargets(base, q11, *stats_, 0.0);
+  EXPECT_EQ(ext0[base.size() + static_cast<size_t>(price)], 0.0);
+}
+
+// ---------- k-means ----------
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 10; ++i) points.push_back({0.0 + i * 0.01, 0.0});
+  for (int i = 0; i < 10; ++i) points.push_back({100.0 + i * 0.01, 0.0});
+  Rng rng(5);
+  const KMeansResult r = KMeans(points, 2, &rng);
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(r.cluster_of[i], r.cluster_of[0]);
+  for (int i = 11; i < 20; ++i) EXPECT_EQ(r.cluster_of[i], r.cluster_of[10]);
+  EXPECT_NE(r.cluster_of[0], r.cluster_of[10]);
+}
+
+TEST(KMeansTest, KEqualsOnePutsAllTogether) {
+  std::vector<std::vector<double>> points = {{1}, {2}, {3}};
+  Rng rng(5);
+  const KMeansResult r = KMeans(points, 1, &rng);
+  EXPECT_EQ(r.cluster_of, std::vector<int>({0, 0, 0}));
+}
+
+TEST(KMeansTest, KEqualsNSeparatesDistinctPoints) {
+  std::vector<std::vector<double>> points = {{1}, {50}, {1000}};
+  Rng rng(5);
+  const KMeansResult r = KMeans(points, 3, &rng);
+  std::set<int> clusters(r.cluster_of.begin(), r.cluster_of.end());
+  EXPECT_EQ(clusters.size(), 3u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DeterministicGivenRngState) {
+  std::vector<std::vector<double>> points;
+  Rng gen(17);
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({gen.UniformDouble(), gen.UniformDouble()});
+  }
+  Rng r1(9), r2(9);
+  const KMeansResult a = KMeans(points, 5, &r1);
+  const KMeansResult b = KMeans(points, 5, &r2);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithK) {
+  std::vector<std::vector<double>> points;
+  Rng gen(23);
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({gen.UniformDouble() * 10, gen.UniformDouble() * 10});
+  }
+  double prev = 1e18;
+  for (int k : {1, 4, 16, 60}) {
+    Rng rng(3);
+    const KMeansResult r = KMeans(points, k, &rng);
+    EXPECT_LE(r.inertia, prev + 1e-9) << "k=" << k;
+    prev = r.inertia;
+  }
+}
+
+// ---------- Query grouping ----------
+
+TEST_F(MvModuleTest, GroupsIncludeSingletonsAndAll) {
+  QueryGrouper grouper(stats_);
+  std::vector<int> indices;
+  for (int i = 0; i < 13; ++i) indices.push_back(i);
+  const auto groups = grouper.Groups(*workload_, indices);
+  std::set<QueryGroup> set(groups.begin(), groups.end());
+  for (int i = 0; i < 13; ++i) EXPECT_TRUE(set.count({i})) << i;
+  EXPECT_TRUE(set.count(indices));
+  EXPECT_GT(groups.size(), 14u);  // k-means contributes non-trivial groups
+}
+
+TEST_F(MvModuleTest, GroupsPartitionPerRun) {
+  QueryGrouper grouper(stats_);
+  std::vector<int> indices = {0, 1, 2};  // flight 1
+  const auto groups = grouper.Groups(*workload_, indices);
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.empty());
+    for (int qi : g) {
+      EXPECT_GE(qi, 0);
+      EXPECT_LT(qi, 3);
+    }
+    EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+  }
+}
+
+TEST_F(MvModuleTest, SimilarQueriesGroupTogether) {
+  // Flight-1 queries (date+discount+quantity) should co-occur in some
+  // group without flight-3 geography queries.
+  QueryGrouper grouper(stats_);
+  std::vector<int> indices;
+  for (int i = 0; i < 13; ++i) indices.push_back(i);
+  const auto groups = grouper.Groups(*workload_, indices);
+  bool found_flight1_group = false;
+  for (const auto& g : groups) {
+    if (g.size() < 2 || g.size() > 3) continue;
+    bool all_flight1 = true;
+    for (int qi : g) all_flight1 &= qi <= 2;
+    if (all_flight1) found_flight1_group = true;
+  }
+  EXPECT_TRUE(found_flight1_group);
+}
+
+// ---------- Clustered index designer ----------
+
+TEST_F(MvModuleTest, DedicatedKeyOrdersByTypeThenSelectivity) {
+  ClusteredIndexDesigner designer(registry_, model_);
+  // Q1.3: EQ(weeknum), EQ(year), RANGE(discount), RANGE(quantity).
+  const auto key = designer.DedicatedKey(workload_->queries[2], *stats_);
+  ASSERT_EQ(key.size(), 4u);
+  // Equalities first, most selective (weeknum 1/53 < year 1/7) first.
+  EXPECT_EQ(key[0], "d_weeknuminyear");
+  EXPECT_EQ(key[1], "d_year");
+  // Ranges after; discount 3/11 vs quantity 10/50 — selectivity order.
+  EXPECT_EQ(key[2], "lo_quantity");
+  EXPECT_EQ(key[3], "lo_discount");
+}
+
+TEST_F(MvModuleTest, DedicatedKeyPutsInLast) {
+  ClusteredIndexDesigner designer(registry_, model_);
+  // Q4.1: EQ(c_region), EQ(s_region), IN(p_mfgr).
+  const auto key = designer.DedicatedKey(workload_->queries[10], *stats_);
+  ASSERT_EQ(key.size(), 3u);
+  EXPECT_EQ(key[2], "p_mfgr");
+}
+
+TEST_F(MvModuleTest, InterleavingsPreserveOrder) {
+  ClusteredIndexDesigner designer(registry_, model_);
+  const auto merges = designer.Interleavings({"a", "b"}, {"x", "y"});
+  EXPECT_EQ(merges.size(), 6u);  // C(4,2)
+  for (const auto& m : merges) {
+    ASSERT_EQ(m.size(), 4u);
+    const auto pos = [&](const std::string& s) {
+      return std::find(m.begin(), m.end(), s) - m.begin();
+    };
+    EXPECT_LT(pos("a"), pos("b"));
+    EXPECT_LT(pos("x"), pos("y"));
+  }
+}
+
+TEST_F(MvModuleTest, InterleavingsDropDuplicatesFromSecond) {
+  ClusteredIndexDesigner designer(registry_, model_);
+  const auto merges = designer.Interleavings({"a", "b"}, {"b", "c"});
+  for (const auto& m : merges) {
+    EXPECT_EQ(m.size(), 3u);
+    EXPECT_EQ(std::count(m.begin(), m.end(), "b"), 1);
+  }
+}
+
+TEST_F(MvModuleTest, ConcatenationOnlyModeYieldsTwo) {
+  IndexMergingOptions options;
+  options.concatenation_only = true;
+  ClusteredIndexDesigner designer(registry_, model_, options);
+  const auto merges = designer.Interleavings({"a", "b"}, {"x"});
+  ASSERT_EQ(merges.size(), 2u);
+  EXPECT_EQ(merges[0], (std::vector<std::string>{"a", "b", "x"}));
+  EXPECT_EQ(merges[1], (std::vector<std::string>{"x", "a", "b"}));
+}
+
+TEST_F(MvModuleTest, DesignGroupEmitsAtMostT) {
+  ClusteredIndexDesigner designer(registry_, model_);
+  const QueryGroup group = {0, 1, 2};
+  const auto specs = designer.DesignGroup(*workload_, group, "lineorder");
+  EXPECT_GE(specs.size(), 1u);
+  EXPECT_LE(specs.size(), 2u);  // default t = 2
+  const auto specs6 =
+      designer.DesignGroup(*workload_, group, "lineorder", 6);
+  EXPECT_GT(specs6.size(), specs.size());
+  EXPECT_LE(specs6.size(), 6u);
+}
+
+TEST_F(MvModuleTest, DesignGroupColumnsCoverAllQueries) {
+  ClusteredIndexDesigner designer(registry_, model_);
+  const QueryGroup group = {0, 1, 2};
+  for (const auto& spec : designer.DesignGroup(*workload_, group, "lineorder")) {
+    for (int qi : group) {
+      for (const auto& col :
+           workload_->queries[static_cast<size_t>(qi)].AllColumns()) {
+        EXPECT_NE(std::find(spec.columns.begin(), spec.columns.end(), col),
+                  spec.columns.end())
+            << spec.name << " missing " << col;
+      }
+    }
+    EXPECT_FALSE(spec.clustered_key.empty());
+    EXPECT_LE(spec.clustered_key.size(), 7u);
+    // Clustered key attrs must be stored in the MV.
+    for (const auto& k : spec.clustered_key) {
+      EXPECT_NE(std::find(spec.columns.begin(), spec.columns.end(), k),
+                spec.columns.end());
+    }
+  }
+}
+
+TEST_F(MvModuleTest, BestClusteringIsNoWorseThanConcatOnly) {
+  const QueryGroup group = {0, 3};  // Q1.1 + Q2.1: disjoint predicates
+  ClusteredIndexDesigner interleaved(registry_, model_);
+  IndexMergingOptions concat_options;
+  concat_options.concatenation_only = true;
+  ClusteredIndexDesigner concat(registry_, model_, concat_options);
+
+  auto cost_of = [&](const std::vector<MvSpec>& specs) {
+    double best = kInfeasibleCost;
+    for (const auto& s : specs) {
+      double total = 0.0;
+      for (int qi : group) {
+        total += model_->Seconds(workload_->queries[static_cast<size_t>(qi)], s);
+      }
+      best = std::min(best, total);
+    }
+    return best;
+  };
+  EXPECT_LE(cost_of(interleaved.DesignGroup(*workload_, group, "lineorder")),
+            cost_of(concat.DesignGroup(*workload_, group, "lineorder")) + 1e-9);
+}
+
+// ---------- FK clustering ----------
+
+TEST_F(MvModuleTest, FkCandidatesIncludeBaseAndAllFks) {
+  const auto specs = FkReclusterCandidates(
+      *catalog_->GetFactInfo("lineorder"), *stats_, *workload_);
+  ASSERT_GE(specs.size(), 5u);  // base + 4 FKs at least
+  EXPECT_TRUE(specs[0].is_base);
+  EXPECT_EQ(specs[0].clustered_key,
+            (std::vector<std::string>{"lo_orderkey", "lo_linenumber"}));
+  std::set<std::string> keys;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(s.is_fact_recluster);
+    EXPECT_EQ(s.query_group.size(), workload_->queries.size());
+    if (s.clustered_key.size() == 1) keys.insert(s.clustered_key[0]);
+  }
+  EXPECT_TRUE(keys.count("lo_orderdate"));
+  EXPECT_TRUE(keys.count("lo_custkey"));
+  EXPECT_TRUE(keys.count("lo_suppkey"));
+  EXPECT_TRUE(keys.count("lo_partkey"));
+  // Predicated fact columns appear too (discount/quantity).
+  EXPECT_TRUE(keys.count("lo_discount"));
+}
+
+// ---------- Candidate generator ----------
+
+TEST_F(MvModuleTest, GeneratorProducesRichCandidatePool) {
+  CandidateGeneratorOptions options;
+  options.grouping.alphas = {0.0, 0.5};
+  MvCandidateGenerator generator(catalog_, registry_, model_, options);
+  const CandidateSet set = generator.Generate(*workload_);
+  EXPECT_GT(set.mvs.size(), 40u);
+  size_t bases = 0, reclusters = 0, mvs = 0;
+  for (const auto& s : set.mvs) {
+    if (s.is_base) {
+      ++bases;
+    } else if (s.is_fact_recluster) {
+      ++reclusters;
+    } else {
+      ++mvs;
+    }
+  }
+  EXPECT_EQ(bases, 1u);
+  EXPECT_GT(reclusters, 3u);
+  EXPECT_GT(mvs, 30u);
+  EXPECT_FALSE(set.groups.empty());
+}
+
+}  // namespace
+}  // namespace coradd

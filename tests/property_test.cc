@@ -1,0 +1,213 @@
+// Parameterized property sweeps across module boundaries: invariants that
+// must hold for *any* input in the swept family, complementing the
+// example-based tests in the per-module files.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "ilp/branch_and_bound.h"
+#include "ilp/domination.h"
+#include "ilp/greedy_mk.h"
+#include "ssb/ssb.h"
+#include "stats/histogram.h"
+#include "storage/layout.h"
+
+namespace coradd {
+namespace {
+
+// ---------- Histogram: estimates within bounds for any data shape ----------
+
+struct HistCase {
+  uint64_t seed;
+  size_t rows;
+  int64_t domain;
+  size_t buckets;
+  bool zipf;
+};
+
+class HistogramPropertyTest : public ::testing::TestWithParam<HistCase> {};
+
+TEST_P(HistogramPropertyTest, RangeEstimateTracksExactCount) {
+  const HistCase c = GetParam();
+  Rng rng(c.seed);
+  std::vector<int64_t> values;
+  values.reserve(c.rows);
+  for (size_t i = 0; i < c.rows; ++i) {
+    values.push_back(static_cast<int64_t>(
+        c.zipf ? rng.Zipf(static_cast<uint64_t>(c.domain), 0.9)
+               : rng.Uniform(static_cast<uint64_t>(c.domain))));
+  }
+  const Histogram h = Histogram::Build(values, c.buckets);
+  Rng qrng(c.seed * 31 + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = qrng.UniformInt(0, c.domain - 1);
+    int64_t hi = qrng.UniformInt(0, c.domain - 1);
+    if (lo > hi) std::swap(lo, hi);
+    size_t exact = 0;
+    for (int64_t v : values) {
+      if (v >= lo && v <= hi) ++exact;
+    }
+    const double est = h.SelectivityRange(lo, hi);
+    const double truth = static_cast<double>(exact) / c.rows;
+    EXPECT_GE(est, 0.0);
+    EXPECT_LE(est, 1.0 + 1e-12);
+    // Within-bucket uniformity bounds the error by ~2 bucket masses.
+    EXPECT_NEAR(est, truth, 2.0 / static_cast<double>(c.buckets) + 0.02)
+        << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST_P(HistogramPropertyTest, SelectivitiesSumToOneOverPartition) {
+  const HistCase c = GetParam();
+  Rng rng(c.seed);
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < c.rows; ++i) {
+    values.push_back(static_cast<int64_t>(
+        c.zipf ? rng.Zipf(static_cast<uint64_t>(c.domain), 0.9)
+               : rng.Uniform(static_cast<uint64_t>(c.domain))));
+  }
+  const Histogram h = Histogram::Build(values, c.buckets);
+  // Disjoint thirds of the domain partition all rows.
+  const int64_t a = c.domain / 3, b = 2 * c.domain / 3;
+  const double total = h.SelectivityRange(0, a - 1) +
+                       h.SelectivityRange(a, b - 1) +
+                       h.SelectivityRange(b, c.domain - 1);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HistogramPropertyTest,
+    ::testing::Values(HistCase{1, 20000, 1000, 64, false},
+                      HistCase{2, 20000, 1000, 64, true},
+                      HistCase{3, 5000, 100000, 128, false},
+                      HistCase{4, 5000, 100000, 128, true},
+                      HistCase{5, 50000, 37, 256, false},
+                      HistCase{6, 1000, 7, 4, true}));
+
+// ---------- CoalescePages: coverage and minimality for any page set -------
+
+class CoalescePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoalescePropertyTest, RunsCoverAllPagesExactlyOnce) {
+  Rng rng(GetParam());
+  std::vector<uint64_t> pages;
+  const size_t n = 1 + rng.Uniform(500);
+  for (size_t i = 0; i < n; ++i) pages.push_back(rng.Uniform(2000));
+  std::sort(pages.begin(), pages.end());
+  const uint64_t gap = rng.Uniform(5);
+  const auto runs = CoalescePages(pages, gap);
+
+  // Every input page is inside some run.
+  for (uint64_t p : pages) {
+    bool covered = false;
+    for (const auto& r : runs) {
+      if (p >= r.first_page && p <= r.last_page) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << p;
+  }
+  // Runs are sorted, non-overlapping, and separated by more than the gap
+  // (otherwise they would have merged).
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_GT(runs[i].first_page, runs[i - 1].last_page);
+    EXPECT_GT(runs[i].first_page - runs[i - 1].last_page, gap + 1);
+  }
+  // Run endpoints are actual pages from the input.
+  for (const auto& r : runs) {
+    EXPECT_TRUE(std::binary_search(pages.begin(), pages.end(), r.first_page));
+    EXPECT_TRUE(std::binary_search(pages.begin(), pages.end(), r.last_page));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescePropertyTest,
+                         ::testing::Range<uint64_t>(100, 110));
+
+// ---------- BTreeShape: monotone and sane for any geometry ----------------
+
+TEST(BTreeShapePropertyTest, MonotoneInEntries) {
+  uint64_t prev_pages = 0;
+  uint32_t prev_height = 0;
+  for (uint64_t n : {10ull, 1000ull, 100000ull, 10000000ull, 1000000000ull}) {
+    const BTreeShape s = ComputeBTreeShape(n, 12, 4);
+    EXPECT_GE(s.TotalPages(), prev_pages);
+    EXPECT_GE(s.height, prev_height);
+    prev_pages = s.TotalPages();
+    prev_height = s.height;
+  }
+}
+
+TEST(BTreeShapePropertyTest, WiderEntriesNeedMorePages) {
+  for (uint32_t bytes : {8u, 16u, 64u, 256u}) {
+    const BTreeShape narrow = ComputeBTreeShape(1000000, bytes, 4);
+    const BTreeShape wide = ComputeBTreeShape(1000000, bytes * 2, 4);
+    EXPECT_GE(wide.leaf_pages, narrow.leaf_pages) << bytes;
+  }
+}
+
+// ---------- Solver trio ordering on random instances ----------------------
+
+class SolverOrderingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverOrderingTest, ExactLeqGreedyMkAndDensityGreedy) {
+  Rng rng(GetParam());
+  SelectionProblem p;
+  p.budget_bytes = 10 + rng.Uniform(40);
+  p.sizes = {0};
+  p.forced = {0};
+  const size_t nm = 6 + rng.Uniform(14);
+  for (size_t m = 1; m < nm; ++m) p.sizes.push_back(rng.Uniform(12) + 1);
+  const size_t nq = 2 + rng.Uniform(6);
+  p.costs.resize(nq);
+  for (auto& row : p.costs) {
+    row.push_back(50.0 + static_cast<double>(rng.Uniform(50)));
+    for (size_t m = 1; m < nm; ++m) {
+      row.push_back(rng.Bernoulli(0.4)
+                        ? kInfeasibleCost
+                        : 1.0 + static_cast<double>(rng.Uniform(40)));
+    }
+  }
+  if (nm > 5 && rng.Bernoulli(0.5)) p.sos1_groups = {{1, 2, 3}};
+
+  const SelectionResult exact = SolveSelectionExact(p);
+  const SelectionResult mk = SolveSelectionGreedyMk(p);
+  const SelectionResult density = SolveSelectionGreedyDensity(p);
+  EXPECT_TRUE(exact.proved_optimal);
+  EXPECT_LE(exact.expected_cost, mk.expected_cost + 1e-9);
+  EXPECT_LE(exact.expected_cost, density.expected_cost + 1e-9);
+  EXPECT_TRUE(SelectionFeasible(p, exact.chosen));
+  EXPECT_TRUE(SelectionFeasible(p, mk.chosen));
+  EXPECT_TRUE(SelectionFeasible(p, density.chosen));
+
+  // Domination pruning must not change the exact optimum.
+  const SelectionProblem pruned = CompactProblem(p, DominatedMask(p));
+  EXPECT_NEAR(SolveSelectionExact(pruned).expected_cost, exact.expected_cost,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverOrderingTest,
+                         ::testing::Range<uint64_t>(500, 515));
+
+// ---------- SSB scaling invariants ----------------------------------------
+
+class SsbScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SsbScaleTest, RowCountsScaleLinearly) {
+  ssb::SsbOptions options;
+  options.scale_factor = GetParam();
+  auto catalog = ssb::MakeCatalog(options);
+  EXPECT_EQ(catalog->GetTable("lineorder")->NumRows(),
+            options.LineorderRows());
+  // Date dimension is scale-independent.
+  EXPECT_EQ(catalog->GetTable("date")->NumRows(), 2557u);
+  // The universe join must resolve at every scale.
+  Universe u(*catalog, *catalog->GetFactInfo("lineorder"));
+  EXPECT_EQ(u.NumRows(), options.LineorderRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SsbScaleTest,
+                         ::testing::Values(0.001, 0.002, 0.005));
+
+}  // namespace
+}  // namespace coradd

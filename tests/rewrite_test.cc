@@ -1,0 +1,220 @@
+// Tests for CM-based query rewriting (A-1.3) and DDL export.
+#include <gtest/gtest.h>
+
+#include "core/coradd_designer.h"
+#include "core/ddl_export.h"
+#include "cost/correlation_cost_model.h"
+#include "exec/executor.h"
+#include "exec/rewrite.h"
+#include "ssb/ssb.h"
+
+namespace coradd {
+namespace {
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.005;
+    catalog_ = ssb::MakeCatalog(options).release();
+    universe_ = new Universe(*catalog_, *catalog_->GetFactInfo("lineorder"));
+    StatsOptions sopt;
+    sopt.sample_rows = 4096;
+    sopt.disk.page_size_bytes = 1024;
+    sopt.disk.seek_seconds = 0.0055 / 8.0;
+    stats_ = new UniverseStats(universe_, sopt);
+    registry_ = new StatsRegistry();
+    registry_->Register(stats_);
+    model_ = new CorrelationCostModel(registry_);
+
+    // Fact table re-clustered on orderdate with a commitdate CM: the
+    // paper's running example (A-1.3).
+    MvSpec spec;
+    spec.name = "lineorder_by_od";
+    spec.fact_table = "lineorder";
+    for (size_t c = 0; c < universe_->fact_table().schema().NumColumns();
+         ++c) {
+      spec.columns.push_back(universe_->fact_table().schema().Column(c).name);
+    }
+    spec.clustered_key = {"lo_orderdate"};
+    spec.is_fact_recluster = true;
+    CmSpec cm;
+    cm.key_columns = {"lo_commitdate"};
+    Materializer materializer(universe_, stats_->options().disk);
+    object_ = materializer.Materialize(spec, {cm}).release();
+  }
+  static void TearDownTestSuite() {
+    delete object_;
+    delete model_;
+    delete registry_;
+    delete stats_;
+    delete universe_;
+    delete catalog_;
+  }
+
+  static Query CommitDateQuery(int64_t lo, int64_t hi) {
+    Query q;
+    q.id = "rw";
+    q.fact_table = "lineorder";
+    q.predicates = {Predicate::Range("lo_commitdate", lo, hi)};
+    q.aggregates = {{"lo_extendedprice", "lo_discount"}};
+    return q;
+  }
+
+  static Catalog* catalog_;
+  static Universe* universe_;
+  static UniverseStats* stats_;
+  static StatsRegistry* registry_;
+  static CorrelationCostModel* model_;
+  static MaterializedObject* object_;
+};
+
+Catalog* RewriteTest::catalog_ = nullptr;
+Universe* RewriteTest::universe_ = nullptr;
+UniverseStats* RewriteTest::stats_ = nullptr;
+StatsRegistry* RewriteTest::registry_ = nullptr;
+CorrelationCostModel* RewriteTest::model_ = nullptr;
+MaterializedObject* RewriteTest::object_ = nullptr;
+
+TEST_F(RewriteTest, AddsSteeringPredicateOnClusteredAttr) {
+  const Query q = CommitDateQuery(19950101, 19950107);
+  const RewriteResult r = RewriteWithCms(q, *object_);
+  ASSERT_TRUE(r.rewritten);
+  EXPECT_EQ(r.added_predicates, 1);
+  ASSERT_EQ(r.query.predicates.size(), 2u);
+  EXPECT_EQ(r.query.predicates[1].column, "lo_orderdate");
+  EXPECT_EQ(r.query.predicates[1].type, PredicateType::kIn);
+  EXPECT_GT(r.enumerated_values, 0u);
+}
+
+TEST_F(RewriteTest, RewritePreservesSemantics) {
+  // The steering predicate must not change the result: same rows, same
+  // aggregate, on the rewritten query.
+  const Query original = CommitDateQuery(19950301, 19950305);
+  const RewriteResult r = RewriteWithCms(original, *object_);
+  ASSERT_TRUE(r.rewritten);
+
+  auto evaluate = [&](const Query& q) {
+    double agg = 0.0;
+    uint64_t rows = 0;
+    const Table& t = object_->table->table();
+    const int cd = t.schema().ColumnIndex("lo_commitdate");
+    const int od = t.schema().ColumnIndex("lo_orderdate");
+    const int price = t.schema().ColumnIndex("lo_extendedprice");
+    const int disc = t.schema().ColumnIndex("lo_discount");
+    for (RowId row = 0; row < t.NumRows(); ++row) {
+      bool ok = true;
+      for (const auto& p : q.predicates) {
+        const int col = p.column == "lo_commitdate" ? cd : od;
+        if (!p.Matches(t.Value(row, static_cast<size_t>(col)))) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      ++rows;
+      agg += static_cast<double>(t.Value(row, static_cast<size_t>(price))) *
+             static_cast<double>(t.Value(row, static_cast<size_t>(disc)));
+    }
+    return std::make_pair(agg, rows);
+  };
+  const auto [agg_orig, rows_orig] = evaluate(original);
+  const auto [agg_rw, rows_rw] = evaluate(r.query);
+  EXPECT_EQ(rows_orig, rows_rw);
+  EXPECT_NEAR(agg_orig, agg_rw, std::abs(agg_orig) * 1e-12 + 1e-9);
+  EXPECT_GT(rows_orig, 0u);
+}
+
+TEST_F(RewriteTest, RewrittenQueryUsesClusteredAccess) {
+  // After rewriting, the plain clustered-prefix machinery can serve the
+  // query: the added IN predicate turns the correlated region into ranges.
+  const Query q = CommitDateQuery(19950601, 19950603);
+  const RewriteResult r = RewriteWithCms(q, *object_);
+  ASSERT_TRUE(r.rewritten);
+  const ClusteredPrefixPlan plan = AnalyzeClusteredPrefix(
+      r.query, object_->spec.clustered_key, *stats_);
+  EXPECT_TRUE(plan.usable());
+}
+
+TEST_F(RewriteTest, NoCmMeansNoRewrite) {
+  Query q;
+  q.id = "norw";
+  q.fact_table = "lineorder";
+  q.predicates = {Predicate::Eq("lo_quantity", 5)};  // no CM on quantity
+  q.aggregates = {{"lo_revenue", ""}};
+  const RewriteResult r = RewriteWithCms(q, *object_);
+  EXPECT_FALSE(r.rewritten);
+  EXPECT_EQ(r.query.predicates.size(), 1u);
+}
+
+TEST_F(RewriteTest, AlreadyClusteredPredicateSkipsRewrite) {
+  Query q = CommitDateQuery(19950101, 19950107);
+  q.predicates.push_back(Predicate::Range("lo_orderdate", 19941001, 19950107));
+  const RewriteResult r = RewriteWithCms(q, *object_);
+  EXPECT_FALSE(r.rewritten);
+}
+
+TEST_F(RewriteTest, HugeExpansionIsSkipped) {
+  // A predicate matching nearly everything would need a gigantic IN-list;
+  // the rewriter must decline rather than emit it.
+  const Query q = CommitDateQuery(19920101, 19990101);
+  const RewriteResult r = RewriteWithCms(q, *object_, /*max_in_values=*/64);
+  EXPECT_FALSE(r.rewritten);
+}
+
+// ---------- DDL export ----------
+
+TEST(DdlExportTest, RendersAllObjectKinds) {
+  ssb::SsbOptions options;
+  options.scale_factor = 0.002;
+  auto catalog = ssb::MakeCatalog(options);
+  Workload workload = ssb::MakeWorkload();
+  StatsOptions sopt;
+  sopt.sample_rows = 2048;
+  sopt.disk.page_size_bytes = 1024;
+  DesignContext context(catalog.get(), workload, sopt);
+  CoraddOptions copt;
+  copt.use_feedback = false;
+  copt.candidates.grouping.alphas = {0.0, 0.5};
+  copt.candidates.grouping.restarts = 1;
+  CoraddDesigner designer(&context, copt);
+  const DatabaseDesign design = designer.Design(workload, 32ull << 20);
+
+  const std::string ddl = ExportDdl(design, workload);
+  EXPECT_NE(ddl.find("CORADD design"), std::string::npos);
+  EXPECT_NE(ddl.find("-- query routing"), std::string::npos);
+  // Every query appears in the routing section.
+  for (const auto& q : workload.queries) {
+    EXPECT_NE(ddl.find(q.id), std::string::npos) << q.id;
+  }
+  // Non-base objects appear as DDL statements.
+  for (const auto& obj : design.objects) {
+    if (obj.spec.is_base) continue;
+    if (obj.spec.is_fact_recluster) {
+      EXPECT_NE(ddl.find("CLUSTER TABLE " + obj.spec.fact_table),
+                std::string::npos);
+    } else {
+      EXPECT_NE(ddl.find(obj.spec.name), std::string::npos);
+    }
+  }
+}
+
+TEST(DdlExportTest, RoutingCanBeDisabled) {
+  DatabaseDesign design;
+  design.designer = "CORADD";
+  DesignedObject base;
+  base.spec.name = "b";
+  base.spec.fact_table = "f";
+  base.spec.is_fact_recluster = true;
+  base.spec.is_base = true;
+  base.spec.clustered_key = {"pk"};
+  design.objects.push_back(base);
+  Workload w;
+  DdlOptions options;
+  options.include_routing = false;
+  const std::string ddl = ExportDdl(design, w, options);
+  EXPECT_EQ(ddl.find("query routing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coradd

@@ -1,0 +1,105 @@
+// End-to-end smoke test: tiny SSB, full CORADD pipeline, executed designs.
+// Deeper per-module behaviour is covered by the dedicated test files; this
+// one asserts the pipeline holds together and answers stay consistent.
+#include <gtest/gtest.h>
+
+#include "core/baseline_designers.h"
+#include "core/coradd_designer.h"
+#include "core/evaluator.h"
+#include "ssb/ssb.h"
+
+namespace coradd {
+namespace {
+
+class SmokeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.002;  // ~12k lineorder rows
+    catalog_ = ssb::MakeCatalog(options).release();
+    workload_ = new Workload(ssb::MakeWorkload());
+    StatsOptions stats;
+    stats.sample_rows = 4096;
+    context_ = new DesignContext(catalog_, *workload_, stats);
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete workload_;
+    delete catalog_;
+  }
+
+  static Catalog* catalog_;
+  static Workload* workload_;
+  static DesignContext* context_;
+};
+
+Catalog* SmokeTest::catalog_ = nullptr;
+Workload* SmokeTest::workload_ = nullptr;
+DesignContext* SmokeTest::context_ = nullptr;
+
+TEST_F(SmokeTest, CoraddDesignsAndRuns) {
+  CoraddOptions options;
+  options.feedback.max_iterations = 1;
+  CoraddDesigner designer(context_, options);
+  const uint64_t budget = 64ull << 20;  // 64 MB
+  DatabaseDesign design = designer.Design(*workload_, budget);
+
+  EXPECT_FALSE(design.objects.empty());
+  EXPECT_LE(design.object_bytes, budget);
+  for (int oi : design.object_for_query) EXPECT_GE(oi, 0);
+
+  DesignEvaluator evaluator(context_);
+  const WorkloadRunResult run =
+      evaluator.Run(design, *workload_, designer.model());
+  EXPECT_GT(run.total_seconds, 0.0);
+  EXPECT_EQ(run.per_query.size(), workload_->queries.size());
+}
+
+TEST_F(SmokeTest, DesignsAgreeOnQueryAnswers) {
+  // The same query must return the same aggregate on every design: a base-
+  // only design vs. a full CORADD design.
+  CoraddOptions options;
+  options.feedback.max_iterations = 0;
+  options.use_feedback = false;
+  CoraddDesigner designer(context_, options);
+  DatabaseDesign rich = designer.Design(*workload_, 64ull << 20);
+  DatabaseDesign poor = designer.Design(*workload_, 0);  // base only
+
+  DesignEvaluator evaluator(context_);
+  const WorkloadRunResult run_rich =
+      evaluator.Run(rich, *workload_, designer.model());
+  const WorkloadRunResult run_poor =
+      evaluator.Run(poor, *workload_, designer.model());
+  ASSERT_EQ(run_rich.per_query.size(), run_poor.per_query.size());
+  for (size_t i = 0; i < run_rich.per_query.size(); ++i) {
+    EXPECT_NEAR(run_rich.per_query[i].aggregate,
+                run_poor.per_query[i].aggregate,
+                1e-6 * std::abs(run_poor.per_query[i].aggregate) + 1e-6)
+        << workload_->queries[i].id;
+    EXPECT_EQ(run_rich.per_query[i].rows_output,
+              run_poor.per_query[i].rows_output)
+        << workload_->queries[i].id;
+  }
+}
+
+TEST_F(SmokeTest, BaselinesDesignAndRun) {
+  const uint64_t budget = 32ull << 20;
+  NaiveDesigner naive(context_);
+  DatabaseDesign naive_design = naive.Design(*workload_, budget);
+  EXPECT_FALSE(naive_design.objects.empty());
+
+  CommercialDesigner commercial(context_);
+  DatabaseDesign comm_design = commercial.Design(*workload_, budget);
+  EXPECT_FALSE(comm_design.objects.empty());
+
+  DesignEvaluator evaluator(context_);
+  const WorkloadRunResult naive_run =
+      evaluator.Run(naive_design, *workload_, naive.model());
+  const WorkloadRunResult comm_run =
+      evaluator.Run(comm_design, *workload_, commercial.model());
+  EXPECT_GT(naive_run.total_seconds, 0.0);
+  EXPECT_GT(comm_run.total_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace coradd

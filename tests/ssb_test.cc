@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/universe.h"
+#include "ssb/ssb.h"
+
+namespace coradd {
+namespace ssb {
+namespace {
+
+class SsbGeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SsbOptions options;
+    options.scale_factor = 0.002;
+    catalog_ = MakeCatalog(options).release();
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+  static Catalog* catalog_;
+};
+
+Catalog* SsbGeneratorTest::catalog_ = nullptr;
+
+TEST_F(SsbGeneratorTest, TablesExistWithExpectedSizes) {
+  SsbOptions options;
+  options.scale_factor = 0.002;
+  EXPECT_EQ(catalog_->GetTable("lineorder")->NumRows(),
+            options.LineorderRows());
+  EXPECT_EQ(catalog_->GetTable("customer")->NumRows(), options.CustomerRows());
+  EXPECT_EQ(catalog_->GetTable("supplier")->NumRows(), options.SupplierRows());
+  EXPECT_EQ(catalog_->GetTable("part")->NumRows(), options.PartRows());
+  EXPECT_EQ(catalog_->GetTable("date")->NumRows(), 2557u);  // 1992-1998
+}
+
+TEST_F(SsbGeneratorTest, DateHierarchyIsConsistent) {
+  const Table* date = catalog_->GetTable("date");
+  const int key = date->schema().ColumnIndex("d_datekey");
+  const int year = date->schema().ColumnIndex("d_year");
+  const int ymn = date->schema().ColumnIndex("d_yearmonthnum");
+  const int month = date->schema().ColumnIndex("d_monthnuminyear");
+  const int week = date->schema().ColumnIndex("d_weeknuminyear");
+  for (RowId r = 0; r < date->NumRows(); ++r) {
+    const int64_t k = date->Value(r, key);
+    EXPECT_EQ(date->Value(r, year), k / 10000);
+    EXPECT_EQ(date->Value(r, ymn), k / 100);
+    EXPECT_EQ(date->Value(r, month), (k / 100) % 100);
+    EXPECT_GE(date->Value(r, week), 1);
+    EXPECT_LE(date->Value(r, week), 53);
+  }
+}
+
+TEST_F(SsbGeneratorTest, GeographyHierarchyIsFunctional) {
+  for (const char* table_name : {"customer", "supplier"}) {
+    const Table* t = catalog_->GetTable(table_name);
+    const std::string prefix = table_name[0] == 'c' ? "c_" : "s_";
+    const int city = t->schema().ColumnIndex(prefix + "city");
+    const int nation = t->schema().ColumnIndex(prefix + "nation");
+    const int region = t->schema().ColumnIndex(prefix + "region");
+    for (RowId r = 0; r < t->NumRows(); ++r) {
+      EXPECT_EQ(t->Value(r, nation), t->Value(r, city) / kCitiesPerNation);
+      EXPECT_EQ(t->Value(r, region),
+                RegionOfNation(static_cast<int>(t->Value(r, nation))));
+    }
+  }
+}
+
+TEST_F(SsbGeneratorTest, PartHierarchyIsFunctional) {
+  const Table* part = catalog_->GetTable("part");
+  const int mfgr = part->schema().ColumnIndex("p_mfgr");
+  const int cat = part->schema().ColumnIndex("p_category");
+  const int brand = part->schema().ColumnIndex("p_brand1");
+  for (RowId r = 0; r < part->NumRows(); ++r) {
+    EXPECT_EQ(part->Value(r, cat), part->Value(r, brand) / 40);
+    EXPECT_EQ(part->Value(r, mfgr), part->Value(r, cat) / 5);
+  }
+}
+
+TEST_F(SsbGeneratorTest, CommitDateFollowsOrderDate) {
+  const Table* lo = catalog_->GetTable("lineorder");
+  const int od = lo->schema().ColumnIndex("lo_orderdate");
+  const int cd = lo->schema().ColumnIndex("lo_commitdate");
+  for (RowId r = 0; r < lo->NumRows(); ++r) {
+    EXPECT_GE(lo->Value(r, cd), lo->Value(r, od));
+  }
+}
+
+TEST_F(SsbGeneratorTest, RevenueDerivesFromPriceAndDiscount) {
+  const Table* lo = catalog_->GetTable("lineorder");
+  const int price = lo->schema().ColumnIndex("lo_extendedprice");
+  const int disc = lo->schema().ColumnIndex("lo_discount");
+  const int rev = lo->schema().ColumnIndex("lo_revenue");
+  for (RowId r = 0; r < std::min<size_t>(lo->NumRows(), 1000); ++r) {
+    EXPECT_EQ(lo->Value(r, rev),
+              lo->Value(r, price) * (100 - lo->Value(r, disc)) / 100);
+  }
+}
+
+TEST_F(SsbGeneratorTest, ForeignKeysResolve) {
+  // Universe construction CHECKs every FK; surviving it proves integrity.
+  const FactTableInfo* info = catalog_->GetFactInfo("lineorder");
+  ASSERT_NE(info, nullptr);
+  Universe u(*catalog_, *info);
+  EXPECT_EQ(u.NumRows(), catalog_->GetTable("lineorder")->NumRows());
+  EXPECT_GT(u.NumColumns(),
+            catalog_->GetTable("lineorder")->schema().NumColumns());
+}
+
+TEST_F(SsbGeneratorTest, DeterministicAcrossRuns) {
+  SsbOptions options;
+  options.scale_factor = 0.002;
+  auto again = MakeCatalog(options);
+  const Table* a = catalog_->GetTable("lineorder");
+  const Table* b = again->GetTable("lineorder");
+  ASSERT_EQ(a->NumRows(), b->NumRows());
+  for (RowId r = 0; r < 100; ++r) {
+    for (size_t c = 0; c < a->schema().NumColumns(); ++c) {
+      ASSERT_EQ(a->Value(r, c), b->Value(r, c));
+    }
+  }
+}
+
+// ---------- Encodings ----------
+
+TEST(SsbEncodingTest, CityCodes) {
+  EXPECT_EQ(CityCode("UNITED KI1"), 23 * 10 + 1);
+  EXPECT_EQ(CityCode("UNITED ST0"), 24 * 10 + 0);
+  EXPECT_EQ(CityCode("ALGERIA  9"), 9);
+}
+
+TEST(SsbEncodingTest, NationAndRegionCodes) {
+  EXPECT_EQ(NationCode("UNITED STATES"), 24);
+  EXPECT_EQ(NationCode("ALGERIA"), 0);
+  EXPECT_EQ(RegionCode("AFRICA"), 0);
+  EXPECT_EQ(RegionCode("MIDDLE EAST"), 4);
+  EXPECT_EQ(RegionOfNation(static_cast<int>(NationCode("UNITED STATES"))),
+            static_cast<int>(RegionCode("AMERICA")));
+}
+
+TEST(SsbEncodingTest, PartCodes) {
+  EXPECT_EQ(MfgrCode("MFGR#1"), 0);
+  EXPECT_EQ(MfgrCode("MFGR#5"), 4);
+  EXPECT_EQ(CategoryCode("MFGR#12"), 1);
+  EXPECT_EQ(CategoryCode("MFGR#55"), 24);
+  EXPECT_EQ(BrandCode("MFGR#1101"), 0);
+  EXPECT_EQ(BrandCode("MFGR#2221"), ((1 * 5) + 1) * 40 + 20);
+}
+
+TEST(SsbEncodingTest, YearMonth) {
+  EXPECT_EQ(YearMonthNum(1994, 1), 199401);
+  EXPECT_EQ(YearMonthCode(1992, 1), 0);
+  EXPECT_EQ(YearMonthCode(1997, 12), 71);
+}
+
+// ---------- Workloads ----------
+
+TEST(SsbWorkloadTest, ThirteenStandardQueries) {
+  const Workload w = MakeWorkload();
+  EXPECT_EQ(w.queries.size(), 13u);
+  std::set<std::string> ids;
+  for (const auto& q : w.queries) {
+    ids.insert(q.id);
+    EXPECT_EQ(q.fact_table, "lineorder");
+    EXPECT_FALSE(q.predicates.empty()) << q.id;
+    EXPECT_FALSE(q.aggregates.empty()) << q.id;
+  }
+  EXPECT_EQ(ids.size(), 13u);
+  EXPECT_TRUE(ids.count("Q1.1"));
+  EXPECT_TRUE(ids.count("Q4.3"));
+}
+
+TEST(SsbWorkloadTest, AugmentedWorkloadHas52UniqueQueries) {
+  const Workload w = MakeAugmentedWorkload();
+  EXPECT_EQ(w.queries.size(), 52u);
+  std::set<std::string> ids;
+  for (const auto& q : w.queries) ids.insert(q.id);
+  EXPECT_EQ(ids.size(), 52u);
+}
+
+TEST(SsbWorkloadTest, AllQueryColumnsExistInUniverse) {
+  SsbOptions options;
+  options.scale_factor = 0.002;
+  auto catalog = MakeCatalog(options);
+  Universe u(*catalog, *catalog->GetFactInfo("lineorder"));
+  for (const auto& q : MakeAugmentedWorkload().queries) {
+    for (const auto& col : q.AllColumns()) {
+      EXPECT_GE(u.ColumnIndex(col), 0) << q.id << " references " << col;
+    }
+  }
+}
+
+TEST(SsbWorkloadTest, Q1PredicatesMatchPaper) {
+  const Workload w = MakeWorkload();
+  const Query& q11 = w.queries[0];
+  ASSERT_EQ(q11.predicates.size(), 3u);
+  EXPECT_EQ(q11.predicates[0].column, "d_year");
+  EXPECT_EQ(q11.predicates[0].value, 1993);
+  EXPECT_EQ(q11.predicates[1].column, "lo_discount");
+  EXPECT_EQ(q11.predicates[1].lo, 1);
+  EXPECT_EQ(q11.predicates[1].hi, 3);
+}
+
+TEST(SsbWorkloadTest, AugmentedVariantsDifferFromOriginals) {
+  const Workload w = MakeAugmentedWorkload();
+  // Q1.1v1 must not equal Q1.1's predicate set.
+  const Query* orig = nullptr;
+  const Query* variant = nullptr;
+  for (const auto& q : w.queries) {
+    if (q.id == "Q1.1") orig = &q;
+    if (q.id == "Q1.1v1") variant = &q;
+  }
+  ASSERT_NE(orig, nullptr);
+  ASSERT_NE(variant, nullptr);
+  EXPECT_NE(orig->predicates[0].value, variant->predicates[0].value);
+}
+
+}  // namespace
+}  // namespace ssb
+}  // namespace coradd

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "ssb/ssb.h"
+#include "workload/query.h"
+
+namespace coradd {
+namespace {
+
+// ---------- Predicate ----------
+
+TEST(PredicateTest, EqualityMatches) {
+  const Predicate p = Predicate::Eq("a", 5);
+  EXPECT_TRUE(p.Matches(5));
+  EXPECT_FALSE(p.Matches(6));
+  EXPECT_EQ(p.ToString(), "a = 5");
+}
+
+TEST(PredicateTest, RangeMatchesInclusive) {
+  const Predicate p = Predicate::Range("a", 2, 4);
+  EXPECT_FALSE(p.Matches(1));
+  EXPECT_TRUE(p.Matches(2));
+  EXPECT_TRUE(p.Matches(4));
+  EXPECT_FALSE(p.Matches(5));
+}
+
+TEST(PredicateTest, InSortsAndDeduplicates) {
+  const Predicate p = Predicate::In("a", {5, 1, 5, 3});
+  EXPECT_EQ(p.in_values.size(), 3u);
+  EXPECT_TRUE(p.Matches(1));
+  EXPECT_TRUE(p.Matches(3));
+  EXPECT_TRUE(p.Matches(5));
+  EXPECT_FALSE(p.Matches(2));
+}
+
+TEST(PredicateTest, ToStringForms) {
+  EXPECT_EQ(Predicate::Range("x", 1, 9).ToString(), "1 <= x <= 9");
+  EXPECT_EQ(Predicate::In("x", {2, 1}).ToString(), "x IN {1,2}");
+}
+
+// ---------- Query column sets ----------
+
+TEST(QueryTest, PredicateColumnsDeduplicated) {
+  Query q;
+  q.predicates = {Predicate::Eq("a", 1), Predicate::Range("b", 0, 9),
+                  Predicate::Eq("a", 2)};
+  const auto cols = q.PredicateColumns();
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], "a");
+  EXPECT_EQ(cols[1], "b");
+}
+
+TEST(QueryTest, TargetColumnsExcludePredicated) {
+  Query q;
+  q.predicates = {Predicate::Eq("a", 1)};
+  q.group_by = {"a", "g"};
+  q.aggregates = {{"m1", "m2"}, {"m1", ""}};
+  const auto targets = q.TargetColumns();
+  ASSERT_EQ(targets.size(), 3u);  // g, m1, m2 (a is predicated)
+  EXPECT_EQ(targets[0], "g");
+  EXPECT_EQ(targets[1], "m1");
+  EXPECT_EQ(targets[2], "m2");
+}
+
+TEST(QueryTest, AllColumnsIsUnion) {
+  Query q;
+  q.predicates = {Predicate::Eq("a", 1)};
+  q.group_by = {"g"};
+  q.aggregates = {{"m", ""}};
+  const auto all = q.AllColumns();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "a");
+}
+
+TEST(QueryTest, ToStringMentionsEverything) {
+  Query q;
+  q.id = "Q9";
+  q.fact_table = "f";
+  q.predicates = {Predicate::Eq("a", 1)};
+  q.group_by = {"g"};
+  q.aggregates = {{"m", "n"}};
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("Q9"), std::string::npos);
+  EXPECT_NE(s.find("SUM(m*n)"), std::string::npos);
+  EXPECT_NE(s.find("GROUP BY g"), std::string::npos);
+}
+
+// ---------- Workload ----------
+
+TEST(WorkloadTest, QueriesForFactFilters) {
+  Workload w;
+  Query q1;
+  q1.id = "a";
+  q1.fact_table = "f1";
+  Query q2;
+  q2.id = "b";
+  q2.fact_table = "f2";
+  w.queries = {q1, q2, q1};
+  EXPECT_EQ(w.QueriesForFact("f1").size(), 2u);
+  EXPECT_EQ(w.QueriesForFact("f2").size(), 1u);
+  EXPECT_EQ(w.QueriesForFact("f3").size(), 0u);
+}
+
+TEST(WorkloadTest, FactTablesFirstAppearanceOrder) {
+  Workload w;
+  Query q1;
+  q1.fact_table = "beta";
+  Query q2;
+  q2.fact_table = "alpha";
+  w.queries = {q1, q2, q1};
+  const auto facts = w.FactTables();
+  ASSERT_EQ(facts.size(), 2u);
+  EXPECT_EQ(facts[0], "beta");
+  EXPECT_EQ(facts[1], "alpha");
+}
+
+// ---------- Selectivity estimation vs exact (property) ----------
+
+class SelectivityAccuracyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.002;
+    catalog_ = ssb::MakeCatalog(options).release();
+    const FactTableInfo* info = catalog_->GetFactInfo("lineorder");
+    universe_ = new Universe(*catalog_, *info);
+    StatsOptions sopt;
+    sopt.sample_rows = 4096;
+    stats_ = new UniverseStats(universe_, sopt);
+  }
+  static void TearDownTestSuite() {
+    delete stats_;
+    delete universe_;
+    delete catalog_;
+  }
+  static Catalog* catalog_;
+  static Universe* universe_;
+  static UniverseStats* stats_;
+};
+
+Catalog* SelectivityAccuracyTest::catalog_ = nullptr;
+Universe* SelectivityAccuracyTest::universe_ = nullptr;
+UniverseStats* SelectivityAccuracyTest::stats_ = nullptr;
+
+TEST_F(SelectivityAccuracyTest, EstimatesTrackExactForSsbPredicates) {
+  const std::vector<Predicate> preds = {
+      Predicate::Eq("d_year", 1993),
+      Predicate::Range("lo_discount", 1, 3),
+      Predicate::Range("lo_quantity", 1, 24),
+      Predicate::Eq("d_yearmonthnum", ssb::YearMonthNum(1994, 1)),
+      Predicate::Eq("s_region", ssb::RegionCode("ASIA")),
+      Predicate::In("d_year", {1997, 1998}),
+  };
+  for (const auto& p : preds) {
+    const double est = EstimateSelectivity(p, *stats_);
+    const double exact = ExactSelectivity(p, *universe_);
+    EXPECT_NEAR(est, exact, std::max(0.02, exact * 0.5)) << p.ToString();
+  }
+}
+
+TEST_F(SelectivityAccuracyTest, EveryWorkloadPredicateEstimable) {
+  for (const auto& q : ssb::MakeWorkload().queries) {
+    for (const auto& p : q.predicates) {
+      const double est = EstimateSelectivity(p, *stats_);
+      EXPECT_GE(est, 0.0) << q.id << " " << p.ToString();
+      EXPECT_LE(est, 1.0) << q.id << " " << p.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coradd
