@@ -1,3 +1,5 @@
+// Tests for the APB-1-like generator (src/apb): star-schema shape, dimension
+// hierarchies, FK integrity, skew, and the 31-query two-fact workload (§7.1).
 #include <gtest/gtest.h>
 
 #include <set>

@@ -1,3 +1,6 @@
+// Tests for src/catalog: schema/byte-width accounting, columnar tables with
+// stable lexicographic sorts, star-schema catalog metadata, and the
+// pre-joined universe relation.
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"

@@ -1,3 +1,5 @@
+// Tests for src/cm correlation maps (A-1): compression arithmetic, lookup
+// completeness, bucketing trade-offs, and the CM designer's choices.
 #include <gtest/gtest.h>
 
 #include "cm/cm_designer.h"

@@ -1,3 +1,5 @@
+// Tests for src/common: Status/Result semantics, deterministic RNG streams,
+// hashing helpers, and string formatting. Part of the smoke ctest label.
 #include <gtest/gtest.h>
 
 #include <set>

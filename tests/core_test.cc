@@ -1,3 +1,6 @@
+// Tests for src/core: DesignContext construction, CORADD designer invariants
+// (budget respected, cost monotone in budget, at most one re-clustering per
+// fact), baseline designers, evaluator routing, and DDL export.
 #include <gtest/gtest.h>
 
 #include "core/baseline_designers.h"

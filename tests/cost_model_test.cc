@@ -1,3 +1,6 @@
+// Tests for src/cost: size accounting, clustered-prefix access-path analysis
+// (§4.2), the correlation-aware cost model (A-2.2), and the
+// correlation-oblivious proxy of Figure 10.
 #include <gtest/gtest.h>
 
 #include "cost/correlation_cost_model.h"

@@ -1,3 +1,5 @@
+// Tests for src/exec: materialization with row provenance, plan-by-plan
+// executor correctness against reference scans, and maintenance simulation.
 #include <gtest/gtest.h>
 
 #include "cost/correlation_cost_model.h"

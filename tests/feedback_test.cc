@@ -1,3 +1,5 @@
+// Tests for src/feedback (§6 ILP feedback): never worse than the plain ILP,
+// grows the candidate pool from solutions, and respects the space budget.
 #include <gtest/gtest.h>
 
 #include "cost/correlation_cost_model.h"

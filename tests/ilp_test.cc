@@ -1,3 +1,6 @@
+// Tests for src/ilp: the two-phase simplex LP solver, selection-problem
+// semantics, exact branch-and-bound vs brute force, Greedy(m,k), and
+// dominated-candidate pruning (§5).
 #include <gtest/gtest.h>
 
 #include <cmath>

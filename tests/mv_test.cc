@@ -1,3 +1,6 @@
+// Tests for src/mv candidate generation (§4): selectivity vectors and
+// Selectivity Propagation (Tables 1-2), k-means query grouping,
+// order-preserving index merging, and FK re-clustering candidates.
 #include <gtest/gtest.h>
 
 #include "cost/correlation_cost_model.h"

@@ -1,3 +1,6 @@
+// Tests for the SSB generator (src/ssb): table sizes, dimension hierarchy
+// consistency, orderdate/commitdate correlation, FK integrity, determinism,
+// and the 13- and 52-query workloads.
 #include <gtest/gtest.h>
 
 #include <set>

@@ -1,3 +1,5 @@
+// Tests for src/stats: histogram estimates, distinct-value sampling, the
+// one-scan synopsis, pairwise correlation strengths, and the AE estimator.
 #include <gtest/gtest.h>
 
 #include <cmath>

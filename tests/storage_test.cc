@@ -1,3 +1,5 @@
+// Tests for src/storage: page-layout arithmetic, B+Tree shape, fragment
+// coalescing, buffer pool, and the seek/scan disk model.
 #include <gtest/gtest.h>
 
 #include "storage/buffer_pool.h"

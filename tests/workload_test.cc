@@ -1,3 +1,5 @@
+// Tests for src/workload: predicate matching (equality/range/IN), query
+// column bookkeeping, and ToString rendering.
 #include <gtest/gtest.h>
 
 #include "ssb/ssb.h"
