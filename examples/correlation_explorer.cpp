@@ -1,8 +1,9 @@
 // Correlation explorer: discover soft functional dependencies in a star
 // schema the way CORADD's statistics layer does — strengths from distinct
-// counts (AE over a synopsis), Gibbons distinct sampling, and what those
-// correlations buy: compact correlation maps instead of dense B+Trees
-// (the A-1 People(city,state) example, on real SSB data).
+// counts (AE over a synopsis), Gibbons distinct sampling, the dependency
+// miner's FD/AFD discoveries side by side with the seeded estimates, and
+// what those correlations buy: compact correlation maps instead of dense
+// B+Trees (the A-1 People(city,state) example, on real SSB data).
 //
 //   $ ./examples/correlation_explorer
 #include <algorithm>
@@ -10,6 +11,7 @@
 
 #include "common/string_util.h"
 #include "cm/cm_designer.h"
+#include "discovery/fd_miner.h"
 #include "exec/materialize.h"
 #include "ssb/ssb.h"
 #include "stats/distinct_sampler.h"
@@ -39,12 +41,19 @@ int main() {
                 sampler.level());
   }
 
-  // --- 2. Correlation strengths (the CORDS measure CORADD uses).
+  // --- 2. Correlation strengths (the CORDS measure CORADD uses), with the
+  //        dependency miner's verdict on the same pairs next to the seeded
+  //        synopsis estimates.
+  const DiscoveredDependencies mined = DependencyMiner().Mine(
+      MinerInput::FromSynopsis(universe, stats.synopsis()));
+
   struct Pair {
     const char* from;
     const char* to;
   };
   std::printf("\nCorrelation strengths  strength(A->B) = |A| / |A,B|:\n");
+  std::printf("  %-16s    %-16s %8s %8s  %s\n", "A", "B", "seeded", "mined",
+              "mined verdict");
   for (const Pair p : {Pair{"c_city", "c_nation"},
                        Pair{"c_nation", "c_region"},
                        Pair{"p_brand1", "p_category"},
@@ -54,9 +63,24 @@ int main() {
                        Pair{"lo_discount", "lo_quantity"}}) {
     const double s = stats.correlations().Strength(
         universe.ColumnIndex(p.from), universe.ColumnIndex(p.to));
-    std::printf("  %-16s -> %-16s %6.3f %s\n", p.from, p.to, s,
-                s > 0.5 ? "(strong)" : s > 0.05 ? "(weak)" : "(none)");
+    const int mfrom = mined.ColumnIndex(p.from);
+    const int mto = mined.ColumnIndex(p.to);
+    const double ms = mined.StrengthFor({mfrom}, {mto});
+    const FunctionalDependency* fd = mined.FindFd({mfrom}, mto);
+    const char* verdict = mined.DeterminesExactly({mfrom}, mto) ? "exact FD"
+                          : fd != nullptr                       ? "afd"
+                          : ms > 0.5                            ? "(strong)"
+                          : ms > 0.05                           ? "(weak)"
+                                                                : "(none)";
+    std::printf("  %-16s -> %-16s %8.3f %8.3f  %s\n", p.from, p.to, s,
+                std::max(ms, 0.0), verdict);
   }
+
+  // --- 2b. The full discovered dependency list (what the designer would
+  //         consume via DesignContext::MineDependencies).
+  std::printf("\n%s", mined.ToString(/*max_fds=*/24).c_str());
+  std::printf("  (plus %zu near-key columns excluded as LHS)\n",
+              mined.near_key_columns().size());
 
   // --- 3. What correlations buy: CM vs dense B+Tree on the fact table
   //        clustered by orderdate (correlated with date attributes).

@@ -11,11 +11,15 @@
 namespace coradd {
 
 std::string CmSpec::ToString() const {
-  return StrFormat("CM{(%s), key_width=%lld, %s, for %s}",
-                   Join(key_columns, ",").c_str(),
-                   static_cast<long long>(bucketing.key_bucket_width),
-                   HumanBytes(est_size_bytes).c_str(),
-                   designed_for_query.c_str());
+  std::string out = StrFormat("CM{(%s), key_width=%lld, %s, for %s",
+                              Join(key_columns, ",").c_str(),
+                              static_cast<long long>(bucketing.key_bucket_width),
+                              HumanBytes(est_size_bytes).c_str(),
+                              designed_for_query.c_str());
+  if (mined_strength >= 0.0) {
+    out += StrFormat(", mined_strength=%.3f", mined_strength);
+  }
+  return out + "}";
 }
 
 CmDesigner::CmDesigner(const StatsRegistry* registry,
@@ -132,6 +136,29 @@ std::vector<CmSpec> CmDesigner::Design(
       }
     }
     if (!fits) continue;  // No bucketing fits: skip this CM.
+    // Cross-check against mined dependencies when the discovery subsystem
+    // has run: how strongly the mined data says these keys determine the
+    // clustered key (and hence how tight the CM's bucket lists will be).
+    if (stats->mined() != nullptr) {
+      std::vector<int> key_ucols, clustered_ucols;
+      bool resolved = !spec.clustered_key.empty();
+      for (const auto& c : key_cols) {
+        const int idx = stats->universe().ColumnIndex(c);
+        resolved &= idx >= 0;
+        key_ucols.push_back(idx);
+      }
+      for (const auto& c : spec.clustered_key) {
+        const int idx = stats->universe().ColumnIndex(c);
+        resolved &= idx >= 0;
+        clustered_ucols.push_back(idx);
+      }
+      if (resolved) {
+        // MinedStrength, not Strength: the field must report mined evidence
+        // only, never the seeded AE fallback.
+        cm.mined_strength =
+            stats->correlations().MinedStrength(key_ucols, clustered_ucols);
+      }
+    }
     dedupe[key_cols] = chosen.size();
     chosen.push_back(std::move(cm));
   }

@@ -21,6 +21,11 @@ struct CmSpec {
   uint64_t est_size_bytes = 0;
   double est_cost_seconds = 0.0;
   std::string designed_for_query;
+  /// Mined strength(key_columns -> clustered key) when the stats carry a
+  /// DiscoveredDependencies report: the discovery subsystem's cross-check of
+  /// the synopsis-driven choice (1.0 = mined exact FD, i.e. the CM keys pin
+  /// down the clustered position). Negative when nothing was mined.
+  double mined_strength = -1.0;
 
   std::string ToString() const;
 };

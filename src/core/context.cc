@@ -14,7 +14,36 @@ DesignContext::DesignContext(const Catalog* catalog, const Workload& workload,
     registry_.Register(stats.get());
     universes_.push_back(std::move(universe));
     stats_.push_back(std::move(stats));
+    mined_.push_back(nullptr);
   }
+}
+
+const DiscoveredDependencies* DesignContext::MineDependencies(
+    const std::string& fact, const DependencyMiningConfig& config) {
+  for (size_t i = 0; i < universes_.size(); ++i) {
+    if (universes_[i]->fact_name() != fact) continue;
+    const MinerInput input =
+        config.full_scan
+            ? MinerInput::FromUniverse(*universes_[i])
+            : MinerInput::FromSynopsis(*universes_[i], stats_[i]->synopsis());
+    DependencyMiner miner(config.miner);
+    mined_[i] = std::make_unique<DiscoveredDependencies>(miner.Mine(input));
+    stats_[i]->InstallMinedDependencies(mined_[i].get(), config.source);
+    return mined_[i].get();
+  }
+  return nullptr;
+}
+
+void DesignContext::MineAllDependencies(const DependencyMiningConfig& config) {
+  for (const auto& u : universes_) MineDependencies(u->fact_name(), config);
+}
+
+const DiscoveredDependencies* DesignContext::DependenciesForFact(
+    const std::string& fact) const {
+  for (size_t i = 0; i < universes_.size(); ++i) {
+    if (universes_[i]->fact_name() == fact) return mined_[i].get();
+  }
+  return nullptr;
 }
 
 const Universe* DesignContext::UniverseForFact(const std::string& fact) const {

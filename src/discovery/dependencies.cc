@@ -1,0 +1,142 @@
+#include "discovery/dependencies.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+
+std::vector<int> Normalized(std::vector<int> cols) {
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+/// True iff sorted `a` is a subset of sorted `b`.
+bool IsSubset(const std::vector<int>& a, const std::vector<int>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+int DiscoveredDependencies::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const FunctionalDependency* DiscoveredDependencies::FindFd(
+    std::vector<int> lhs, int rhs) const {
+  lhs = Normalized(std::move(lhs));
+  for (const auto& fd : fds_) {
+    if (fd.rhs == rhs && fd.lhs == lhs) return &fd;
+  }
+  return nullptr;
+}
+
+bool DiscoveredDependencies::DeterminesExactly(
+    const std::vector<int>& determinant, int rhs) const {
+  const std::vector<int> det = Normalized(determinant);
+  if (std::binary_search(det.begin(), det.end(), rhs)) return true;  // trivial
+  if (std::find(constants_.begin(), constants_.end(), rhs) !=
+      constants_.end()) {
+    return true;
+  }
+  for (const auto& key : keys_) {
+    if (IsSubset(key, det)) return true;  // a key determines everything
+  }
+  auto it = fds_by_rhs_.find(rhs);
+  if (it == fds_by_rhs_.end()) return false;
+  for (size_t idx : it->second) {
+    const FunctionalDependency& fd = fds_[idx];
+    if (fd.exact() && IsSubset(fd.lhs, det)) return true;
+  }
+  return false;
+}
+
+const SetStats* DiscoveredDependencies::StatsForSet(
+    std::vector<int> cols) const {
+  auto it = set_stats_.find(Normalized(std::move(cols)));
+  return it == set_stats_.end() ? nullptr : &it->second;
+}
+
+double DiscoveredDependencies::StrengthFor(const std::vector<int>& from,
+                                           const std::vector<int>& to) const {
+  const std::vector<int> det = Normalized(from);
+  // 1) Exact coverage: every target attribute follows from `from` by mined
+  //    exact FDs, so the joint count equals the determinant's count.
+  bool all_exact = true;
+  for (int t : Normalized(to)) {
+    if (!DeterminesExactly(det, t)) {
+      all_exact = false;
+      break;
+    }
+  }
+  if (all_exact) return 1.0;
+
+  // 2) Distinct-count ratio when both lattice nodes were validated.
+  std::vector<int> joint = det;
+  joint.insert(joint.end(), to.begin(), to.end());
+  joint = Normalized(std::move(joint));
+  const SetStats* d_from = StatsForSet(det);
+  const SetStats* d_joint = StatsForSet(joint);
+  if (d_from != nullptr && d_joint != nullptr && d_joint->distinct > 0) {
+    return std::min(1.0, static_cast<double>(d_from->distinct) /
+                             static_cast<double>(d_joint->distinct));
+  }
+
+  // 3) Single-target AFD: error e means a 1-e fraction of rows follow the
+  //    majority mapping, a serviceable strength estimate.
+  if (to.size() == 1) {
+    auto it = fds_by_rhs_.find(to[0]);
+    if (it != fds_by_rhs_.end()) {
+      double best = -1.0;
+      for (size_t idx : it->second) {
+        const FunctionalDependency& fd = fds_[idx];
+        if (IsSubset(fd.lhs, det)) best = std::max(best, 1.0 - fd.error);
+      }
+      if (best >= 0.0) return best;
+    }
+  }
+  return -1.0;  // no mined evidence
+}
+
+void DiscoveredDependencies::Finish() {
+  std::stable_partition(fds_.begin(), fds_.end(),
+                        [](const FunctionalDependency& fd) { return fd.exact(); });
+  fds_by_rhs_.clear();
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    fds_by_rhs_[fds_[i].rhs].push_back(i);
+  }
+}
+
+std::string DiscoveredDependencies::ToString(size_t max_fds) const {
+  auto render_set = [this](const std::vector<int>& cols) {
+    std::vector<std::string> names;
+    for (int c : cols) names.push_back(column_names_[static_cast<size_t>(c)]);
+    return Join(names, ",");
+  };
+  std::string out =
+      StrFormat("DiscoveredDependencies over %zu rows (of %llu): %zu FDs, "
+                "%zu soft pairs, %zu keys, %zu constant columns\n",
+                mined_rows_, static_cast<unsigned long long>(source_rows_),
+                fds_.size(), soft_.size(), keys_.size(), constants_.size());
+  size_t shown = 0;
+  for (const auto& fd : fds_) {
+    if (shown++ >= max_fds) {
+      out += StrFormat("  ... %zu more\n", fds_.size() - max_fds);
+      break;
+    }
+    out += StrFormat("  %s -> %s%s\n", render_set(fd.lhs).c_str(),
+                     column_names_[static_cast<size_t>(fd.rhs)].c_str(),
+                     fd.exact()
+                         ? ""
+                         : StrFormat("  (afd, error %.4f)", fd.error).c_str());
+  }
+  return out;
+}
+
+}  // namespace coradd

@@ -1,0 +1,110 @@
+// The miner's output: exact functional dependencies, approximate FDs under
+// a g3 error threshold, soft correlation strengths for attribute pairs, and
+// the per-attribute-set distinct statistics gathered while validating the
+// lattice. The report is self-describing (column names travel with it) so
+// consumers — CorrelationCatalog overlays, designers, reports — can map its
+// column indexes back onto universe attributes by name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace coradd {
+
+/// One mined dependency lhs -> rhs. `error` is the g3 measure: the minimum
+/// fraction of mined rows to delete for the FD to hold exactly (0 == exact).
+struct FunctionalDependency {
+  std::vector<int> lhs;  ///< Sorted column indexes into the mined input.
+  int rhs = -1;
+  double error = 0.0;
+
+  bool exact() const { return error == 0.0; }
+};
+
+/// CORDS-style soft correlation between two attributes:
+/// strength(from -> to) = |distinct(from)| / |distinct(from, to)|.
+struct SoftCorrelation {
+  int from = -1;
+  int to = -1;
+  double strength = 0.0;
+};
+
+/// Sample statistics of one attribute set, collected from its lattice
+/// partition: enough to re-run GEE/AE scaling on the mined rows.
+struct SetStats {
+  uint64_t distinct = 0;  ///< Distinct joint values among the mined rows.
+  uint64_t f1 = 0;        ///< Values occurring exactly once.
+  uint64_t f2 = 0;        ///< Values occurring exactly twice.
+};
+
+/// Everything one mining run discovered about one relation.
+class DiscoveredDependencies {
+ public:
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  size_t mined_rows() const { return mined_rows_; }
+  uint64_t source_rows() const { return source_rows_; }
+
+  /// Minimal dependencies, exact first, in deterministic lattice order.
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+  /// Pairs with strength >= the mining threshold and no exact pairwise FD.
+  const std::vector<SoftCorrelation>& soft_correlations() const {
+    return soft_;
+  }
+  /// Columns with a single value across the mined rows (excluded from the
+  /// lattice; trivially determined by everything).
+  const std::vector<int>& constant_columns() const { return constants_; }
+  /// Minimal column sets whose values were unique across the mined rows.
+  /// They determine every attribute; reported here instead of as FD spam.
+  const std::vector<std::vector<int>>& keys() const { return keys_; }
+  /// Columns distinct on more than a near_key_fraction of the mined rows:
+  /// excluded from the LHS lattice (CORDS-style soft-key exclusion).
+  const std::vector<int>& near_key_columns() const { return near_keys_; }
+
+  /// Index of `name` in column_names(), or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// The mined FD lhs -> rhs (lhs in any order), or nullptr.
+  const FunctionalDependency* FindFd(std::vector<int> lhs, int rhs) const;
+
+  /// True iff some mined exact FD (or constant/key fact) proves
+  /// `determinant` (or a subset of it) -> rhs.
+  bool DeterminesExactly(const std::vector<int>& determinant, int rhs) const;
+
+  /// Distinct statistics of an attribute set if its lattice node was
+  /// validated, else nullptr.
+  const SetStats* StatsForSet(std::vector<int> cols) const;
+
+  /// strength(from -> to) over the mined rows, derived from mined facts:
+  /// 1.0 when exact FDs cover `to`, the distinct-count ratio when both set
+  /// statistics are known, FD-error based otherwise. Negative when the
+  /// mined lattice has no evidence (caller should fall back).
+  double StrengthFor(const std::vector<int>& from,
+                     const std::vector<int>& to) const;
+
+  /// Human-readable summary; at most `max_fds` dependency lines.
+  std::string ToString(size_t max_fds = 32) const;
+
+ private:
+  friend class DependencyMiner;
+
+  /// Called once by the miner: orders fds_ (exact first, stable) and builds
+  /// the per-RHS lookup index.
+  void Finish();
+
+  std::vector<std::string> column_names_;
+  size_t mined_rows_ = 0;
+  uint64_t source_rows_ = 0;
+  std::vector<FunctionalDependency> fds_;
+  std::vector<SoftCorrelation> soft_;
+  std::vector<int> constants_;
+  std::vector<int> near_keys_;
+  std::vector<std::vector<int>> keys_;
+  /// Sorted attribute set -> partition statistics (every validated node).
+  std::map<std::vector<int>, SetStats> set_stats_;
+  /// rhs -> indexes into fds_ (for subset-determination lookups).
+  std::map<int, std::vector<size_t>> fds_by_rhs_;
+};
+
+}  // namespace coradd

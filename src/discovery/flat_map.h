@@ -1,0 +1,91 @@
+// Open-addressing hash tables for the miner's hot loops. Candidate
+// validation performs hundreds of millions of (group, value) count/lookup
+// operations per mining run; linear-probing tables over flat arrays are
+// several times faster than std::unordered_map there and reusable across
+// candidates without reallocation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace coradd {
+
+/// Counts occurrences of 64-bit keys. Reset() + Add()*; iterate via ForEach.
+class FlatCountMap {
+ public:
+  /// Clears the table and sizes it for ~`expected` distinct keys.
+  void Reset(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    if (cap != keys_.size()) {
+      keys_.resize(cap);
+      counts_.assign(cap, 0);
+    } else {
+      std::fill(counts_.begin(), counts_.end(), 0u);
+    }
+    mask_ = cap - 1;
+  }
+
+  void Add(uint64_t key) {
+    size_t i = HashU64(key) & mask_;
+    while (counts_[i] != 0 && keys_[i] != key) i = (i + 1) & mask_;
+    keys_[i] = key;
+    ++counts_[i];
+  }
+
+  /// Calls fn(key, count) for every occupied slot.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] != 0) fn(keys_[i], counts_[i]);
+    }
+  }
+
+ private:
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> counts_;
+  size_t mask_ = 0;
+};
+
+/// Assigns dense ids (0, 1, 2, ...) to 64-bit keys in insertion order.
+class FlatIdMap {
+ public:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  void Reset(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    if (cap != keys_.size()) {
+      keys_.resize(cap);
+      ids_.assign(cap, kEmpty);
+    } else {
+      std::fill(ids_.begin(), ids_.end(), kEmpty);
+    }
+    mask_ = cap - 1;
+    next_ = 0;
+  }
+
+  /// Returns the id of `key`, assigning the next dense id on first sight.
+  uint32_t IdOf(uint64_t key) {
+    size_t i = HashU64(key) & mask_;
+    while (ids_[i] != kEmpty && keys_[i] != key) i = (i + 1) & mask_;
+    if (ids_[i] == kEmpty) {
+      keys_[i] = key;
+      ids_[i] = next_++;
+    }
+    return ids_[i];
+  }
+
+  uint32_t size() const { return next_; }
+
+ private:
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> ids_;
+  size_t mask_ = 0;
+  uint32_t next_ = 0;
+};
+
+}  // namespace coradd

@@ -1,0 +1,110 @@
+#include "discovery/lattice.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/status.h"
+#include "discovery/flat_map.h"
+
+namespace coradd {
+
+namespace {
+
+/// Fills num_groups / f1 / f2 / is_key from a completed groups array.
+void FinishPartition(LatticeNode* node, uint32_t num_groups) {
+  node->num_groups = num_groups;
+  std::vector<uint32_t> sizes(num_groups, 0);
+  for (uint32_t g : node->groups) ++sizes[g];
+  node->f1 = 0;
+  node->f2 = 0;
+  for (uint32_t s : sizes) {
+    if (s == 1) ++node->f1;
+    if (s == 2) ++node->f2;
+  }
+  node->is_key = (static_cast<size_t>(num_groups) == node->groups.size());
+}
+
+std::vector<int> MergedSorted(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+void BuildSingletonPartition(const std::vector<int64_t>& values,
+                             LatticeNode* out) {
+  out->groups.resize(values.size());
+  FlatIdMap ids;
+  ids.Reset(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out->groups[i] = ids.IdOf(static_cast<uint64_t>(values[i]));
+  }
+  FinishPartition(out, ids.size());
+}
+
+void RefinePartition(const LatticeNode& parent, const LatticeNode& single,
+                     LatticeNode* out) {
+  const size_t n = parent.groups.size();
+  CORADD_CHECK(single.groups.size() == n);
+  out->groups.resize(n);
+  FlatIdMap ids;
+  ids.Reset(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Exact composite key: both group ids are dense and < 2^32.
+    const uint64_t key =
+        (static_cast<uint64_t>(parent.groups[i]) << 32) | single.groups[i];
+    out->groups[i] = ids.IdOf(key);
+  }
+  FinishPartition(out, ids.size());
+}
+
+std::vector<LatticeNode> ExpandLattice(const std::vector<LatticeNode>& level,
+                                       const std::vector<int>& active_cols) {
+  std::vector<LatticeNode> next;
+  if (level.empty()) return next;
+
+  std::map<std::vector<int>, size_t> survivors;
+  for (size_t i = 0; i < level.size(); ++i) {
+    if (!level[i].is_key) survivors.emplace(level[i].cols, i);
+  }
+
+  for (size_t node_index = 0; node_index < level.size(); ++node_index) {
+    const LatticeNode& node = level[node_index];
+    if (node.is_key) continue;
+    for (int c : active_cols) {
+      if (c <= node.cols.back()) continue;
+      std::vector<int> child_cols = node.cols;
+      child_cols.push_back(c);
+
+      // Apriori: every size-k subset must be a surviving level-k node.
+      LatticeNode child;
+      child.cols = child_cols;
+      child.parent_index = static_cast<int>(node_index);
+      child.extension_col = c;
+      bool viable = true;
+      for (size_t drop = 0; drop < child_cols.size(); ++drop) {
+        std::vector<int> subset;
+        subset.reserve(child_cols.size() - 1);
+        for (size_t j = 0; j < child_cols.size(); ++j) {
+          if (j != drop) subset.push_back(child_cols[j]);
+        }
+        auto it = survivors.find(subset);
+        if (it == survivors.end()) {
+          viable = false;
+          break;
+        }
+        const LatticeNode& sub = level[it->second];
+        child.exact_rhs = MergedSorted(child.exact_rhs, sub.exact_rhs);
+        child.afd_rhs = MergedSorted(child.afd_rhs, sub.afd_rhs);
+      }
+      if (viable) next.push_back(std::move(child));
+    }
+  }
+  return next;
+}
+
+}  // namespace coradd

@@ -1,0 +1,57 @@
+// The candidate lattice the miner walks: level k holds one node per size-k
+// LHS attribute set, carrying its row partition (group id per mined row) and
+// the pruning bookkeeping inherited from its subsets (TANE-style):
+//   * exact_rhs — attributes already determined exactly by some subset;
+//     candidates (node, r in exact_rhs) are non-minimal and skipped,
+//   * afd_rhs — attributes within the error threshold for some subset; a
+//     superset AFD is weaker news and not reported (an exact superset FD
+//     still is),
+//   * is_key — the partition separates every row; every extension is also a
+//     key, so the node is reported as a key and not expanded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace coradd {
+
+/// One LHS candidate with its partition and inherited pruning state.
+struct LatticeNode {
+  std::vector<int> cols;  ///< Sorted attribute set.
+  /// groups[i] = partition group of mined row i under `cols` (dense ids,
+  /// 0..num_groups-1, in first-occurrence order — deterministic).
+  std::vector<uint32_t> groups;
+  uint32_t num_groups = 0;
+  uint64_t f1 = 0;  ///< Groups of size 1.
+  uint64_t f2 = 0;  ///< Groups of size 2.
+  bool is_key = false;
+  std::vector<int> exact_rhs;  ///< Sorted; includes members of `cols`.
+  std::vector<int> afd_rhs;    ///< Sorted.
+  /// How ExpandLattice derived this node: the generating node of the
+  /// previous level (cols minus its maximum) and the extension column. The
+  /// miner refines parent ⨯ singleton(extension) to get the partition.
+  int parent_index = -1;
+  int extension_col = -1;
+};
+
+/// Builds level k+1 candidates from the surviving (non-key) nodes of level
+/// k: each node is extended with every active singleton column greater than
+/// its maximum (so each set is generated once), and kept only if all of its
+/// size-k subsets survive in `level` (apriori). Subset exact/afd sets are
+/// merged into the child; partitions are left empty for the miner to fill.
+/// Output order is deterministic: by (node index, extension column).
+std::vector<LatticeNode> ExpandLattice(const std::vector<LatticeNode>& level,
+                                       const std::vector<int>& active_cols);
+
+/// Dense partition of the rows under (parent groups refined by one singleton
+/// partition): result.groups[i] enumerates distinct (parent.groups[i],
+/// single.groups[i]) pairs in first-occurrence order. Also fills num_groups
+/// and the f1/f2 group-size tallies.
+void RefinePartition(const LatticeNode& parent, const LatticeNode& single,
+                     LatticeNode* out);
+
+/// Builds a singleton node's partition from raw column values.
+void BuildSingletonPartition(const std::vector<int64_t>& values,
+                             LatticeNode* out);
+
+}  // namespace coradd

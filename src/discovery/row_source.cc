@@ -1,0 +1,81 @@
+#include "discovery/row_source.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "catalog/universe.h"
+#include "common/rng.h"
+#include "stats/synopsis.h"
+#include "storage/clustered_table.h"
+
+namespace coradd {
+
+MinerInput MinerInput::FromUniverse(const Universe& universe, size_t max_rows,
+                                    uint64_t seed) {
+  MinerInput input;
+  input.source_rows = universe.NumRows();
+  const size_t total = universe.NumRows();
+  const size_t n = (max_rows == 0) ? total : std::min(max_rows, total);
+
+  // Floyd's algorithm, as in Synopsis::Build, for a uniform sample without
+  // replacement; degenerates to the identity when n == total.
+  std::vector<RowId> chosen;
+  chosen.reserve(n);
+  if (n == total) {
+    for (size_t r = 0; r < total; ++r) chosen.push_back(static_cast<RowId>(r));
+  } else {
+    Rng rng(seed);
+    std::unordered_set<uint64_t> in_sample;
+    for (uint64_t j = total - n; j < total; ++j) {
+      const uint64_t t = rng.Uniform(j + 1);
+      if (in_sample.insert(t).second) {
+        chosen.push_back(static_cast<RowId>(t));
+      } else {
+        in_sample.insert(j);
+        chosen.push_back(static_cast<RowId>(j));
+      }
+    }
+    std::sort(chosen.begin(), chosen.end());
+  }
+
+  input.column_names.reserve(universe.NumColumns());
+  input.columns.resize(universe.NumColumns());
+  for (size_t c = 0; c < universe.NumColumns(); ++c) {
+    input.column_names.push_back(universe.Column(c).name);
+    auto& col = input.columns[c];
+    col.reserve(n);
+    for (RowId r : chosen) col.push_back(universe.Value(r, static_cast<int>(c)));
+  }
+  return input;
+}
+
+MinerInput MinerInput::FromSynopsis(const Universe& universe,
+                                    const Synopsis& synopsis) {
+  MinerInput input;
+  input.source_rows = synopsis.total_rows();
+  input.column_names.reserve(universe.NumColumns());
+  input.columns.reserve(universe.NumColumns());
+  for (size_t c = 0; c < universe.NumColumns(); ++c) {
+    input.column_names.push_back(universe.Column(c).name);
+    input.columns.push_back(synopsis.Values(static_cast<int>(c)));
+  }
+  return input;
+}
+
+MinerInput MinerInput::FromTable(const Table& table) {
+  MinerInput input;
+  input.source_rows = table.NumRows();
+  input.column_names.reserve(table.NumColumns());
+  input.columns.reserve(table.NumColumns());
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    input.column_names.push_back(table.schema().Column(c).name);
+    input.columns.push_back(table.ColumnData(c));
+  }
+  return input;
+}
+
+MinerInput MinerInput::FromClusteredTable(const ClusteredTable& table) {
+  return FromTable(table.table());
+}
+
+}  // namespace coradd

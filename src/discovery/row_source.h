@@ -1,0 +1,48 @@
+// Row sources for the dependency miner: a column-major snapshot of the rows
+// to mine, decoupled from where they came from. Adapters build one from a
+// pre-joined Universe (full scan or uniform row sample), from an existing
+// table Synopsis (the designer's default: mining piggybacks on the sample
+// the stats layer already drew), or from a physical Table / ClusteredTable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coradd {
+
+class ClusteredTable;
+class Synopsis;
+class Table;
+class Universe;
+
+/// The rows the miner validates candidates against, column-major.
+struct MinerInput {
+  std::vector<std::string> column_names;
+  /// columns[c][i] = value of mined row i in column c.
+  std::vector<std::vector<int64_t>> columns;
+  /// Rows in the underlying relation (== mined rows for full scans; larger
+  /// when the input is a sample). Used to scale distinct-count estimates.
+  uint64_t source_rows = 0;
+
+  size_t NumRows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t NumColumns() const { return columns.size(); }
+
+  /// Every column of `universe`, all rows (exact mining) or a uniform
+  /// sample without replacement of `max_rows` rows when 0 < max_rows < N.
+  static MinerInput FromUniverse(const Universe& universe, size_t max_rows = 0,
+                                 uint64_t seed = 42);
+
+  /// The rows a Synopsis already sampled from `universe` (no extra scan).
+  static MinerInput FromSynopsis(const Universe& universe,
+                                 const Synopsis& synopsis);
+
+  /// Every column and row of a physical table.
+  static MinerInput FromTable(const Table& table);
+
+  /// The heap rows of a clustered table (physical order is irrelevant to
+  /// dependency mining).
+  static MinerInput FromClusteredTable(const ClusteredTable& table);
+};
+
+}  // namespace coradd

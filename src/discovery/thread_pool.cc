@@ -1,0 +1,86 @@
+#include "discovery/thread_pool.h"
+
+#include <algorithm>
+
+namespace coradd {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+size_t ThreadPool::ChunkSize(size_t n, size_t num_threads) {
+  // ~4 chunks per worker balances load without flooding the queue.
+  const size_t chunks = std::max<size_t>(1, num_threads * 4);
+  return std::max<size_t>(1, (n + chunks - 1) / chunks);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t chunk = ChunkSize(n, num_threads());
+  // The final WaitIdle() keeps this frame alive until every task finishes,
+  // so tasks may capture the cursor and `fn` by reference.
+  std::atomic<size_t> cursor{0};
+  const size_t num_tasks = std::min(num_threads(), (n + chunk - 1) / chunk);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    Submit([&cursor, chunk, n, &fn] {
+      for (;;) {
+        const size_t begin = cursor.fetch_add(chunk);
+        if (begin >= n) return;
+        const size_t end = std::min(n, begin + chunk);
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+    });
+  }
+  WaitIdle();
+}
+
+}  // namespace coradd

@@ -1,0 +1,60 @@
+// A small fixed-size worker pool — the first multi-threaded component in
+// the codebase. The dependency miner partitions its candidate lattice across
+// the pool for parallel validation; levels are separated by barriers
+// (ParallelFor blocks), so all cross-level pruning decisions are taken on
+// fully merged results and the mined output is identical for any pool size.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coradd {
+
+/// Fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = one per hardware thread, minimum 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+  /// Runs fn(i) for every i in [0, n), spread across the pool, and blocks
+  /// until all iterations complete. Iterations are claimed in chunks via an
+  /// atomic cursor; writers must target disjoint state per index (the miner
+  /// writes result slot i from iteration i only).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Picks a chunk size that gives each worker several chunks to steal.
+  static size_t ChunkSize(size_t n, size_t num_threads);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< Signals workers: task or stop.
+  std::condition_variable idle_cv_;   ///< Signals waiters: queue drained.
+  size_t in_flight_ = 0;              ///< Tasks popped but not yet finished.
+  bool stop_ = false;
+};
+
+}  // namespace coradd

@@ -45,8 +45,42 @@ std::vector<int> CorrelationCatalog::NormalizedUnion(
   return u;
 }
 
+void CorrelationCatalog::SetMinedDependencies(
+    const DiscoveredDependencies* mined, std::vector<int> mined_col_of_ucol,
+    CorrelationSource source) {
+  CORADD_CHECK(mined == nullptr ||
+               mined_col_of_ucol.size() == universe_->NumColumns());
+  mined_ = mined;
+  mined_col_of_ucol_ = std::move(mined_col_of_ucol);
+  source_ = mined == nullptr ? CorrelationSource::kSynopsis : source;
+}
+
+double CorrelationCatalog::MinedStrength(const std::vector<int>& from,
+                                         const std::vector<int>& to) const {
+  if (mined_ == nullptr) return -1.0;
+  std::vector<int> mfrom, mto;
+  mfrom.reserve(from.size());
+  mto.reserve(to.size());
+  for (int u : from) {
+    const int mc = mined_col_of_ucol_[static_cast<size_t>(u)];
+    if (mc < 0) return -1.0;
+    mfrom.push_back(mc);
+  }
+  for (int u : to) {
+    const int mc = mined_col_of_ucol_[static_cast<size_t>(u)];
+    if (mc < 0) return -1.0;
+    mto.push_back(mc);
+  }
+  return mined_->StrengthFor(mfrom, mto);
+}
+
 double CorrelationCatalog::Strength(const std::vector<int>& from,
                                     const std::vector<int>& to) const {
+  if (mined_ != nullptr && source_ != CorrelationSource::kSynopsis) {
+    const double s = MinedStrength(from, to);
+    if (s >= 0.0) return s;
+    if (source_ == CorrelationSource::kMinedOnly) return 0.0;
+  }
   const double d_from = Distinct(from);
   const double d_joint = Distinct(NormalizedUnion(from, to));
   // Exact counts satisfy d_from <= d_joint; estimates may not, so clamp.

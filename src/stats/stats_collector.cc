@@ -26,4 +26,19 @@ UniverseStats::UniverseStats(const Universe* universe,
       universe_, &synopsis_, options_.exact_distinct);
 }
 
+void UniverseStats::InstallMinedDependencies(
+    const DiscoveredDependencies* mined, CorrelationSource source) {
+  if (mined == nullptr) {
+    correlations_->SetMinedDependencies(nullptr, {},
+                                        CorrelationSource::kSynopsis);
+    return;
+  }
+  std::vector<int> mined_col_of_ucol(universe_->NumColumns(), -1);
+  for (size_t c = 0; c < universe_->NumColumns(); ++c) {
+    mined_col_of_ucol[c] = mined->ColumnIndex(universe_->Column(c).name);
+  }
+  correlations_->SetMinedDependencies(mined, std::move(mined_col_of_ucol),
+                                      source);
+}
+
 }  // namespace coradd

@@ -44,6 +44,17 @@ class UniverseStats {
   const Synopsis& synopsis() const { return synopsis_; }
   const CorrelationCatalog& correlations() const { return *correlations_; }
 
+  /// Installs a mined dependency report (which must outlive the stats) as
+  /// the correlation catalog's strength source, mapping its columns onto
+  /// universe columns by name. Pass nullptr to revert to the synopsis.
+  void InstallMinedDependencies(const DiscoveredDependencies* mined,
+                                CorrelationSource source);
+
+  /// The installed mined report, or nullptr.
+  const DiscoveredDependencies* mined() const {
+    return correlations_->mined();
+  }
+
   /// Estimated distinct count of one column (from its histogram's exact
   /// build-time count — per-column cardinality is statistic #1).
   double ColumnDistinct(int ucol) const {

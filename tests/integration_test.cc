@@ -4,6 +4,8 @@
 // advantage showing up in *executed* (not just modelled) runtimes.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "apb/apb.h"
 #include "core/baseline_designers.h"
 #include "core/coradd_designer.h"
@@ -25,8 +27,12 @@ class IntegrationTest : public ::testing::Test {
     sopt.disk.page_size_bytes = 1024;
     context_ = new DesignContext(catalog_, *workload_, sopt);
     evaluator_ = new DesignEvaluator(context_, /*cache_capacity=*/40);
+    coradd_ = new CoraddDesigner(context_, FastOptions());
+    coradd_designs_ = new std::map<uint64_t, DatabaseDesign>();
   }
   static void TearDownTestSuite() {
+    delete coradd_designs_;
+    delete coradd_;
     delete evaluator_;
     delete context_;
     delete workload_;
@@ -41,28 +47,44 @@ class IntegrationTest : public ::testing::Test {
     return options;
   }
 
+  /// CORADD design for the shared workload at `budget`, computed once per
+  /// suite. The designer is deterministic and its cost model memoizes
+  /// (query, candidate) estimates, so sharing one instance across the
+  /// budget grid cuts suite runtime without changing any result.
+  static const DatabaseDesign& CoraddDesignFor(uint64_t budget) {
+    auto it = coradd_designs_->find(budget);
+    if (it == coradd_designs_->end()) {
+      it = coradd_designs_->emplace(budget, coradd_->Design(*workload_, budget))
+               .first;
+    }
+    return it->second;
+  }
+
   static Catalog* catalog_;
   static Workload* workload_;
   static DesignContext* context_;
   static DesignEvaluator* evaluator_;
+  static CoraddDesigner* coradd_;
+  static std::map<uint64_t, DatabaseDesign>* coradd_designs_;
 };
 
 Catalog* IntegrationTest::catalog_ = nullptr;
 Workload* IntegrationTest::workload_ = nullptr;
 DesignContext* IntegrationTest::context_ = nullptr;
 DesignEvaluator* IntegrationTest::evaluator_ = nullptr;
+CoraddDesigner* IntegrationTest::coradd_ = nullptr;
+std::map<uint64_t, DatabaseDesign>* IntegrationTest::coradd_designs_ = nullptr;
 
 TEST_F(IntegrationTest, AllDesignersReturnIdenticalAnswers) {
   const uint64_t budget = 24ull << 20;
-  CoraddDesigner coradd(context_, FastOptions());
   NaiveDesigner naive(context_);
   CommercialDesigner commercial(context_);
 
-  const DatabaseDesign d1 = coradd.Design(*workload_, budget);
+  const DatabaseDesign& d1 = CoraddDesignFor(budget);
   const DatabaseDesign d2 = naive.Design(*workload_, budget);
   const DatabaseDesign d3 = commercial.Design(*workload_, budget);
 
-  const WorkloadRunResult r1 = evaluator_->Run(d1, *workload_, coradd.model());
+  const WorkloadRunResult r1 = evaluator_->Run(d1, *workload_, coradd_->model());
   const WorkloadRunResult r2 = evaluator_->Run(d2, *workload_, naive.model());
   const WorkloadRunResult r3 =
       evaluator_->Run(d3, *workload_, commercial.model());
@@ -82,10 +104,9 @@ TEST_F(IntegrationTest, CoraddExpectedCostBeatsOrMatchesNaive) {
   // CORADD subsumes Naive's candidates (dedicated MVs + reclusters) under
   // the same cost model and optimizes exactly, so its *expected* cost can
   // never be worse.
-  CoraddDesigner coradd(context_, FastOptions());
   NaiveDesigner naive(context_);
   for (uint64_t budget : {4ull << 20, 16ull << 20, 48ull << 20}) {
-    const double c = coradd.Design(*workload_, budget).expected_seconds;
+    const double c = CoraddDesignFor(budget).expected_seconds;
     const double n = naive.Design(*workload_, budget).expected_seconds;
     EXPECT_LE(c, n * 1.05 + 1e-9) << budget;
   }
@@ -95,24 +116,22 @@ TEST_F(IntegrationTest, CoraddOutperformsCommercialOnRealRuntime) {
   // The headline claim (Figs 9/11): at a healthy budget the executed
   // runtime of CORADD's design beats the oblivious designer's.
   const uint64_t budget = 48ull << 20;
-  CoraddDesigner coradd(context_, FastOptions());
   CommercialDesigner commercial(context_);
-  const DatabaseDesign d1 = coradd.Design(*workload_, budget);
+  const DatabaseDesign& d1 = CoraddDesignFor(budget);
   const DatabaseDesign d3 = commercial.Design(*workload_, budget);
   const double t1 =
-      evaluator_->Run(d1, *workload_, coradd.model()).total_seconds;
+      evaluator_->Run(d1, *workload_, coradd_->model()).total_seconds;
   const double t3 =
       evaluator_->Run(d3, *workload_, commercial.model()).total_seconds;
   EXPECT_LT(t1, t3);
 }
 
 TEST_F(IntegrationTest, RealRuntimeImprovesWithBudget) {
-  CoraddDesigner coradd(context_, FastOptions());
   double prev = -1.0;
   for (uint64_t budget : {0ull, 16ull << 20, 64ull << 20}) {
-    const DatabaseDesign d = coradd.Design(*workload_, budget);
+    const DatabaseDesign& d = CoraddDesignFor(budget);
     const double t =
-        evaluator_->Run(d, *workload_, coradd.model()).total_seconds;
+        evaluator_->Run(d, *workload_, coradd_->model()).total_seconds;
     if (prev >= 0.0) {
       EXPECT_LE(t, prev * 1.3) << budget;  // allow noise
     }
@@ -157,20 +176,18 @@ TEST_F(IntegrationTest, ApbPipelineEndToEnd) {
 
 TEST_F(IntegrationTest, FrequencyWeightsInfluenceDesign) {
   // Doubling a query's frequency must not worsen its chosen runtime.
-  CoraddDesigner designer(context_, FastOptions());
   const uint64_t budget = 6ull << 20;
-  const DatabaseDesign base = designer.Design(*workload_, budget);
+  const DatabaseDesign& base = CoraddDesignFor(budget);
 
   Workload weighted = *workload_;
   weighted.queries[5].frequency = 50.0;  // Q2.3
-  CoraddDesigner designer2(context_, FastOptions());
-  const DatabaseDesign heavy = designer2.Design(weighted, budget);
+  const DatabaseDesign heavy = coradd_->Design(weighted, budget);
 
   const double base_q5 =
-      evaluator_->Run(base, *workload_, designer.model()).per_query[5]
+      evaluator_->Run(base, *workload_, coradd_->model()).per_query[5]
           .real_seconds;
   const double heavy_q5 =
-      evaluator_->Run(heavy, weighted, designer2.model()).per_query[5]
+      evaluator_->Run(heavy, weighted, coradd_->model()).per_query[5]
           .real_seconds;
   EXPECT_LE(heavy_q5, base_q5 * 1.2 + 1e-6);
 }
