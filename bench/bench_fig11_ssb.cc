@@ -4,13 +4,20 @@
 // §7.2 designer-runtime breakdown. Paper shape: CORADD 1.5-2x better at
 // tight budgets and 4-5x at large ones; Naive beats Commercial but trails
 // CORADD because dedicated MVs share nothing.
+//
+// Designs are produced serially per budget, then every (designer, budget)
+// cell is executed in one parallel RunMany sweep. --json emits
+// BENCH_fig11_ssb.json.
 #include "bench/bench_util.h"
 
 using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
+  WallTimer timer;
   const double scale = FlagDouble(argc, argv, "scale", 0.005);
+  BenchJson json("fig11_ssb", argc, argv);
+  json.Config("scale", scale);
   Fixture f = MakeSsbFixture(scale, 1024, /*augmented=*/true);
   std::printf("Augmented SSB: %zu queries, %zu lineorder rows\n",
               f.workload.queries.size(),
@@ -22,27 +29,38 @@ int main(int argc, char** argv) {
   DesignEvaluator evaluator(f.context.get(), /*cache_capacity=*/64);
 
   double coradd_design_time = 0.0;
+  SweepRunner sweep(&evaluator, &f.workload);
+  for (uint64_t budget : BudgetGrid(f.fact_heap_bytes,
+                                    {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0})) {
+    DatabaseDesign dc = coradd.Design(f.workload, budget);
+    coradd_design_time += dc.design_seconds;
+    sweep.Add("coradd", budget, std::move(dc), &coradd.model());
+    sweep.Add("naive", budget, naive.Design(f.workload, budget),
+              &naive.model());
+    sweep.Add("commercial", budget, commercial.Design(f.workload, budget),
+              &commercial.model());
+  }
+  const double design_done = timer.Seconds();
+  const std::vector<WorkloadRunResult> runs = sweep.RunAll();
+  const double eval_seconds = timer.Seconds() - design_done;
+
   PrintHeader("Figure 11: comparison on augmented SSB (52 queries)",
               {"budget", "CORADD[s]", "Naive[s]", "Commercial",
                "comm/coradd"});
-  for (uint64_t budget : BudgetGrid(f.fact_heap_bytes,
-                                    {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0})) {
-    const DatabaseDesign dc = coradd.Design(f.workload, budget);
-    coradd_design_time += dc.design_seconds;
-    const double tc =
-        evaluator.Run(dc, f.workload, coradd.model()).total_seconds;
-
-    const DatabaseDesign dn = naive.Design(f.workload, budget);
-    const double tn =
-        evaluator.Run(dn, f.workload, naive.model()).total_seconds;
-
-    const DatabaseDesign dm = commercial.Design(f.workload, budget);
-    const double tm =
-        evaluator.Run(dm, f.workload, commercial.model()).total_seconds;
-
-    PrintRow({HumanBytes(budget), StrFormat("%.3f", tc),
+  for (size_t i = 0; i + 2 < runs.size(); i += 3) {
+    const double tc = runs[i].total_seconds;
+    const double tn = runs[i + 1].total_seconds;
+    const double tm = runs[i + 2].total_seconds;
+    PrintRow({HumanBytes(sweep.budget(i)), StrFormat("%.3f", tc),
               StrFormat("%.3f", tn), StrFormat("%.3f", tm),
               StrFormat("%.2fx", tm / std::max(1e-12, tc))});
+    for (size_t k : {i, i + 1, i + 2}) {
+      json.Row({{"designer", BenchJson::Quote(sweep.label(k))},
+                {"budget_bytes",
+                 BenchJson::Num(static_cast<double>(sweep.budget(k)))},
+                {"simulated_seconds",
+                 BenchJson::Num(runs[k].total_seconds)}});
+    }
   }
 
   const CoraddRunInfo& info = coradd.last_run();
@@ -62,5 +80,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper shape check: CORADD fastest at every budget; Naive between\n"
       "CORADD and Commercial, converging slowly as dedicated MVs fit.\n");
+  std::printf("wall time: %.1fs (fixture+design %.1fs, evaluation %.1fs)\n",
+              timer.Seconds(), design_done, eval_seconds);
+  json.Config("eval_seconds", eval_seconds);
+  json.Write(timer.Seconds());
   return 0;
 }

@@ -4,13 +4,20 @@
 // oblivious model's estimate of its own design (Commercial Cost Model).
 // Paper shape: CORADD 1.5-3x faster at tight budgets, 5-6x at large ones;
 // CORADD-Model tracks reality; the commercial model underestimates badly.
+//
+// Designs are produced serially per budget, then every (designer, budget)
+// cell is executed in one parallel RunMany sweep. --json emits
+// BENCH_fig9_apb.json.
 #include "bench/bench_util.h"
 
 using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
+  WallTimer timer;
   const double scale = FlagDouble(argc, argv, "scale", 0.004);
+  BenchJson json("fig9_apb", argc, argv);
+  json.Config("scale", scale);
   Fixture f = MakeApbFixture(scale, 1024);
   std::printf("APB-1-like: %zu actuals + %zu budget rows, 31 queries\n",
               f.catalog->GetTable("actuals")->NumRows(),
@@ -20,28 +27,45 @@ int main(int argc, char** argv) {
   CommercialDesigner commercial(f.context.get());
   DesignEvaluator evaluator(f.context.get(), /*cache_capacity=*/48);
 
+  SweepRunner sweep(&evaluator, &f.workload);
+  for (uint64_t budget : BudgetGrid(f.fact_heap_bytes,
+                                    {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0})) {
+    sweep.Add("coradd", budget, coradd.Design(f.workload, budget),
+              &coradd.model());
+    sweep.Add("commercial", budget, commercial.Design(f.workload, budget),
+              &commercial.model());
+  }
+  const double design_done = timer.Seconds();
+  const std::vector<WorkloadRunResult> runs = sweep.RunAll();
+  const double eval_seconds = timer.Seconds() - design_done;
+
   PrintHeader("Figure 9: comparison on APB-1 (total runtime of 31 queries)",
               {"budget", "CORADD[s]", "CORADD-Mod", "Commercial",
                "Comm-Model", "speedup"});
-  for (uint64_t budget : BudgetGrid(f.fact_heap_bytes,
-                                    {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0})) {
-    const DatabaseDesign dc = coradd.Design(f.workload, budget);
-    const WorkloadRunResult rc =
-        evaluator.Run(dc, f.workload, coradd.model());
-
-    const DatabaseDesign dm = commercial.Design(f.workload, budget);
-    const WorkloadRunResult rm =
-        evaluator.Run(dm, f.workload, commercial.model());
-
-    PrintRow({HumanBytes(budget), StrFormat("%.3f", rc.total_seconds),
+  for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const WorkloadRunResult& rc = runs[i];      // coradd
+    const WorkloadRunResult& rm = runs[i + 1];  // commercial
+    PrintRow({HumanBytes(sweep.budget(i)), StrFormat("%.3f", rc.total_seconds),
               StrFormat("%.3f", rc.expected_seconds),
               StrFormat("%.3f", rm.total_seconds),
               StrFormat("%.3f", rm.expected_seconds),
               StrFormat("%.2fx", rm.total_seconds /
                                      std::max(1e-12, rc.total_seconds))});
+    for (size_t k : {i, i + 1}) {
+      json.Row({{"designer", BenchJson::Quote(sweep.label(k))},
+                {"budget_bytes",
+                 BenchJson::Num(static_cast<double>(sweep.budget(k)))},
+                {"simulated_seconds", BenchJson::Num(runs[k].total_seconds)},
+                {"expected_seconds",
+                 BenchJson::Num(runs[k].expected_seconds)}});
+    }
   }
   std::printf(
       "\nPaper shape check: speedup grows with budget (1.5-3x tight,\n"
       "5-6x large); CORADD-Mod ~= CORADD; Comm-Model << Commercial.\n");
+  std::printf("wall time: %.1fs (fixture+design %.1fs, evaluation %.1fs)\n",
+              timer.Seconds(), design_done, eval_seconds);
+  json.Config("eval_seconds", eval_seconds);
+  json.Write(timer.Seconds());
   return 0;
 }

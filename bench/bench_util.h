@@ -8,11 +8,13 @@
 // --scale / --pages to change.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apb/apb.h"
@@ -42,6 +44,30 @@ inline double FlagDouble(int argc, char** argv, const std::string& key,
   const std::string v = FlagValue(argc, argv, key, "");
   return v.empty() ? default_value : std::atof(v.c_str());
 }
+
+/// True when `--key` or `--key=<truthy>` was passed.
+inline bool FlagBool(int argc, char** argv, const std::string& key) {
+  const std::string bare = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  const std::string v = FlagValue(argc, argv, key, "");
+  return !(v.empty() || v == "0" || v == "false");
+}
+
+/// Wall-clock stopwatch for bench reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// A ready-to-use experiment fixture.
 struct Fixture {
@@ -131,6 +157,115 @@ inline CoraddOptions BenchCoraddOptions() {
   options.solver.time_limit_seconds = 20.0;
   return options;
 }
+
+/// Machine-readable bench output: when the bench was invoked with --json,
+/// Write() emits BENCH_<name>.json — bench name, config key/values,
+/// wall-time, and one record per result row (simulated seconds etc.) — the
+/// repo's perf-trajectory record (CI uploads these as artifacts).
+class BenchJson {
+ public:
+  BenchJson(std::string name, int argc, char** argv)
+      : name_(std::move(name)), enabled_(FlagBool(argc, argv, "json")) {}
+
+  bool enabled() const { return enabled_; }
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, Quote(value));
+  }
+  void Config(const std::string& key, double value) {
+    config_.emplace_back(key, StrFormat("%.6g", value));
+  }
+
+  /// One result record of (key, already-JSON-encoded value) pairs.
+  void Row(std::vector<std::pair<std::string, std::string>> fields) {
+    rows_.push_back(std::move(fields));
+  }
+
+  static std::string Quote(const std::string& s) { return "\"" + s + "\""; }
+  static std::string Num(double v) { return StrFormat("%.9g", v); }
+
+  /// Writes BENCH_<name>.json to the working directory (no-op without
+  /// --json). `wall_seconds` is the bench's total wall-clock time.
+  void Write(double wall_seconds) const {
+    if (!enabled_) return;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_seconds\": %.3f,\n",
+                 name_.c_str(), wall_seconds);
+    std::fprintf(f, "  \"config\": {");
+    for (size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   config_[i].first.c_str(), config_[i].second.c_str());
+    }
+    std::fprintf(f, "},\n  \"rows\": [\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {");
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     rows_[r][i].first.c_str(), rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  bool enabled_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// Collects the (designer, budget) sweep of a figure bench and evaluates
+/// every cell in one parallel DesignEvaluator::RunMany — designs are still
+/// produced serially (designers share memoized models), but all executed
+/// query runs fan out across the shared pool together.
+class SweepRunner {
+ public:
+  SweepRunner(DesignEvaluator* evaluator, const Workload* workload)
+      : evaluator_(evaluator), workload_(workload) {
+    CORADD_CHECK(evaluator != nullptr && workload != nullptr);
+  }
+
+  /// Registers one sweep cell. Designs are moved in and kept alive here.
+  void Add(std::string label, uint64_t budget, DatabaseDesign design,
+           const CostModel* planner) {
+    labels_.push_back(std::move(label));
+    budgets_.push_back(budget);
+    planners_.push_back(planner);
+    designs_.push_back(
+        std::make_unique<DatabaseDesign>(std::move(design)));
+  }
+
+  size_t size() const { return designs_.size(); }
+  const std::string& label(size_t i) const { return labels_[i]; }
+  uint64_t budget(size_t i) const { return budgets_[i]; }
+  const DatabaseDesign& design(size_t i) const { return *designs_[i]; }
+
+  /// Evaluates every registered cell; results align with Add() order.
+  std::vector<WorkloadRunResult> RunAll() const {
+    std::vector<EvalJob> jobs;
+    jobs.reserve(designs_.size());
+    for (size_t i = 0; i < designs_.size(); ++i) {
+      jobs.push_back(EvalJob{designs_[i].get(), workload_, planners_[i]});
+    }
+    return evaluator_->RunMany(jobs);
+  }
+
+ private:
+  DesignEvaluator* evaluator_;
+  const Workload* workload_;
+  std::vector<std::string> labels_;
+  std::vector<uint64_t> budgets_;
+  std::vector<const CostModel*> planners_;
+  std::vector<std::unique_ptr<DatabaseDesign>> designs_;
+};
 
 /// Prints a row of right-aligned cells.
 inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {

@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+namespace coradd {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::RunOneQueuedTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      // Nothing to steal right now; nap until a task arrives or our loop's
+      // last straggler finishes (the finisher notifies queue_cv_).
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+  return true;
+}
+
+size_t ThreadPool::ChunkSize(size_t n, size_t num_threads) {
+  // ~4 chunks per worker balances load without flooding the queue.
+  const size_t chunks = std::max<size_t>(1, num_threads * 4);
+  return std::max<size_t>(1, (n + chunks - 1) / chunks);
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t chunk = ChunkSize(n, num_threads());
+
+  // Claim/progress state outlives this frame via shared_ptr: a helper task
+  // that is popped after the loop completed only touches the (exhausted)
+  // cursor and returns without dereferencing `fn`.
+  struct ForState {
+    std::atomic<size_t> cursor{0};
+    std::atomic<size_t> done{0};
+  };
+  auto state = std::make_shared<ForState>();
+  const std::function<void(size_t)>* fn_ptr = &fn;
+
+  auto drain = [this, state, chunk, n, fn_ptr] {
+    for (;;) {
+      const size_t begin = state->cursor.fetch_add(chunk);
+      if (begin >= n) return;
+      const size_t end = std::min(n, begin + chunk);
+      for (size_t i = begin; i < end; ++i) (*fn_ptr)(i);
+      if (state->done.fetch_add(end - begin) + (end - begin) == n) {
+        // Last chunk: wake any caller napping in RunOneQueuedTask.
+        queue_cv_.notify_all();
+      }
+    }
+  };
+
+  const size_t num_helpers = std::min(num_threads(), (n + chunk - 1) / chunk);
+  for (size_t t = 0; t < num_helpers; ++t) Submit(drain);
+
+  // The caller claims chunks itself, then keeps the pool moving (other
+  // loops' helper tasks included) until every one of its iterations is done.
+  drain();
+  while (state->done.load() < n) RunOneQueuedTask();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("CORADD_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    return static_cast<size_t>(0);  // one per hardware thread
+  }());
+  return pool;
+}
+
+}  // namespace coradd

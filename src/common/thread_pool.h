@@ -1,0 +1,81 @@
+// A small fixed-size worker pool shared by every parallel subsystem: the
+// dependency miner partitions its candidate lattice across it, the query
+// executor partitions large scans, and the design evaluator fans whole
+// (design, query) evaluations out over it.
+//
+// ParallelFor is nest-safe: the calling thread claims chunks itself and,
+// once its own iterations are exhausted, keeps draining the pool's task
+// queue until the loop completes. A worker that starts a nested ParallelFor
+// therefore still makes progress even when every other worker is blocked in
+// one — the deadlock that sinks naive fixed-size pools under nesting.
+//
+// Determinism contract: ParallelFor(n, fn) runs fn(i) exactly once per index
+// with writes confined to per-index state; callers merge results in index
+// order. Nothing about chunk scheduling leaks into results, so any pool size
+// (including the shared pool) yields bit-identical output.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coradd {
+
+/// Fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = one per hardware thread, minimum 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+  /// Runs fn(i) for every i in [0, n), spread across the pool, and blocks
+  /// until all iterations complete. The caller participates (so a 1-thread
+  /// pool — or a call from inside another ParallelFor — still progresses)
+  /// and helps drain unrelated queued tasks while waiting. Writers must
+  /// target disjoint state per index.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Picks a chunk size that gives each worker several chunks to steal.
+  static size_t ChunkSize(size_t n, size_t num_threads);
+
+  /// The process-wide pool, created on first use. Sized from the
+  /// CORADD_THREADS environment variable when set to a positive integer,
+  /// else one worker per hardware thread. Mining, execution, and evaluation
+  /// all share it instead of churning their own pools.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  /// Pops and runs one queued task; returns false (after waiting at most
+  /// ~1 ms) when the queue was empty.
+  bool RunOneQueuedTask();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< Signals workers: task or stop.
+  std::condition_variable idle_cv_;   ///< Signals waiters: queue drained.
+  size_t in_flight_ = 0;              ///< Tasks popped but not yet finished.
+  bool stop_ = false;
+};
+
+}  // namespace coradd

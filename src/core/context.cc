@@ -28,6 +28,16 @@ const DiscoveredDependencies* DesignContext::MineDependencies(
             : MinerInput::FromSynopsis(*universes_[i], stats_[i]->synopsis());
     DependencyMiner miner(config.miner);
     mined_[i] = std::make_unique<DiscoveredDependencies>(miner.Mine(input));
+    if (!config.full_scan && config.verify_exact_fds) {
+      // Gather only the columns the exact FDs touch — not a full universe
+      // copy.
+      const std::vector<int> cols = DependencyMiner::ColumnsToVerify(*mined_[i]);
+      if (!cols.empty()) {
+        const MinerInput full =
+            MinerInput::FromUniverseColumns(*universes_[i], cols);
+        miner.VerifyExactFds(full, mined_[i].get());
+      }
+    }
     stats_[i]->InstallMinedDependencies(mined_[i].get(), config.source);
     return mined_[i].get();
   }

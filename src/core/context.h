@@ -22,6 +22,11 @@ struct DependencyMiningConfig {
   /// Mine every universe row instead of the synopsis sample. Exact but
   /// costs a full scan per candidate-lattice level.
   bool full_scan = false;
+  /// After sample mining, re-check every sample-exact FD against the full
+  /// universe rows (one scan per FD) and demote the ones that are only
+  /// approximate on the full data. Ignored when full_scan is set (verdicts
+  /// are already exact).
+  bool verify_exact_fds = true;
   /// Strength policy installed on the correlation catalogs: cross-check
   /// mined knowledge against the synopsis estimates (kMinedFirst) or rely
   /// on mined knowledge alone (kMinedOnly).

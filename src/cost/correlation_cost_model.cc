@@ -41,6 +41,7 @@ const std::vector<uint32_t>& CorrelationCostModel::MatchedRows(
     const std::vector<std::string>& cols) const {
   std::string key = stats.universe().fact_name() + "|" + q.id + "|";
   for (const auto& c : cols) key += c + ",";
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = matched_cache_.find(key);
   if (it != matched_cache_.end()) return it->second;
 
@@ -73,6 +74,7 @@ const CorrelationCostModel::RankCacheEntry& CorrelationCostModel::Ranks(
     const UniverseStats& stats, const MvSpec& spec) const {
   std::string key = stats.universe().fact_name() + "|";
   for (const auto& c : spec.clustered_key) key += c + ",";
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = rank_cache_.find(key);
   if (it != rank_cache_.end()) return it->second;
 
@@ -146,6 +148,7 @@ CostBreakdown CorrelationCostModel::SecondaryPathCost(
     memo_key += c;
     memo_key += ',';
   }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (auto it = result_cache_.find(memo_key); it != result_cache_.end()) {
     return it->second;
   }
@@ -249,6 +252,7 @@ CostBreakdown CorrelationCostModel::Cost(const Query& q,
   if (stats == nullptr || !MvCanServe(q, spec)) return CostBreakdown{};
 
   const std::string memo_key = "C|" + q.id + "|" + SpecSignature(spec);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (auto it = result_cache_.find(memo_key); it != result_cache_.end()) {
     return it->second;
   }

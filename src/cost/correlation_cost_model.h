@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "cost/access_path.h"
 #include "cost/cost_model.h"
@@ -77,6 +78,12 @@ class CorrelationCostModel : public CostModel {
   const StatsRegistry* registry_;
   CorrelationCostModelOptions options_;
 
+  /// One lock for all three caches: the parallel evaluator shares a single
+  /// planner across execution threads. Recursive because Cost() holds it
+  /// while pricing secondary subsets through SecondaryPathCost(). Estimates
+  /// compute under the lock — they are memoized, and the designers prime
+  /// most entries serially before parallel evaluation starts.
+  mutable std::recursive_mutex mu_;
   mutable std::map<std::string, std::vector<uint32_t>> matched_cache_;
   mutable std::map<std::string, RankCacheEntry> rank_cache_;
   /// Full-result memo keyed on (query id, structural spec signature[, cols]).

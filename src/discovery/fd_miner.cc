@@ -1,11 +1,12 @@
 #include "discovery/fd_miner.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "discovery/flat_map.h"
 #include "discovery/lattice.h"
-#include "discovery/thread_pool.h"
 
 namespace coradd {
 
@@ -37,6 +38,29 @@ double G3Error(const std::vector<uint32_t>& lhs_groups, uint32_t lhs_num_groups,
   uint64_t kept = 0;
   for (uint32_t m : *group_max) kept += m;
   return static_cast<double>(n - kept) / static_cast<double>(n);
+}
+
+/// Runs fn(i) for i in [0, n): serially when `pool` is null (the 1-thread
+/// configuration skips pool construction entirely), else across `pool`.
+void RunIndexed(ThreadPool* pool, size_t n,
+                const std::function<void(size_t)>& fn) {
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
+/// The num_threads policy, in one place: 0 = the process-wide shared pool
+/// (no per-call thread churn), 1 = inline (null pool, no threads at all),
+/// else a private pool of that size (tests pin counts to prove
+/// determinism). Returns the pool to use; `local` owns a private one.
+ThreadPool* AcquirePool(size_t num_threads,
+                        std::unique_ptr<ThreadPool>* local) {
+  if (num_threads == 0) return &ThreadPool::Shared();
+  if (num_threads == 1) return nullptr;
+  *local = std::make_unique<ThreadPool>(num_threads);
+  return local->get();
 }
 
 void InsertSorted(std::vector<int>* v, int value) {
@@ -87,11 +111,12 @@ DiscoveredDependencies DependencyMiner::Mine(const MinerInput& input) const {
   if (n == 0 || m == 0) return report;
   CORADD_CHECK(n < (1ull << 32));  // dense group ids are 32-bit
 
-  ThreadPool pool(options_.num_threads);  // 0 = one per hardware thread
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool* pool = AcquirePool(options_.num_threads, &local_pool);
 
   // --- Level 1: one partition per column. ---
   std::vector<LatticeNode> singles(m);
-  pool.ParallelFor(m, [&](size_t c) {
+  RunIndexed(pool, m, [&](size_t c) {
     singles[c].cols = {static_cast<int>(c)};
     BuildSingletonPartition(input.columns[c], &singles[c]);
   });
@@ -149,7 +174,7 @@ DiscoveredDependencies DependencyMiner::Mine(const MinerInput& input) const {
     // confined to node i / verdict slot i, and all pruning state was merged
     // at the previous barrier, so every thread count yields the same set.
     std::vector<std::vector<RhsVerdict>> verdicts(level.size());
-    pool.ParallelFor(level.size(), [&](size_t i) {
+    RunIndexed(pool, level.size(), [&](size_t i) {
       LatticeNode& node = level[i];
       if (node.parent_index >= 0 && node.groups.empty()) {
         RefinePartition(
@@ -221,7 +246,7 @@ DiscoveredDependencies DependencyMiner::Mine(const MinerInput& input) const {
   // min_soft_strength is honored at every cap.
   if (options_.max_lhs_arity == 1 && !level.empty()) {
     std::vector<LatticeNode> pairs = ExpandLattice(level, active);
-    pool.ParallelFor(pairs.size(), [&](size_t i) {
+    RunIndexed(pool, pairs.size(), [&](size_t i) {
       RefinePartition(
           partition_of(level[static_cast<size_t>(pairs[i].parent_index)]),
           singles[static_cast<size_t>(pairs[i].extension_col)], &pairs[i]);
@@ -236,6 +261,104 @@ DiscoveredDependencies DependencyMiner::Mine(const MinerInput& input) const {
 
   report.Finish();
   return report;
+}
+
+std::vector<int> DependencyMiner::ColumnsToVerify(
+    const DiscoveredDependencies& report) {
+  std::vector<int> cols;
+  for (const FunctionalDependency& fd : report.fds()) {
+    if (!fd.exact()) continue;
+    cols.push_back(fd.rhs);
+    cols.insert(cols.end(), fd.lhs.begin(), fd.lhs.end());
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+size_t DependencyMiner::VerifyExactFds(const MinerInput& full,
+                                       DiscoveredDependencies* report) const {
+  CORADD_CHECK(report != nullptr);
+  CORADD_CHECK(full.column_names == report->column_names());
+  if (report->fds_.empty()) return 0;
+
+  // Full-row singleton partitions, but only for columns some exact FD
+  // touches. `full` may carry values for just those columns.
+  std::vector<size_t> exact_idx;
+  std::vector<char> needed(full.NumColumns(), 0);
+  for (size_t i = 0; i < report->fds_.size(); ++i) {
+    const FunctionalDependency& fd = report->fds_[i];
+    if (!fd.exact()) continue;
+    exact_idx.push_back(i);
+    needed[static_cast<size_t>(fd.rhs)] = 1;
+    for (int c : fd.lhs) needed[static_cast<size_t>(c)] = 1;
+  }
+  if (exact_idx.empty()) return 0;
+
+  size_t n = 0;
+  for (size_t c = 0; c < needed.size(); ++c) {
+    if (!needed[c]) continue;
+    if (n == 0) n = full.columns[c].size();
+    CORADD_CHECK(full.columns[c].size() == n);  // sparse inputs must align
+  }
+  if (n == 0) return 0;
+  CORADD_CHECK(n < (1ull << 32));
+
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool* pool = AcquirePool(options_.num_threads, &local_pool);
+
+  std::vector<size_t> needed_cols;
+  for (size_t c = 0; c < needed.size(); ++c) {
+    if (needed[c]) needed_cols.push_back(c);
+  }
+  std::vector<LatticeNode> singles(full.NumColumns());
+  RunIndexed(pool, needed_cols.size(), [&](size_t i) {
+    const size_t c = needed_cols[i];
+    singles[c].cols = {static_cast<int>(c)};
+    BuildSingletonPartition(full.columns[c], &singles[c]);
+  });
+
+  // One pass per FD: refine the LHS partition column by column, then
+  // measure its g3 against the RHS partition. Slot-per-FD writes keep any
+  // pool size deterministic.
+  std::vector<double> errors(exact_idx.size(), 0.0);
+  RunIndexed(pool, exact_idx.size(), [&](size_t k) {
+    const FunctionalDependency& fd = report->fds_[exact_idx[k]];
+    const LatticeNode* lhs = &singles[static_cast<size_t>(fd.lhs[0])];
+    LatticeNode refined;
+    for (size_t j = 1; j < fd.lhs.size(); ++j) {
+      LatticeNode next;
+      RefinePartition(*lhs, singles[static_cast<size_t>(fd.lhs[j])], &next);
+      refined = std::move(next);
+      lhs = &refined;
+    }
+    FlatCountMap counts;
+    std::vector<uint32_t> group_max;
+    errors[k] = G3Error(lhs->groups, lhs->num_groups,
+                        singles[static_cast<size_t>(fd.rhs)].groups, &counts,
+                        &group_max);
+  });
+
+  // Demote in deterministic report order; drop above the AFD threshold.
+  size_t changed = 0;
+  std::vector<FunctionalDependency> kept;
+  kept.reserve(report->fds_.size());
+  size_t k = 0;
+  for (size_t i = 0; i < report->fds_.size(); ++i) {
+    FunctionalDependency fd = report->fds_[i];
+    if (k < exact_idx.size() && exact_idx[k] == i) {
+      const double error = errors[k++];
+      if (error != 0.0) {
+        ++changed;
+        if (error > options_.afd_error_threshold) continue;  // dropped
+        fd.error = error;
+      }
+    }
+    kept.push_back(std::move(fd));
+  }
+  report->fds_ = std::move(kept);
+  report->Finish();
+  return changed;
 }
 
 }  // namespace coradd

@@ -29,7 +29,9 @@ struct DependencyMinerOptions {
   size_t max_lhs_arity = 2;
   /// Report lhs -> rhs with 0 < g3 error <= threshold as approximate FDs.
   double afd_error_threshold = 0.05;
-  /// Worker threads for candidate validation (0 = one per hardware thread).
+  /// Worker threads for candidate validation: 0 = the process-wide shared
+  /// pool (ThreadPool::Shared), 1 = inline (no pool), else a private pool of
+  /// that size. Every setting mines the identical dependency set.
   size_t num_threads = 1;
   /// Only pairs at least this strong are emitted as soft correlations
   /// (distinct-count ratios are still recorded for every validated set).
@@ -52,6 +54,24 @@ class DependencyMiner {
 
   /// Runs the lattice search over `input` and returns the report.
   DiscoveredDependencies Mine(const MinerInput& input) const;
+
+  /// Re-checks every exact FD of `report` — typically mined from a sample —
+  /// against `full` (all rows of the same relation; column order must match
+  /// the report). Each FD costs one pass over its columns: the g3 error is
+  /// recomputed from full-row partitions. Sample-exact FDs that are only
+  /// approximate on the full data are demoted to AFDs (error updated) or
+  /// dropped when the error exceeds afd_error_threshold. Returns the number
+  /// demoted or dropped. Supersets pruned as "non-minimal" during sample
+  /// mining are not revisited.
+  /// `full` may be sparse: only the columns ColumnsToVerify(report) names
+  /// need values (MinerInput::FromUniverseColumns builds exactly that),
+  /// but all provided columns must have equal row counts.
+  size_t VerifyExactFds(const MinerInput& full,
+                        DiscoveredDependencies* report) const;
+
+  /// The column indexes VerifyExactFds will read: every LHS/RHS of an
+  /// exact FD in `report`, sorted, deduplicated.
+  static std::vector<int> ColumnsToVerify(const DiscoveredDependencies& report);
 
  private:
   DependencyMinerOptions options_;

@@ -49,6 +49,26 @@ MinerInput MinerInput::FromUniverse(const Universe& universe, size_t max_rows,
   return input;
 }
 
+MinerInput MinerInput::FromUniverseColumns(const Universe& universe,
+                                           const std::vector<int>& ucols) {
+  MinerInput input;
+  input.source_rows = universe.NumRows();
+  const size_t total = universe.NumRows();
+  input.column_names.reserve(universe.NumColumns());
+  for (size_t c = 0; c < universe.NumColumns(); ++c) {
+    input.column_names.push_back(universe.Column(c).name);
+  }
+  input.columns.resize(universe.NumColumns());
+  for (int uc : ucols) {
+    auto& col = input.columns[static_cast<size_t>(uc)];
+    col.reserve(total);
+    for (size_t r = 0; r < total; ++r) {
+      col.push_back(universe.Value(static_cast<RowId>(r), uc));
+    }
+  }
+  return input;
+}
+
 MinerInput MinerInput::FromSynopsis(const Universe& universe,
                                     const Synopsis& synopsis) {
   MinerInput input;

@@ -33,6 +33,13 @@ struct MinerInput {
   static MinerInput FromUniverse(const Universe& universe, size_t max_rows = 0,
                                  uint64_t seed = 42);
 
+  /// All rows of only the listed universe columns; the other column slots
+  /// stay empty (names are still carried for all columns, so indexes line
+  /// up with reports mined from the full universe). The FD verification
+  /// pass uses this to avoid duplicating every column it will never read.
+  static MinerInput FromUniverseColumns(const Universe& universe,
+                                        const std::vector<int>& ucols);
+
   /// The rows a Synopsis already sampled from `universe` (no extra scan).
   static MinerInput FromSynopsis(const Universe& universe,
                                  const Synopsis& synopsis);

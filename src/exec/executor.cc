@@ -6,68 +6,299 @@
 
 namespace coradd {
 
-namespace {
-
-/// Resolved accessor for one predicate or aggregate column: the stored
-/// table column if the object carries it, else a provenance lookup.
-struct ColumnAccessor {
-  int table_col = -1;
-  int ucol = -1;
-
-  int64_t Get(const MaterializedObject& obj, RowId row) const {
-    return obj.ValueOf(row, table_col, ucol);
-  }
+/// One query resolved against one object: the unique columns each batch must
+/// expose, plus predicates and aggregates rewritten as indexes into that
+/// column list. Built once per executed plan — the batched kernels below
+/// never touch a column name again.
+struct QueryExecutor::Resolved {
+  std::vector<ResolvedColumn> cols;
+  /// When every column is stored in the object (the common MV case),
+  /// the table-column indexes, and range scans go straight through
+  /// ClusteredTable::ScanBatch with no provenance machinery.
+  std::vector<int> stored_cols;
+  bool all_stored = false;
+  std::vector<const Predicate*> preds;
+  std::vector<size_t> pred_col;  ///< preds[j] reads cols[pred_col[j]].
+  struct Agg {
+    int col_a = -1;
+    int col_b = -1;  ///< -1 => SUM(col_a); else SUM(col_a * col_b).
+  };
+  std::vector<Agg> aggs;
 };
 
-ColumnAccessor Resolve(const MaterializedObject& obj,
-                       const std::string& column) {
-  ColumnAccessor a;
-  a.table_col = obj.table->table().schema().ColumnIndex(column);
-  a.ucol = obj.universe->ColumnIndex(column);
-  CORADD_CHECK(a.ucol >= 0);
-  return a;
+namespace {
+
+size_t InternColumn(const MaterializedObject& obj, const std::string& name,
+                    std::vector<ResolvedColumn>* cols) {
+  const ResolvedColumn rc = ResolveColumn(obj, name);
+  for (size_t i = 0; i < cols->size(); ++i) {
+    if ((*cols)[i].ucol == rc.ucol) return i;
+  }
+  cols->push_back(rc);
+  return cols->size() - 1;
+}
+
+QueryExecutor::Resolved ResolveQuery(const Query& q,
+                                     const MaterializedObject& obj) {
+  QueryExecutor::Resolved rq;
+  for (const auto& p : q.predicates) {
+    rq.preds.push_back(&p);
+    rq.pred_col.push_back(InternColumn(obj, p.column, &rq.cols));
+  }
+  for (const auto& a : q.aggregates) {
+    QueryExecutor::Resolved::Agg agg;
+    agg.col_a = static_cast<int>(InternColumn(obj, a.col_a, &rq.cols));
+    if (!a.col_b.empty()) {
+      agg.col_b = static_cast<int>(InternColumn(obj, a.col_b, &rq.cols));
+    }
+    rq.aggs.push_back(agg);
+  }
+  rq.all_stored = true;
+  for (const ResolvedColumn& c : rq.cols) {
+    if (c.table_col < 0) {
+      rq.all_stored = false;
+      rq.stored_cols.clear();
+      break;
+    }
+    rq.stored_cols.push_back(c.table_col);
+  }
+  return rq;
+}
+
+/// Fills `sel` with the batch-local indexes of rows matching `p`; the
+/// predicate type is dispatched once per batch, not once per row.
+size_t FilterFirst(const int64_t* col, size_t n, const Predicate& p,
+                   uint32_t* sel) {
+  size_t k = 0;
+  switch (p.type) {
+    case PredicateType::kEquality: {
+      const int64_t v = p.value;
+      for (size_t i = 0; i < n; ++i) {
+        if (col[i] == v) sel[k++] = static_cast<uint32_t>(i);
+      }
+      break;
+    }
+    case PredicateType::kRange: {
+      const int64_t lo = p.lo, hi = p.hi;
+      for (size_t i = 0; i < n; ++i) {
+        if (col[i] >= lo && col[i] <= hi) sel[k++] = static_cast<uint32_t>(i);
+      }
+      break;
+    }
+    case PredicateType::kIn: {
+      const auto& vals = p.in_values;  // sorted
+      for (size_t i = 0; i < n; ++i) {
+        if (std::binary_search(vals.begin(), vals.end(), col[i])) {
+          sel[k++] = static_cast<uint32_t>(i);
+        }
+      }
+      break;
+    }
+  }
+  return k;
+}
+
+/// Compacts `sel` in place to the survivors of `p` — the short circuit:
+/// each further predicate only touches rows still selected.
+size_t FilterNext(const int64_t* col, const Predicate& p, uint32_t* sel,
+                  size_t k) {
+  size_t out = 0;
+  switch (p.type) {
+    case PredicateType::kEquality: {
+      const int64_t v = p.value;
+      for (size_t j = 0; j < k; ++j) {
+        if (col[sel[j]] == v) sel[out++] = sel[j];
+      }
+      break;
+    }
+    case PredicateType::kRange: {
+      const int64_t lo = p.lo, hi = p.hi;
+      for (size_t j = 0; j < k; ++j) {
+        const int64_t v = col[sel[j]];
+        if (v >= lo && v <= hi) sel[out++] = sel[j];
+      }
+      break;
+    }
+    case PredicateType::kIn: {
+      const auto& vals = p.in_values;
+      for (size_t j = 0; j < k; ++j) {
+        if (std::binary_search(vals.begin(), vals.end(), col[sel[j]])) {
+          sel[out++] = sel[j];
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// Per-partition partial result: one running sum per aggregate, accumulated
+/// in row order across batch boundaries (so batch size never regroups the
+/// floating-point additions), combined left-to-right at merge time.
+struct PartialAgg {
+  std::vector<double> acc;
+  uint64_t rows = 0;
+};
+
+void AccumulateBatch(const ColumnBatch& batch,
+                     const QueryExecutor::Resolved& rq, const uint32_t* sel,
+                     size_t k, bool all_rows, PartialAgg* pa) {
+  pa->rows += k;
+  for (size_t j = 0; j < rq.aggs.size(); ++j) {
+    const int64_t* a = batch.cols[static_cast<size_t>(rq.aggs[j].col_a)];
+    double s = pa->acc[j];
+    if (rq.aggs[j].col_b >= 0) {
+      const int64_t* b = batch.cols[static_cast<size_t>(rq.aggs[j].col_b)];
+      if (all_rows) {
+        for (size_t i = 0; i < k; ++i) {
+          s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+        }
+      } else {
+        for (size_t i = 0; i < k; ++i) {
+          s += static_cast<double>(a[sel[i]]) * static_cast<double>(b[sel[i]]);
+        }
+      }
+    } else {
+      if (all_rows) {
+        for (size_t i = 0; i < k; ++i) s += static_cast<double>(a[i]);
+      } else {
+        for (size_t i = 0; i < k; ++i) s += static_cast<double>(a[sel[i]]);
+      }
+    }
+    pa->acc[j] = s;
+  }
+}
+
+/// Scans one contiguous partition in batches of `batch_rows`.
+void AggregateRangePartition(const QueryExecutor::Resolved& rq,
+                             const MaterializedObject& obj, RowRange part,
+                             size_t batch_rows, PartialAgg* pa) {
+  pa->acc.assign(rq.aggs.size(), 0.0);
+  BatchScratch scratch;
+  std::vector<uint32_t> sel(
+      std::min<uint64_t>(batch_rows, part.Size()));
+  ColumnBatch batch;
+  for (uint64_t b = part.begin; b < part.end; b += batch_rows) {
+    const RowId begin = static_cast<RowId>(b);
+    const RowId end =
+        static_cast<RowId>(std::min<uint64_t>(part.end, b + batch_rows));
+    if (rq.all_stored) {
+      obj.table->ScanBatch(RowRange{begin, end}, rq.stored_cols, &batch);
+    } else {
+      ScanBatch(obj, RowRange{begin, end}, rq.cols, &scratch, &batch);
+    }
+    const size_t n = end - begin;
+    size_t k = n;
+    const bool all_rows = rq.preds.empty();
+    if (!all_rows) {
+      k = FilterFirst(batch.cols[rq.pred_col[0]], n, *rq.preds[0],
+                      sel.data());
+      for (size_t j = 1; j < rq.preds.size() && k > 0; ++j) {
+        k = FilterNext(batch.cols[rq.pred_col[j]], *rq.preds[j], sel.data(),
+                       k);
+      }
+    }
+    if (k == 0) continue;
+    AccumulateBatch(batch, rq, sel.data(), k, all_rows, pa);
+  }
+}
+
+/// Same over a slice of an explicit row-id list.
+void AggregateRidPartition(const QueryExecutor::Resolved& rq,
+                           const MaterializedObject& obj, const RowId* rids,
+                           size_t count, size_t batch_rows, PartialAgg* pa) {
+  pa->acc.assign(rq.aggs.size(), 0.0);
+  BatchScratch scratch;
+  std::vector<uint32_t> sel(std::min(batch_rows, count));
+  ColumnBatch batch;
+  for (size_t b = 0; b < count; b += batch_rows) {
+    const size_t n = std::min(batch_rows, count - b);
+    GatherBatch(obj, rids + b, n, rq.cols, &scratch, &batch);
+    size_t k = n;
+    const bool all_rows = rq.preds.empty();
+    if (!all_rows) {
+      k = FilterFirst(batch.cols[rq.pred_col[0]], n, *rq.preds[0],
+                      sel.data());
+      for (size_t j = 1; j < rq.preds.size() && k > 0; ++j) {
+        k = FilterNext(batch.cols[rq.pred_col[j]], *rq.preds[j], sel.data(),
+                       k);
+      }
+    }
+    if (k == 0) continue;
+    AccumulateBatch(batch, rq, sel.data(), k, all_rows, pa);
+  }
+}
+
+/// Runs `run_part(p)` for every partition, across `pool` when it pays, and
+/// merges partials into `out` in partition order — identical scheduling-
+/// independent result at any thread count.
+void MergePartitions(size_t num_parts, ThreadPool* pool,
+                     const std::function<void(size_t)>& run_part,
+                     std::vector<PartialAgg>* partials, QueryRunResult* out) {
+  if (num_parts > 1 && pool->num_threads() > 1) {
+    pool->ParallelFor(num_parts, run_part);
+  } else {
+    for (size_t p = 0; p < num_parts; ++p) run_part(p);
+  }
+  for (const PartialAgg& pa : *partials) {
+    out->rows_output += pa.rows;
+    for (double s : pa.acc) out->aggregate += s;
+  }
 }
 
 }  // namespace
 
 QueryExecutor::QueryExecutor(const StatsRegistry* registry,
-                             const CostModel* planner)
-    : registry_(registry), planner_(planner) {
+                             const CostModel* planner, ExecOptions options)
+    : registry_(registry), planner_(planner), options_(options) {
   CORADD_CHECK(registry != nullptr);
   CORADD_CHECK(planner != nullptr);
+  CORADD_CHECK(options_.batch_rows > 0);
+  CORADD_CHECK(options_.partition_rows > 0);
 }
 
-void QueryExecutor::AggregateRows(const Query& q,
+void QueryExecutor::AggregateRows(const Resolved& rq,
                                   const MaterializedObject& obj,
                                   RowRange range, QueryRunResult* out) const {
-  std::vector<std::pair<const Predicate*, ColumnAccessor>> preds;
-  preds.reserve(q.predicates.size());
-  for (const auto& p : q.predicates) {
-    preds.emplace_back(&p, Resolve(obj, p.column));
-  }
-  std::vector<std::pair<ColumnAccessor, ColumnAccessor>> aggs;
-  for (const auto& a : q.aggregates) {
-    ColumnAccessor cb;  // invalid => SUM(col_a)
-    if (!a.col_b.empty()) cb = Resolve(obj, a.col_b);
-    aggs.emplace_back(Resolve(obj, a.col_a), cb);
-  }
+  if (range.Empty()) return;
+  const uint64_t pr = options_.partition_rows;
+  const size_t num_parts =
+      static_cast<size_t>((range.Size() + pr - 1) / pr);
+  std::vector<PartialAgg> partials(num_parts);
+  ThreadPool* pool = options_.pool != nullptr ? options_.pool
+                                              : &ThreadPool::Shared();
+  MergePartitions(
+      num_parts, pool,
+      [&](size_t p) {
+        const uint64_t begin = range.begin + p * pr;
+        const uint64_t end = std::min<uint64_t>(range.end, begin + pr);
+        AggregateRangePartition(rq, obj,
+                                RowRange{static_cast<RowId>(begin),
+                                         static_cast<RowId>(end)},
+                                options_.batch_rows, &partials[p]);
+      },
+      &partials, out);
+}
 
-  for (RowId r = range.begin; r < range.end; ++r) {
-    bool ok = true;
-    for (const auto& [p, acc] : preds) {
-      if (!p->Matches(acc.Get(obj, r))) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-    ++out->rows_output;
-    for (const auto& [ca, cb] : aggs) {
-      const double va = static_cast<double>(ca.Get(obj, r));
-      out->aggregate +=
-          cb.ucol >= 0 ? va * static_cast<double>(cb.Get(obj, r)) : va;
-    }
-  }
+void QueryExecutor::AggregateRids(const Resolved& rq,
+                                  const MaterializedObject& obj,
+                                  const std::vector<RowId>& rids,
+                                  QueryRunResult* out) const {
+  if (rids.empty()) return;
+  const size_t pr = options_.partition_rows;
+  const size_t num_parts = (rids.size() + pr - 1) / pr;
+  std::vector<PartialAgg> partials(num_parts);
+  ThreadPool* pool = options_.pool != nullptr ? options_.pool
+                                              : &ThreadPool::Shared();
+  MergePartitions(
+      num_parts, pool,
+      [&](size_t p) {
+        const size_t begin = p * pr;
+        const size_t count = std::min(pr, rids.size() - begin);
+        AggregateRidPartition(rq, obj, rids.data() + begin, count,
+                              options_.batch_rows, &partials[p]);
+      },
+      &partials, out);
 }
 
 QueryRunResult QueryExecutor::RunFullScan(const Query& q,
@@ -81,8 +312,9 @@ QueryRunResult QueryExecutor::RunFullScan(const Query& q,
   out.seeks = 1;
   out.pages_read = pages;
   out.fragments = 1;
-  AggregateRows(q, obj, RowRange{0, static_cast<RowId>(obj.table->NumRows())},
-                &out);
+  const Resolved rq = ResolveQuery(q, obj);
+  AggregateRows(rq, obj,
+                RowRange{0, static_cast<RowId>(obj.table->NumRows())}, &out);
   return out;
 }
 
@@ -159,7 +391,8 @@ QueryRunResult QueryExecutor::RunClustered(const Query& q,
     out.seeks += height;
   }
   out.fragments = runs.size();
-  for (const auto& r : ranges) AggregateRows(q, obj, r, &out);
+  const Resolved rq = ResolveQuery(q, obj);
+  for (const auto& r : ranges) AggregateRows(rq, obj, r, &out);
   return out;
 }
 
@@ -214,6 +447,7 @@ QueryRunResult QueryExecutor::RunCm(const Query& q,
 
   const uint32_t height = obj.table->BTreeHeight();
   const uint64_t rpp = obj.table->layout().RowsPerPage();
+  const Resolved rq = ResolveQuery(q, obj);
   for (const auto& run : runs) {
     for (uint32_t h = 0; h < height; ++h) disk->Seek();
     disk->SequentialRead(run.NumPages());
@@ -222,7 +456,7 @@ QueryRunResult QueryExecutor::RunCm(const Query& q,
     const RowId row_begin = static_cast<RowId>(run.first_page * rpp);
     const RowId row_end = static_cast<RowId>(std::min<uint64_t>(
         (run.last_page + 1) * rpp, obj.table->NumRows()));
-    AggregateRows(q, obj, RowRange{row_begin, row_end}, &out);
+    AggregateRows(rq, obj, RowRange{row_begin, row_end}, &out);
   }
   out.fragments = runs.size();
   return out;
@@ -275,43 +509,17 @@ QueryRunResult QueryExecutor::RunBTree(const Query& q,
   for (RowId r : rids) pages.push_back(obj.table->PageOfRow(r));
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
   const auto runs = CoalescePages(pages, disk->params().prefetch_pages);
-  const uint32_t height = obj.table->BTreeHeight();
   for (const auto& run : runs) {
     disk->Seek();
     disk->SequentialRead(run.NumPages());
     out.pages_read += run.NumPages();
     ++out.seeks;
-    (void)height;
   }
   out.fragments = runs.size();
 
   // Evaluate remaining predicates on exactly the fetched rows.
-  std::vector<std::pair<const Predicate*, ColumnAccessor>> preds;
-  for (const auto& p : q.predicates) {
-    preds.emplace_back(&p, Resolve(obj, p.column));
-  }
-  std::vector<std::pair<ColumnAccessor, ColumnAccessor>> aggs;
-  for (const auto& a : q.aggregates) {
-    ColumnAccessor cb;
-    if (!a.col_b.empty()) cb = Resolve(obj, a.col_b);
-    aggs.emplace_back(Resolve(obj, a.col_a), cb);
-  }
-  for (RowId r : rids) {
-    bool ok = true;
-    for (const auto& [p, acc] : preds) {
-      if (!p->Matches(acc.Get(obj, r))) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) continue;
-    ++out.rows_output;
-    for (const auto& [ca, cb] : aggs) {
-      const double va = static_cast<double>(ca.Get(obj, r));
-      out.aggregate +=
-          cb.ucol >= 0 ? va * static_cast<double>(cb.Get(obj, r)) : va;
-    }
-  }
+  const Resolved rq = ResolveQuery(q, obj);
+  AggregateRids(rq, obj, rids, &out);
   return out;
 }
 

@@ -6,10 +6,18 @@
 // time is the experiment's "real runtime"; the aggregate doubles as a
 // cross-design correctness check (every design must return identical
 // answers for the same query).
+//
+// Execution is batched and parallel: scans resolve their columns once, read
+// ColumnBatches (contiguous column vectors, zero-copy for stored columns),
+// filter them with short-circuiting selection vectors, and partition large
+// row ranges across a ThreadPool with per-partition partial aggregates
+// merged in fixed partition order — so every thread count and every batch
+// size produces bit-identical results (see docs/EXECUTION.md).
 #pragma once
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "exec/materialize.h"
 #include "storage/disk_model.h"
@@ -28,13 +36,35 @@ struct QueryRunResult {
   uint64_t rows_output = 0;
 };
 
+/// Batched-execution knobs. The defaults are what the benches run.
+struct ExecOptions {
+  /// Rows per ColumnBatch handed to the filter/aggregate kernels. Any value
+  /// yields bit-identical results (per-aggregate accumulators run in row
+  /// order across batch boundaries).
+  size_t batch_rows = 4096;
+  /// Fixed partition width for parallel scans: a row range is cut into
+  /// ceil(size / partition_rows) partitions regardless of thread count, and
+  /// partials merge in partition order — the determinism contract. Changing
+  /// this value regroups floating-point sums (still within 1e-9 relative).
+  size_t partition_rows = 16384;
+  /// Pool for scan partitions; nullptr = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
+
 /// Executes queries with plan selection delegated to a cost model.
 class QueryExecutor {
  public:
   /// `planner` plays the optimizer: designs produced by the oblivious
   /// designer are also *executed* with oblivious plan choices, mirroring
   /// the commercial system's behaviour in §7.
-  QueryExecutor(const StatsRegistry* registry, const CostModel* planner);
+  QueryExecutor(const StatsRegistry* registry, const CostModel* planner,
+                ExecOptions options = {});
+
+  const ExecOptions& options() const { return options_; }
+
+  /// Columns + predicates + aggregates resolved against one object (opaque;
+  /// defined in executor.cc where the batch kernels live).
+  struct Resolved;
 
   /// Runs `q` cold (the paper discards caches between queries) against
   /// `obj`, charging I/O to `disk`.
@@ -48,8 +78,6 @@ class QueryExecutor {
                            size_t cm_index, DiskModel* disk) const;
 
  private:
-  struct RowPredicate;  // resolved predicate accessor
-
   QueryRunResult RunFullScan(const Query& q, const MaterializedObject& obj,
                              DiskModel* disk) const;
   QueryRunResult RunClustered(const Query& q, const MaterializedObject& obj,
@@ -59,12 +87,19 @@ class QueryExecutor {
   QueryRunResult RunBTree(const Query& q, const MaterializedObject& obj,
                           size_t btree_idx, DiskModel* disk) const;
 
-  /// Filters rows of [range] and accumulates the aggregate.
-  void AggregateRows(const Query& q, const MaterializedObject& obj,
+  /// Filters rows of [range] in fixed partitions (parallel when large) and
+  /// accumulates the aggregate deterministically.
+  void AggregateRows(const Resolved& rq, const MaterializedObject& obj,
                      RowRange range, QueryRunResult* out) const;
+
+  /// Same over an explicit row-id list (secondary B+Tree fetches).
+  void AggregateRids(const Resolved& rq, const MaterializedObject& obj,
+                     const std::vector<RowId>& rids,
+                     QueryRunResult* out) const;
 
   const StatsRegistry* registry_;
   const CostModel* planner_;
+  ExecOptions options_;
 };
 
 }  // namespace coradd

@@ -12,6 +12,55 @@ namespace {
 constexpr const char* kProvenanceColumn = "__fact_row";
 }  // namespace
 
+ResolvedColumn ResolveColumn(const MaterializedObject& obj,
+                             const std::string& name) {
+  ResolvedColumn c;
+  c.table_col = obj.table->table().schema().ColumnIndex(name);
+  c.ucol = obj.universe->ColumnIndex(name);
+  CORADD_CHECK(c.ucol >= 0);
+  return c;
+}
+
+void ScanBatch(const MaterializedObject& obj, RowRange range,
+               const std::vector<ResolvedColumn>& cols, BatchScratch* scratch,
+               ColumnBatch* out) {
+  out->begin = range.begin;
+  out->num_rows = static_cast<uint32_t>(range.Size());
+  out->cols.resize(cols.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    if (cols[c].table_col >= 0) {
+      out->cols[c] = obj.table->ColumnSlice(cols[c].table_col, range.begin);
+      continue;
+    }
+    int64_t* buf = scratch->Buffer(c, range.Size());
+    for (RowId r = range.begin; r < range.end; ++r) {
+      buf[r - range.begin] = obj.universe->Value(obj.fact_row_of[r],
+                                                 cols[c].ucol);
+    }
+    out->cols[c] = buf;
+  }
+}
+
+void GatherBatch(const MaterializedObject& obj, const RowId* rids, size_t n,
+                 const std::vector<ResolvedColumn>& cols,
+                 BatchScratch* scratch, ColumnBatch* out) {
+  out->begin = 0;
+  out->num_rows = static_cast<uint32_t>(n);
+  out->cols.resize(cols.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    int64_t* buf = scratch->Buffer(c, n);
+    if (cols[c].table_col >= 0) {
+      const int64_t* src = obj.table->ColumnSlice(cols[c].table_col, 0);
+      for (size_t i = 0; i < n; ++i) buf[i] = src[rids[i]];
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        buf[i] = obj.universe->Value(obj.fact_row_of[rids[i]], cols[c].ucol);
+      }
+    }
+    out->cols[c] = buf;
+  }
+}
+
 Materializer::Materializer(const Universe* universe, DiskParams disk)
     : universe_(universe), disk_(disk) {
   CORADD_CHECK(universe != nullptr);

@@ -51,6 +51,32 @@ struct MaterializedObject {
   }
 };
 
+/// A universe column resolved against one object: the stored table column
+/// when the object carries it, else the provenance path (ucol only).
+struct ResolvedColumn {
+  int table_col = -1;
+  int ucol = -1;
+};
+
+/// Resolves universe column `name` against `obj`. Aborts if the universe
+/// does not know the column.
+ResolvedColumn ResolveColumn(const MaterializedObject& obj,
+                             const std::string& name);
+
+/// Fills `out` with rows [range) of `cols`: stored columns come zero-copy
+/// from the clustered heap, provenance-only columns are gathered through
+/// fact_row_of into `scratch`. Thread-safe for concurrent callers with
+/// distinct scratches.
+void ScanBatch(const MaterializedObject& obj, RowRange range,
+               const std::vector<ResolvedColumn>& cols, BatchScratch* scratch,
+               ColumnBatch* out);
+
+/// Same for an arbitrary row-id list (secondary-index fetches): every
+/// column is gathered into `scratch` since rows are non-contiguous.
+void GatherBatch(const MaterializedObject& obj, const RowId* rids, size_t n,
+                 const std::vector<ResolvedColumn>& cols,
+                 BatchScratch* scratch, ColumnBatch* out);
+
 /// Builds MaterializedObjects for one universe.
 class Materializer {
  public:

@@ -19,6 +19,7 @@ double CorrelationCatalog::Distinct(const std::vector<int>& ucols) const {
   std::sort(key.begin(), key.end());
   key.erase(std::unique(key.begin(), key.end()), key.end());
 
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = distinct_cache_.find(key);
   if (it != distinct_cache_.end()) return it->second;
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,9 @@ class CorrelationCatalog {
   const DiscoveredDependencies* mined_ = nullptr;
   std::vector<int> mined_col_of_ucol_;
   CorrelationSource source_ = CorrelationSource::kSynopsis;
+  /// Guards distinct_cache_: the parallel evaluator calls Strength() from
+  /// many execution threads against one shared catalog.
+  mutable std::mutex mu_;
   mutable std::map<std::vector<int>, double> distinct_cache_;
 };
 

@@ -1,0 +1,41 @@
+// The unit of batched execution: a window of rows exposed as per-column
+// contiguous value pointers. Columns the underlying table stores are served
+// zero-copy (Table is column-major already); columns reachable only through
+// row provenance are gathered into caller-owned scratch buffers by the exec
+// layer. The executor's filter/aggregate kernels run over these flat arrays
+// instead of per-row, per-predicate name lookups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace coradd {
+
+struct RowRange;
+
+/// One batch of rows, column-major. cols[c][i] is the value of requested
+/// column c for the i-th row of the batch. Pointers stay valid until the
+/// next ScanBatch/GatherBatch call that reuses the same scratch, or until
+/// the owning table is destroyed, whichever is first.
+struct ColumnBatch {
+  uint32_t begin = 0;  ///< First row id covered (batch-local index 0).
+  uint32_t num_rows = 0;
+  std::vector<const int64_t*> cols;
+
+  size_t NumRows() const { return num_rows; }
+};
+
+/// Reusable per-worker gather buffers for columns that are not stored in the
+/// scanned table (provenance lookups) or for non-contiguous row lists.
+struct BatchScratch {
+  std::vector<std::vector<int64_t>> gathered;
+
+  /// Ensures `n` buffers of capacity `rows` each and returns buffer `i`.
+  int64_t* Buffer(size_t i, size_t rows) {
+    if (gathered.size() <= i) gathered.resize(i + 1);
+    if (gathered[i].size() < rows) gathered[i].resize(rows);
+    return gathered[i].data();
+  }
+};
+
+}  // namespace coradd

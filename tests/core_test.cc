@@ -151,6 +151,50 @@ TEST_F(CoreTest, EvaluatorCachesAcrossBudgets) {
   EXPECT_GT(evaluator.cache_hits(), hits_before);
 }
 
+TEST_F(CoreTest, RunManyMatchesSerialRunsAtAnyThreadCount) {
+  // The parallel evaluator contract: RunMany over a sweep of jobs returns
+  // exactly what per-job Run calls return, bit for bit, at any pool size.
+  CoraddDesigner designer(context_, FastOptions());
+  const DatabaseDesign d1 = designer.Design(*workload_, 4ull << 20);
+  const DatabaseDesign d2 = designer.Design(*workload_, 16ull << 20);
+
+  ThreadPool serial_pool(1);
+  ExecOptions serial;
+  serial.pool = &serial_pool;
+  DesignEvaluator serial_eval(context_, /*cache_capacity=*/24, serial);
+  const WorkloadRunResult want1 =
+      serial_eval.Run(d1, *workload_, designer.model());
+  const WorkloadRunResult want2 =
+      serial_eval.Run(d2, *workload_, designer.model());
+
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    ExecOptions eo;
+    eo.pool = &pool;
+    DesignEvaluator evaluator(context_, /*cache_capacity=*/24, eo);
+    const std::vector<WorkloadRunResult> got = evaluator.RunMany(
+        {EvalJob{&d1, workload_, &designer.model()},
+         EvalJob{&d2, workload_, &designer.model()}});
+    ASSERT_EQ(got.size(), 2u);
+    for (size_t j = 0; j < 2; ++j) {
+      const WorkloadRunResult& want = j == 0 ? want1 : want2;
+      EXPECT_EQ(got[j].total_seconds, want.total_seconds) << threads;
+      EXPECT_EQ(got[j].expected_seconds, want.expected_seconds);
+      ASSERT_EQ(got[j].per_query.size(), want.per_query.size());
+      for (size_t qi = 0; qi < want.per_query.size(); ++qi) {
+        EXPECT_EQ(got[j].per_query[qi].aggregate,
+                  want.per_query[qi].aggregate);
+        EXPECT_EQ(got[j].per_query[qi].real_seconds,
+                  want.per_query[qi].real_seconds);
+        EXPECT_EQ(got[j].per_query[qi].rows_output,
+                  want.per_query[qi].rows_output);
+        EXPECT_EQ(got[j].per_query[qi].object_name,
+                  want.per_query[qi].object_name);
+      }
+    }
+  }
+}
+
 TEST_F(CoreTest, RealAndExpectedAgreeOnOrderOfMagnitude) {
   // CORADD-Model tracked reality well in Fig 9; at minimum the two must
   // agree within an order of magnitude on the total.

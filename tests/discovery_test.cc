@@ -14,7 +14,7 @@
 #include "core/coradd_designer.h"
 #include "core/evaluator.h"
 #include "discovery/fd_miner.h"
-#include "discovery/thread_pool.h"
+#include "common/thread_pool.h"
 #include "ssb/ssb.h"
 
 namespace coradd {
@@ -338,6 +338,79 @@ TEST(DependencyMinerTest, ThreadCountDoesNotChangeResults) {
     EXPECT_EQ(one.keys(), many.keys());
     EXPECT_EQ(one.constant_columns(), many.constant_columns());
   }
+}
+
+// ---------- Full-row verification of sample-exact FDs ----------
+
+/// Clean prefix + violations planted only past row `clean_rows`: a miner
+/// run over the prefix sees a -> b as exact; the full rows do not.
+MinerInput InputWithLateViolations(size_t n, size_t clean_rows,
+                                   size_t violations) {
+  MinerInput input = PlantedInput(n);
+  for (size_t i = 0; i < violations; ++i) {
+    input.columns[1][clean_rows + i] = 9;  // b outlier; a/10 is always <= 4
+  }
+  return input;
+}
+
+TEST(DependencyMinerTest, VerifyDemotesSampleExactFdToAfd) {
+  DependencyMinerOptions opt;
+  opt.max_lhs_arity = 2;
+  const DependencyMiner miner(opt);
+  // Mined from the clean 1000-row prefix: a -> b is (sample-)exact.
+  DiscoveredDependencies report = miner.Mine(PlantedInput(1000));
+  const int a = Col(report, "a");
+  const int b = Col(report, "b");
+  ASSERT_NE(report.FindFd({a}, b), nullptr);
+  ASSERT_TRUE(report.FindFd({a}, b)->exact());
+
+  // Full rows: 40 violating rows in 2000 -> g3 = 0.02 for a -> b (each
+  // violator is a minority of its a-group), within the 0.05 AFD threshold.
+  // The fixture's other exact FD, {b, extra} -> a (a = b*10 + extra%10), is
+  // also broken by the b outliers (g3 = 0.01) — both demote.
+  const MinerInput full = InputWithLateViolations(2000, 1000, 40);
+  const size_t changed = miner.VerifyExactFds(full, &report);
+  EXPECT_EQ(changed, 2u);
+  const FunctionalDependency* fd = report.FindFd({a}, b);
+  ASSERT_NE(fd, nullptr);
+  EXPECT_FALSE(fd->exact());
+  EXPECT_NEAR(fd->error, 0.02, 1e-12);
+  EXPECT_FALSE(report.DeterminesExactly({a}, b));
+  const int extra = Col(report, "extra");
+  const FunctionalDependency* fd2 = report.FindFd({b, extra}, a);
+  ASSERT_NE(fd2, nullptr);
+  EXPECT_NEAR(fd2->error, 0.01, 1e-12);
+}
+
+TEST(DependencyMinerTest, VerifyDropsFdBeyondAfdThreshold) {
+  DependencyMinerOptions opt;
+  opt.max_lhs_arity = 2;
+  const DependencyMiner miner(opt);
+  DiscoveredDependencies report = miner.Mine(PlantedInput(1000));
+  const int a = Col(report, "a");
+  const int b = Col(report, "b");
+  ASSERT_NE(report.FindFd({a}, b), nullptr);
+
+  // 300 / 2000 violating rows -> g3 = 0.15 > 0.05 for a -> b: not even an
+  // AFD. {b, extra} -> a degrades past the threshold too (g3 = 0.12).
+  const MinerInput full = InputWithLateViolations(2000, 1000, 300);
+  const size_t changed = miner.VerifyExactFds(full, &report);
+  EXPECT_EQ(changed, 2u);
+  EXPECT_EQ(report.FindFd({a}, b), nullptr);
+}
+
+TEST(DependencyMinerTest, VerifyKeepsTrulyExactFdsUntouched) {
+  DependencyMinerOptions opt;
+  opt.max_lhs_arity = 2;
+  const DependencyMiner miner(opt);
+  DiscoveredDependencies report = miner.Mine(PlantedInput(1000));
+  const int a = Col(report, "a");
+  const int b = Col(report, "b");
+  // Same generator, no violations: everything re-checks clean.
+  EXPECT_EQ(miner.VerifyExactFds(PlantedInput(4000), &report), 0u);
+  const FunctionalDependency* fd = report.FindFd({a}, b);
+  ASSERT_NE(fd, nullptr);
+  EXPECT_TRUE(fd->exact());
 }
 
 // ---------- MinerInput adapters ----------

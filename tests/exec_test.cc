@@ -287,6 +287,94 @@ TEST_F(ExecTest, CorrelatedClusteringRunsFasterThanBase) {
   EXPECT_LT(re_s * 3, base_s);
 }
 
+// ---------- Determinism across thread counts and batch sizes ----------
+
+// The batched executor's contract (docs/EXECUTION.md): for a fixed
+// partition_rows, every thread count and every batch size yields
+// bit-identical aggregates, I/O counters, and row counts — partials are
+// computed per fixed partition and merged in partition order.
+TEST_F(ExecTest, DeterministicAcrossThreadsAndBatchSizes) {
+  Materializer mat(universe_, Disk());
+  auto base = mat.Materialize(BaseSpec());
+  MvSpec re = BaseSpec();
+  re.is_base = false;
+  re.name = "re_od";
+  re.clustered_key = {"lo_orderdate"};
+  CmSpec cm;
+  cm.key_columns = {"d_yearmonthnum"};
+  auto reclustered = mat.Materialize(re, {cm}, {"lo_discount"});
+  const std::vector<const MaterializedObject*> objects = {base.get(),
+                                                          reclustered.get()};
+
+  // Baseline: 1 thread, default batch, small fixed partitions so the base
+  // table spans many partitions (the parallel path is actually exercised).
+  constexpr size_t kPartitionRows = 1024;
+  std::vector<QueryRunResult> baseline;
+  {
+    ThreadPool pool(1);
+    ExecOptions eo;
+    eo.partition_rows = kPartitionRows;
+    eo.pool = &pool;
+    QueryExecutor exec(registry_, model_, eo);
+    for (const auto* obj : objects) {
+      for (const auto& q : workload_->queries) {
+        DiskModel disk(Disk());
+        baseline.push_back(exec.Run(q, *obj, &disk));
+      }
+    }
+  }
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    for (size_t batch : {1u, 64u, 4096u}) {
+      ExecOptions eo;
+      eo.batch_rows = batch;
+      eo.partition_rows = kPartitionRows;
+      eo.pool = &pool;
+      QueryExecutor exec(registry_, model_, eo);
+      size_t i = 0;
+      for (const auto* obj : objects) {
+        for (const auto& q : workload_->queries) {
+          DiskModel disk(Disk());
+          const QueryRunResult run = exec.Run(q, *obj, &disk);
+          const QueryRunResult& want = baseline[i++];
+          // Bit-identical: EXPECT_EQ on the doubles, not EXPECT_NEAR.
+          EXPECT_EQ(run.aggregate, want.aggregate)
+              << q.id << " threads=" << threads << " batch=" << batch;
+          EXPECT_EQ(run.seconds, want.seconds) << q.id;
+          EXPECT_EQ(run.pages_read, want.pages_read) << q.id;
+          EXPECT_EQ(run.seeks, want.seeks) << q.id;
+          EXPECT_EQ(run.fragments, want.fragments) << q.id;
+          EXPECT_EQ(run.rows_output, want.rows_output) << q.id;
+          EXPECT_EQ(run.path, want.path) << q.id;
+        }
+      }
+    }
+  }
+}
+
+// The shared-pool default configuration must agree with an explicit
+// 1-thread pool (the serial fallback and the pooled path share partition
+// discipline).
+TEST_F(ExecTest, SharedPoolMatchesExplicitSingleThread) {
+  Materializer mat(universe_, Disk());
+  auto base = mat.Materialize(BaseSpec());
+  ThreadPool one(1);
+  ExecOptions serial;
+  serial.pool = &one;
+  QueryExecutor exec_shared(registry_, model_);  // defaults: shared pool
+  QueryExecutor exec_serial(registry_, model_, serial);
+  for (const auto& q : workload_->queries) {
+    DiskModel d1(Disk()), d2(Disk());
+    const QueryRunResult a = exec_shared.Run(q, *base, &d1);
+    const QueryRunResult b = exec_serial.Run(q, *base, &d2);
+    EXPECT_EQ(a.aggregate, b.aggregate) << q.id;
+    EXPECT_EQ(a.rows_output, b.rows_output) << q.id;
+    EXPECT_EQ(a.pages_read, b.pages_read) << q.id;
+    EXPECT_EQ(a.seeks, b.seeks) << q.id;
+  }
+}
+
 // ---------- Maintenance (Fig 14 property) ----------
 
 TEST(MaintenanceTest, CostGrowsWithAdditionalObjects) {

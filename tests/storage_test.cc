@@ -252,6 +252,21 @@ TEST(ClusteredTableTest, EqualRangeMissingKeyEmpty) {
   EXPECT_TRUE(ct.EqualRange({42}).Empty());
 }
 
+TEST(ClusteredTableTest, ScanBatchIsZeroCopyWindow) {
+  ClusteredTable ct(MakeKeyed(100), {0, 1});
+  ColumnBatch batch;
+  ct.ScanBatch(RowRange{25, 75}, {2, 0}, &batch);
+  EXPECT_EQ(batch.begin, 25u);
+  ASSERT_EQ(batch.NumRows(), 50u);
+  ASSERT_EQ(batch.cols.size(), 2u);
+  // Pointers alias the heap's column storage directly.
+  EXPECT_EQ(batch.cols[0], ct.ColumnSlice(2, 25));
+  for (uint32_t i = 0; i < batch.NumRows(); ++i) {
+    EXPECT_EQ(batch.cols[0][i], ct.table().Value(25 + i, 2));
+    EXPECT_EQ(batch.cols[1][i], ct.table().Value(25 + i, 0));
+  }
+}
+
 TEST(ClusteredTableTest, PrefixThenRange) {
   ClusteredTable ct(MakeKeyed(100), {0, 1});
   const RowRange r = ct.PrefixThenRange({5}, 2, 6);
