@@ -11,8 +11,8 @@
 #include "cost/correlation_cost_model.h"
 #include "bench/bench_util.h"
 #include "feedback/ilp_feedback.h"
-#include "ilp/branch_and_bound.h"
 #include "ilp/problem_builder.h"
+#include "solver/solver.h"
 #include "mv/candidate_generator.h"
 #include "mv/fk_clustering.h"
 
@@ -60,7 +60,9 @@ int main(int argc, char** argv) {
   CandidateSet initial = generator.Generate(sub);
 
   // --- Sweep: one independent cell per budget, in parallel (the model's
-  // memo caches are mutex-guarded; everything else is read-only).
+  // memo caches are mutex-guarded; everything else is read-only). The
+  // solver engine runs inline per cell — the budget grid itself is the
+  // parallel axis here, so nesting wave parallelism under it buys nothing.
   const std::vector<uint64_t> budgets =
       BudgetGrid(f.fact_heap_bytes, {0.125, 0.25, 0.5, 1.0, 2.0, 4.0});
   struct Cell {
@@ -69,15 +71,18 @@ int main(int argc, char** argv) {
     double fb = 0.0;
   };
   std::vector<Cell> cells(budgets.size());
+  SolverOptions sopt;
+  sopt.parallel = false;
+  const SolverEngine engine(sopt);
   ThreadPool::Shared().ParallelFor(budgets.size(), [&](size_t i) {
     const uint64_t budget = budgets[i];
     BuiltProblem opt_built = BuildSelectionProblem(
         sub, opt_pool, model, f.context->registry(), budget);
-    cells[i].opt = SolveSelectionExact(opt_built.problem).expected_cost;
+    cells[i].opt = engine.Solve(opt_built.problem).expected_cost;
 
     BuiltProblem ilp_built = BuildSelectionProblem(
         sub, initial.mvs, model, f.context->registry(), budget);
-    cells[i].ilp = SolveSelectionExact(ilp_built.problem).expected_cost;
+    cells[i].ilp = engine.Solve(ilp_built.problem).expected_cost;
 
     FeedbackOptions fopt;
     fopt.max_iterations = 2;
@@ -85,7 +90,7 @@ int main(int argc, char** argv) {
         sub, generator, model, f.context->registry(),
         BuildSelectionProblem(sub, initial.mvs, model, f.context->registry(),
                               budget),
-        budget, fopt);
+        budget, fopt, sopt);
     cells[i].fb = fb.result.expected_cost;
   });
 

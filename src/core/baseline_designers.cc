@@ -58,7 +58,7 @@ NaiveDesigner::NaiveDesigner(const DesignContext* context,
 }
 
 DatabaseDesign NaiveDesigner::Design(const Workload& workload,
-                                     uint64_t budget_bytes) {
+                                     uint64_t budget_bytes) const {
   const double t0 = Now();
   IndexMergingOptions merge_options;
   merge_options.t = 1;  // dedicated designs only
@@ -119,7 +119,7 @@ CommercialDesigner::CommercialDesigner(const DesignContext* context,
 }
 
 DatabaseDesign CommercialDesigner::Design(const Workload& workload,
-                                          uint64_t budget_bytes) {
+                                          uint64_t budget_bytes) const {
   const double t0 = Now();
   CandidateSet candidates = generator_->Generate(workload);
   BuiltProblem built =

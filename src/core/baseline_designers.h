@@ -21,13 +21,15 @@
 
 namespace coradd {
 
-/// §7.2's Naive baseline.
+/// §7.2's Naive baseline. Design() is const and thread-safe (the memoized
+/// cost model is internally synchronized), so bench sweeps can design every
+/// budget cell concurrently.
 class NaiveDesigner {
  public:
   explicit NaiveDesigner(const DesignContext* context,
                          CorrelationCostModelOptions model_options = {});
 
-  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes);
+  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes) const;
 
   const CorrelationCostModel& model() const { return *model_; }
 
@@ -36,13 +38,14 @@ class NaiveDesigner {
   std::unique_ptr<CorrelationCostModel> model_;
 };
 
-/// Correlation-oblivious commercial-designer proxy.
+/// Correlation-oblivious commercial-designer proxy. Design() is const and
+/// thread-safe, like NaiveDesigner's.
 class CommercialDesigner {
  public:
   explicit CommercialDesigner(const DesignContext* context,
                               GreedyMkOptions greedy_options = {});
 
-  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes);
+  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes) const;
 
   const ObliviousCostModel& model() const { return *model_; }
 

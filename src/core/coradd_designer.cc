@@ -34,35 +34,35 @@ CoraddDesigner::CoraddDesigner(const DesignContext* context,
                                               model_.get(), options_.cm);
 }
 
-DatabaseDesign CoraddDesigner::Design(const Workload& workload,
-                                      uint64_t budget_bytes) {
-  last_run_ = CoraddRunInfo{};
-  const double t_start = Now();
-
+BuiltProblem CoraddDesigner::BuildPrunedProblem(const Workload& workload,
+                                                uint64_t budget_bytes,
+                                                CoraddRunInfo* info) const {
   // --- §4: candidate generation.
+  const double t0 = Now();
   CandidateSet candidates = generator_->Generate(workload);
-  last_run_.candidates_enumerated = candidates.mvs.size();
-  last_run_.candgen_seconds = Now() - t_start;
+  info->candidates_enumerated = candidates.mvs.size();
+  info->candgen_seconds += Now() - t0;
 
-  // --- §5: build + prune + solve.
-  const double t_solve = Now();
+  // --- §5: build + prune.
+  const double t1 = Now();
   BuiltProblem built =
       BuildSelectionProblem(workload, std::move(candidates.mvs), *model_,
                             context_->registry(), budget_bytes);
-  if (options_.prune_dominated) {
-    const std::vector<bool> dominated = DominatedMask(built.problem);
-    std::vector<int> old_index;
-    SelectionProblem compact =
-        CompactProblem(built.problem, dominated, &old_index);
-    std::vector<MvSpec> kept;
-    kept.reserve(old_index.size());
-    for (int oi : old_index) {
-      kept.push_back(std::move(built.specs[static_cast<size_t>(oi)]));
-    }
-    built.problem = std::move(compact);
-    built.specs = std::move(kept);
-  }
-  last_run_.candidates_after_domination = built.specs.size();
+  if (options_.prune_dominated) PruneDominated(&built);
+  info->candidates_after_domination = built.specs.size();
+  info->pricing_seconds += Now() - t1;
+  return built;
+}
+
+DatabaseDesign CoraddDesigner::SolveAndPackage(const Workload& workload,
+                                               BuiltProblem built,
+                                               uint64_t budget_bytes,
+                                               CoraddRunInfo* info,
+                                               WarmStartSession* warm,
+                                               GroupDesignMemo* memo) const {
+  const double t_solve = Now();
+  std::vector<int> warm_chosen;
+  if (warm != nullptr) warm_chosen = warm->WarmChosen(built);
 
   SelectionResult result;
   BuiltProblem final_problem;
@@ -70,16 +70,21 @@ DatabaseDesign CoraddDesigner::Design(const Workload& workload,
     // --- §6: ILP feedback.
     FeedbackOutcome fb = RunIlpFeedback(
         workload, *generator_, *model_, context_->registry(),
-        std::move(built), budget_bytes, options_.feedback, options_.solver);
+        std::move(built), budget_bytes, options_.feedback, options_.solver,
+        warm_chosen.empty() ? nullptr : &warm_chosen, memo);
     result = std::move(fb.result);
     final_problem = std::move(fb.problem);
-    last_run_.feedback_candidates_added = fb.candidates_added;
-    last_run_.feedback_iterations = fb.iterations;
+    info->feedback_candidates_added = fb.candidates_added;
+    info->feedback_iterations = fb.iterations;
+    info->solver_stats.Accumulate(fb.solver_stats);
   } else {
-    result = SolveSelectionExact(built.problem, options_.solver);
+    const SolverEngine engine(options_.solver);
+    result = engine.Solve(built.problem, &info->solver_stats,
+                          warm_chosen.empty() ? nullptr : &warm_chosen);
     final_problem = std::move(built);
   }
-  last_run_.solve_seconds = Now() - t_solve;
+  if (warm != nullptr) warm->Record(final_problem, result);
+  info->solve_seconds += Now() - t_solve;
 
   // --- A-1: CMs on the chosen objects.
   DatabaseDesign design;
@@ -111,8 +116,68 @@ DatabaseDesign CoraddDesigner::Design(const Workload& workload,
       design.object_for_query[q] = object_index[static_cast<size_t>(m)];
     }
   }
-  design.design_seconds = Now() - t_start;
   return design;
+}
+
+DatabaseDesign CoraddDesigner::Design(const Workload& workload,
+                                      uint64_t budget_bytes) const {
+  return Design(workload, budget_bytes, nullptr, nullptr);
+}
+
+DatabaseDesign CoraddDesigner::Design(const Workload& workload,
+                                      uint64_t budget_bytes,
+                                      CoraddRunInfo* info,
+                                      WarmStartSession* warm) const {
+  CoraddRunInfo run;
+  const double t_start = Now();
+  BuiltProblem built = BuildPrunedProblem(workload, budget_bytes, &run);
+  GroupDesignMemo memo;  // shared across this call's feedback iterations
+  DatabaseDesign design = SolveAndPackage(workload, std::move(built),
+                                          budget_bytes, &run, warm, &memo);
+  design.design_seconds = Now() - t_start;
+  if (info != nullptr) *info = run;
+  {
+    std::lock_guard<std::mutex> lock(last_run_mu_);
+    last_run_ = std::move(run);
+  }
+  return design;
+}
+
+std::vector<DatabaseDesign> CoraddDesigner::DesignMany(
+    const Workload& workload, const std::vector<uint64_t>& budgets,
+    std::vector<CoraddRunInfo>* infos) const {
+  std::vector<DatabaseDesign> out;
+  if (infos != nullptr) infos->clear();
+  if (budgets.empty()) return out;
+
+  // Candidates, prices, and the domination mask do not depend on the
+  // budget, so the whole grid shares one pruned problem.
+  CoraddRunInfo base_info;
+  const double t_shared = Now();
+  const BuiltProblem base =
+      BuildPrunedProblem(workload, budgets.front(), &base_info);
+  const double shared_seconds = Now() - t_shared;
+
+  WarmStartSession warm;
+  GroupDesignMemo memo;  // group designs recur budget to budget
+  for (uint64_t budget : budgets) {
+    CoraddRunInfo run = base_info;  // carries the shared candgen/pricing time
+    const double t_budget = Now();
+    BuiltProblem per_budget = base;  // feedback grows a private copy
+    per_budget.problem.budget_bytes = budget;
+    DatabaseDesign design = SolveAndPackage(workload, std::move(per_budget),
+                                            budget, &run, &warm, &memo);
+    // Attribute the shared candgen/pricing evenly across the grid.
+    design.design_seconds = (Now() - t_budget) +
+                            shared_seconds / static_cast<double>(budgets.size());
+    out.push_back(std::move(design));
+    if (infos != nullptr) infos->push_back(run);
+    {
+      std::lock_guard<std::mutex> lock(last_run_mu_);
+      last_run_ = std::move(run);
+    }
+  }
+  return out;
 }
 
 }  // namespace coradd

@@ -2,9 +2,18 @@
 // generation (query grouping + clustered-index merging + FK clustering) ->
 // ILP selection with dominated-candidate pruning -> ILP feedback ->
 // CM design on the chosen objects.
+//
+// Design() is const and thread-safe: the cost model's memo caches are
+// internally synchronized and everything else is read-only, so bench
+// sweeps may design at several budgets concurrently. DesignMany() runs a
+// warm-started sequential chain over a budget grid instead: candidates are
+// generated, priced, and domination-pruned once, and every budget point
+// warm-starts its solves from the previous point's solution.
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "cm/cm_designer.h"
 #include "core/context.h"
@@ -13,6 +22,7 @@
 #include "feedback/ilp_feedback.h"
 #include "ilp/domination.h"
 #include "mv/candidate_generator.h"
+#include "solver/warm_start.h"
 
 namespace coradd {
 
@@ -20,7 +30,7 @@ namespace coradd {
 struct CoraddOptions {
   CandidateGeneratorOptions candidates;
   FeedbackOptions feedback;
-  BranchAndBoundOptions solver;
+  SolverOptions solver;
   CmDesignerOptions cm;
   CorrelationCostModelOptions cost_model;
   bool use_feedback = true;
@@ -33,8 +43,10 @@ struct CoraddRunInfo {
   size_t candidates_after_domination = 0;
   size_t feedback_candidates_added = 0;
   int feedback_iterations = 0;
-  double candgen_seconds = 0.0;
+  double candgen_seconds = 0.0;  ///< §4 enumeration (grouping, merging)
+  double pricing_seconds = 0.0;  ///< cost-table build + domination pruning
   double solve_seconds = 0.0;
+  SolverStats solver_stats;  ///< Accumulated over every solve of the call.
 };
 
 /// The CORADD automatic database designer.
@@ -42,20 +54,56 @@ class CoraddDesigner {
  public:
   CoraddDesigner(const DesignContext* context, CoraddOptions options = {});
 
-  /// Produces the design for `workload` within `budget_bytes`.
-  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes);
+  /// Produces the design for `workload` within `budget_bytes`. Thread-safe;
+  /// concurrent calls share only the memoized cost model.
+  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes) const;
 
-  /// Run statistics of the last Design() call.
-  const CoraddRunInfo& last_run() const { return last_run_; }
+  /// As above, with explicit outputs: `info` (optional) receives the run
+  /// statistics without going through last_run(); `warm` (optional) seeds
+  /// the solves from the session's recorded solution and records this
+  /// design's solution back into it.
+  DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes,
+                        CoraddRunInfo* info, WarmStartSession* warm) const;
+
+  /// Warm-started sweep over a budget grid (ascending or any order):
+  /// candidate generation, pricing, and domination pruning are shared
+  /// across all points, and each point's solves are warm-started from the
+  /// previous point. Produces the same designs as per-budget Design()
+  /// calls whenever the solves prove optimality. `infos`, if non-null, is
+  /// filled with one entry per budget.
+  std::vector<DatabaseDesign> DesignMany(
+      const Workload& workload, const std::vector<uint64_t>& budgets,
+      std::vector<CoraddRunInfo>* infos = nullptr) const;
+
+  /// Run statistics of the most recently *finished* Design() call (under
+  /// concurrent designing: whichever call finished last). Returns a copy
+  /// taken under the same lock the writers hold, so it is safe to call
+  /// while other threads design.
+  CoraddRunInfo last_run() const {
+    std::lock_guard<std::mutex> lock(last_run_mu_);
+    return last_run_;
+  }
   const CorrelationCostModel& model() const { return *model_; }
 
  private:
+  /// §4 + §5.3: generate, price, and (optionally) domination-prune.
+  BuiltProblem BuildPrunedProblem(const Workload& workload,
+                                  uint64_t budget_bytes,
+                                  CoraddRunInfo* info) const;
+
+  /// §5 + §6 + A-1: solve (with feedback), design CMs, package.
+  DatabaseDesign SolveAndPackage(const Workload& workload,
+                                 BuiltProblem built, uint64_t budget_bytes,
+                                 CoraddRunInfo* info, WarmStartSession* warm,
+                                 GroupDesignMemo* memo) const;
+
   const DesignContext* context_;
   CoraddOptions options_;
   std::unique_ptr<CorrelationCostModel> model_;
   std::unique_ptr<MvCandidateGenerator> generator_;
   std::unique_ptr<CmDesigner> cm_designer_;
-  CoraddRunInfo last_run_;
+  mutable std::mutex last_run_mu_;
+  mutable CoraddRunInfo last_run_;
 };
 
 }  // namespace coradd

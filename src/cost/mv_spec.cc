@@ -1,9 +1,23 @@
 #include "cost/mv_spec.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "storage/layout.h"
 
 namespace coradd {
+
+std::string MvSpecSignature(const MvSpec& spec) {
+  std::string s = spec.fact_table + "|";
+  for (int qi : spec.query_group) s += StrFormat("%d,", qi);
+  s += "|";
+  s += Join(spec.clustered_key, ",");
+  s += "|";
+  std::vector<std::string> cols = spec.columns;
+  std::sort(cols.begin(), cols.end());
+  s += Join(cols, ",");
+  return s;
+}
 
 std::string MvSpec::ToString() const {
   return StrFormat("%s{%s: cols=%zu, key=(%s)%s}", name.c_str(),

@@ -36,6 +36,13 @@ struct MvSpec {
   std::string ToString() const;
 };
 
+/// Structural signature of a spec: fact table, query group, clustered key,
+/// and (sorted) stored columns. Two specs with equal signatures price
+/// identically under every cost model, so the signature keys candidate
+/// deduplication (ILP feedback) and solver warm-start mapping across
+/// problems whose candidate indices differ.
+std::string MvSpecSignature(const MvSpec& spec);
+
 /// Declared row width of the MV in bytes.
 uint32_t MvRowWidthBytes(const MvSpec& spec, const UniverseStats& stats);
 

@@ -4,25 +4,25 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "cost/mv_spec.h"
 
 namespace coradd {
 
-namespace {
-
-/// Structural signature for deduplicating candidates across iterations.
-std::string Signature(const MvSpec& spec) {
-  std::string s = spec.fact_table + "|";
-  for (int qi : spec.query_group) s += StrFormat("%d,", qi);
-  s += "|";
-  s += Join(spec.clustered_key, ",");
-  s += "|";
-  std::vector<std::string> cols = spec.columns;
-  std::sort(cols.begin(), cols.end());
-  s += Join(cols, ",");
-  return s;
+std::vector<MvSpec> GroupDesignMemo::DesignForGroup(
+    const MvCandidateGenerator& generator, const Workload& workload,
+    const QueryGroup& group, const std::string& fact_table, int t_override) {
+  std::string key = fact_table + "|" + StrFormat("%d", t_override) + "|";
+  for (int qi : group) key += StrFormat("%d,", qi);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  std::vector<MvSpec> designs =
+      generator.DesignForGroup(workload, group, fact_table, t_override);
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_.emplace(std::move(key), std::move(designs)).first->second;
 }
-
-}  // namespace
 
 FeedbackOutcome RunIlpFeedback(const Workload& workload,
                                const MvCandidateGenerator& generator,
@@ -30,22 +30,37 @@ FeedbackOutcome RunIlpFeedback(const Workload& workload,
                                const StatsRegistry& registry,
                                BuiltProblem initial, uint64_t budget_bytes,
                                FeedbackOptions options,
-                               BranchAndBoundOptions solve_options) {
+                               SolverOptions solve_options,
+                               const std::vector<int>* warm_chosen,
+                               GroupDesignMemo* memo) {
   FeedbackOutcome out;
   out.problem = std::move(initial);
 
   std::set<std::string> known;
-  for (const auto& spec : out.problem.specs) known.insert(Signature(spec));
+  for (const auto& spec : out.problem.specs) {
+    known.insert(MvSpecSignature(spec));
+  }
 
-  out.result = SolveSelectionExact(out.problem.problem, solve_options);
+  const SolverEngine engine(solve_options);
+  out.result = engine.Solve(out.problem.problem, &out.solver_stats,
+                            warm_chosen);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     std::vector<MvSpec> fresh;
     auto consider = [&](std::vector<MvSpec> specs) {
       for (auto& s : specs) {
         if (fresh.size() >= options.max_new_per_iteration) return;
-        if (known.insert(Signature(s)).second) fresh.push_back(std::move(s));
+        if (known.insert(MvSpecSignature(s)).second) {
+          fresh.push_back(std::move(s));
+        }
       }
+    };
+    auto full = [&] { return fresh.size() >= options.max_new_per_iteration; };
+    auto design_for_group = [&](const QueryGroup& group,
+                                const std::string& fact, int t) {
+      return memo != nullptr
+                 ? memo->DesignForGroup(generator, workload, group, fact, t)
+                 : generator.DesignForGroup(workload, group, fact, t);
     };
 
     const uint64_t leftover =
@@ -54,31 +69,50 @@ FeedbackOutcome RunIlpFeedback(const Workload& workload,
             : 0;
 
     for (int m : out.result.chosen) {
+      if (full()) break;  // further designs would be discarded anyway
       const MvSpec& spec = out.problem.specs[static_cast<size_t>(m)];
       if (spec.is_fact_recluster) continue;  // groups apply to MVs only
       const UniverseStats* stats = registry.ForFact(spec.fact_table);
+      const uint64_t current =
+          EstimateMvSizeBytes(spec, *stats, stats->options().disk);
 
       // --- Source 1a: expand the query group with every absent query whose
       // addition keeps the design under budget (§6.1's first heuristic).
-      for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+      for (size_t qi = 0; qi < workload.queries.size() && !full(); ++qi) {
         const Query& q = workload.queries[qi];
         if (q.fact_table != spec.fact_table) continue;
         if (std::find(spec.query_group.begin(), spec.query_group.end(),
                       static_cast<int>(qi)) != spec.query_group.end()) {
           continue;
         }
+        // Cheap lower bound before running the clustered-index designer:
+        // every design for the expanded group stores the column union, so
+        // its heap alone costs at least this much (EstimateMvSizeBytes is
+        // heap + index internals). If even that cannot fit, skip the
+        // (expensive) design call — no result would survive the filter.
+        MvSpec probe;
+        probe.fact_table = spec.fact_table;
+        probe.columns = spec.columns;
+        for (const auto& c : q.AllColumns()) {
+          if (std::find(probe.columns.begin(), probe.columns.end(), c) ==
+              probe.columns.end()) {
+            probe.columns.push_back(c);
+          }
+        }
+        const uint64_t floor_bytes =
+            MvHeapPages(probe, *stats, stats->options().disk) *
+            stats->options().disk.page_size_bytes;
+        if (floor_bytes > current + leftover) continue;
+
         QueryGroup expanded = spec.query_group;
         expanded.push_back(static_cast<int>(qi));
         std::sort(expanded.begin(), expanded.end());
-        auto designs =
-            generator.DesignForGroup(workload, expanded, spec.fact_table);
+        auto designs = design_for_group(expanded, spec.fact_table, 0);
         // Keep expansions that respect the remaining budget.
         std::vector<MvSpec> fitting;
         for (auto& d : designs) {
           const uint64_t size =
               EstimateMvSizeBytes(d, *stats, stats->options().disk);
-          const uint64_t current =
-              EstimateMvSizeBytes(spec, *stats, stats->options().disk);
           if (size <= current + leftover) fitting.push_back(std::move(d));
         }
         consider(std::move(fitting));
@@ -92,25 +126,30 @@ FeedbackOutcome RunIlpFeedback(const Workload& workload,
           served.push_back(static_cast<int>(q));
         }
       }
-      if (!served.empty() && served.size() < spec.query_group.size()) {
-        consider(generator.DesignForGroup(workload, served, spec.fact_table));
+      if (!served.empty() && served.size() < spec.query_group.size() &&
+          !full()) {
+        consider(design_for_group(served, spec.fact_table, 0));
       }
 
       // --- Source 2: recluster with a larger t.
-      consider(generator.DesignForGroup(workload, spec.query_group,
-                                        spec.fact_table,
-                                        options.recluster_t));
+      if (!full()) {
+        consider(design_for_group(spec.query_group, spec.fact_table,
+                                  options.recluster_t));
+      }
     }
 
     out.iterations = iter + 1;
     if (fresh.empty()) break;
     out.candidates_added += fresh.size();
+    out.pairs_priced += fresh.size() * workload.queries.size();
 
-    std::vector<MvSpec> all = out.problem.specs;
-    for (auto& f : fresh) all.push_back(std::move(f));
-    out.problem = BuildSelectionProblem(workload, std::move(all), model,
-                                        registry, budget_bytes);
-    SelectionResult next = SolveSelectionExact(out.problem.problem, solve_options);
+    // Append-only growth: the standing candidates keep their indices and
+    // priced columns, so the previous chosen set warm-starts the re-solve.
+    AppendSelectionCandidates(&out.problem, std::move(fresh), workload,
+                              model, registry);
+    SelectionResult next = engine.Solve(out.problem.problem,
+                                        &out.solver_stats,
+                                        &out.result.chosen);
     const bool improved = next.expected_cost < out.result.expected_cost - 1e-9;
     out.result = std::move(next);
     if (!improved) break;

@@ -7,13 +7,42 @@
 //   2. recluster selected MVs with a larger t, asking the clustered-index
 //      designer for more clusterings of groups known to be useful.
 // Iterates until no new candidates appear or the iteration cap is hit.
+//
+// Since the solver-engine PR the loop is incremental end to end: each
+// iteration *appends* the fresh candidates to the standing problem
+// (pricing only the new (query, candidate) pairs — candidate indices stay
+// stable) and warm-starts the next solve from the previous iteration's
+// chosen set, which prunes the nearly identical search almost immediately.
 #pragma once
 
-#include "ilp/branch_and_bound.h"
+#include <map>
+#include <mutex>
+#include <string>
+
 #include "ilp/problem_builder.h"
 #include "mv/candidate_generator.h"
+#include "solver/solver.h"
 
 namespace coradd {
+
+/// Memoizes MvCandidateGenerator::DesignForGroup results across the
+/// feedback runs of one warm-started budget sweep. Consecutive budget
+/// points select overlapping objects, so their feedback loops ask for
+/// largely the same group designs; the clustered-index design behind each
+/// call is expensive and deterministic, so caching it is free speedup.
+/// Valid for a single (workload, generator) pair. Thread-safe.
+class GroupDesignMemo {
+ public:
+  std::vector<MvSpec> DesignForGroup(const MvCandidateGenerator& generator,
+                                     const Workload& workload,
+                                     const QueryGroup& group,
+                                     const std::string& fact_table,
+                                     int t_override = 0);
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::vector<MvSpec>> memo_;
+};
 
 /// Feedback loop knobs.
 struct FeedbackOptions {
@@ -28,15 +57,24 @@ struct FeedbackOutcome {
   BuiltProblem problem;            ///< Final (grown) problem.
   int iterations = 0;
   size_t candidates_added = 0;
+  /// (query, candidate) pairs priced across the loop — with incremental
+  /// re-pricing this counts fresh candidates only, never the standing pool.
+  size_t pairs_priced = 0;
+  SolverStats solver_stats;        ///< Accumulated over every solve.
 };
 
 /// Runs the feedback loop starting from `initial` (already solved or not).
+/// `warm_chosen` (optional) seeds the first solve — typically the previous
+/// budget point of a grid sweep. `memo` (optional) caches group designs
+/// across the feedback runs of a sweep.
 FeedbackOutcome RunIlpFeedback(const Workload& workload,
                                const MvCandidateGenerator& generator,
                                const CostModel& model,
                                const StatsRegistry& registry,
                                BuiltProblem initial, uint64_t budget_bytes,
                                FeedbackOptions options = {},
-                               BranchAndBoundOptions solve_options = {});
+                               SolverOptions solve_options = {},
+                               const std::vector<int>* warm_chosen = nullptr,
+                               GroupDesignMemo* memo = nullptr);
 
 }  // namespace coradd

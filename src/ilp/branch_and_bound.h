@@ -9,6 +9,12 @@
 //      candidates).
 // Unlike [16]'s relaxation-and-rounding, the solution is proven optimal
 // (the paper's key claim for its ILP formulation, §5.4).
+//
+// NOTE: this is the *reference* serial engine. Production callers (the
+// CORADD designer, ILP feedback, the figure benches) use the parallel
+// warm-started engine in solver/solver.h; this implementation stays as the
+// independent cross-check the solver test suite and bench_fig6 compare
+// against, and as the backend of SolveSelectionGreedyDensity.
 #pragma once
 
 #include "ilp/selection.h"

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/status.h"
+#include "ilp/domination.h"
 
 namespace coradd {
 
@@ -12,39 +13,79 @@ BuiltProblem BuildSelectionProblem(const Workload& workload,
                                    const StatsRegistry& registry,
                                    uint64_t budget_bytes) {
   BuiltProblem out;
-  out.specs = std::move(candidates);
   SelectionProblem& p = out.problem;
   p.budget_bytes = budget_bytes;
+  p.costs.resize(workload.queries.size());
+  p.query_weights.reserve(workload.queries.size());
+  for (const Query& q : workload.queries) {
+    p.query_weights.push_back(q.frequency);
+  }
+  AppendSelectionCandidates(&out, std::move(candidates), workload, model,
+                            registry);
+  return out;
+}
 
-  const size_t nm = out.specs.size();
+size_t AppendSelectionCandidates(BuiltProblem* built,
+                                 std::vector<MvSpec> fresh,
+                                 const Workload& workload,
+                                 const CostModel& model,
+                                 const StatsRegistry& registry) {
+  CORADD_CHECK(built != nullptr);
+  SelectionProblem& p = built->problem;
+  const size_t old_n = built->specs.size();
+  built->specs.reserve(old_n + fresh.size());
+  for (auto& spec : fresh) built->specs.push_back(std::move(spec));
+  const size_t nm = built->specs.size();
+
+  // Size and force only the appended candidates; prior columns are final.
   p.sizes.resize(nm);
-  std::map<std::string, std::vector<int>> recluster_groups;
-  for (size_t m = 0; m < nm; ++m) {
-    const MvSpec& spec = out.specs[m];
+  for (size_t m = old_n; m < nm; ++m) {
+    const MvSpec& spec = built->specs[m];
     const UniverseStats* stats = registry.ForFact(spec.fact_table);
     CORADD_CHECK(stats != nullptr);
     p.sizes[m] = EstimateMvSizeBytes(spec, *stats, stats->options().disk);
-    if (spec.is_base) {
-      p.forced.push_back(static_cast<int>(m));
-    } else if (spec.is_fact_recluster) {
+    if (spec.is_base) p.forced.push_back(static_cast<int>(m));
+  }
+
+  // SOS1 groups span old and new candidates, so rebuild them over the full
+  // set (cheap: one pass over the specs).
+  std::map<std::string, std::vector<int>> recluster_groups;
+  for (size_t m = 0; m < nm; ++m) {
+    const MvSpec& spec = built->specs[m];
+    if (!spec.is_base && spec.is_fact_recluster) {
       recluster_groups[spec.fact_table].push_back(static_cast<int>(m));
     }
   }
+  p.sos1_groups.clear();
   for (auto& [fact, group] : recluster_groups) {
     if (group.size() > 1) p.sos1_groups.push_back(std::move(group));
   }
 
-  p.costs.resize(workload.queries.size());
-  p.query_weights.reserve(workload.queries.size());
+  // Price only the new (query, candidate) pairs.
+  CORADD_CHECK(p.costs.size() == workload.queries.size());
   for (size_t q = 0; q < workload.queries.size(); ++q) {
-    p.query_weights.push_back(workload.queries[q].frequency);
     auto& row = p.costs[q];
     row.resize(nm);
-    for (size_t m = 0; m < nm; ++m) {
-      row[m] = model.Seconds(workload.queries[q], out.specs[m]);
+    for (size_t m = old_n; m < nm; ++m) {
+      row[m] = model.Seconds(workload.queries[q], built->specs[m]);
     }
   }
-  return out;
+  return nm - old_n;
+}
+
+void PruneDominated(BuiltProblem* built) {
+  CORADD_CHECK(built != nullptr);
+  const std::vector<bool> dominated = DominatedMask(built->problem);
+  std::vector<int> old_index;
+  SelectionProblem compact =
+      CompactProblem(built->problem, dominated, &old_index);
+  std::vector<MvSpec> kept;
+  kept.reserve(old_index.size());
+  for (int oi : old_index) {
+    kept.push_back(std::move(built->specs[static_cast<size_t>(oi)]));
+  }
+  built->problem = std::move(compact);
+  built->specs = std::move(kept);
 }
 
 }  // namespace coradd

@@ -29,4 +29,22 @@ BuiltProblem BuildSelectionProblem(const Workload& workload,
                                    const StatsRegistry& registry,
                                    uint64_t budget_bytes);
 
+/// Incremental re-pricing: appends `fresh` candidates to an already-built
+/// problem, pricing only the new (query, candidate) pairs — existing sizes
+/// and cost columns are untouched, and existing candidate indices stay
+/// stable (which lets a previous solution warm-start the grown problem
+/// directly). SOS1 recluster groups are rebuilt over the full candidate
+/// set. The result is identical to BuildSelectionProblem over the
+/// concatenated spec list. Returns the number of candidates appended.
+size_t AppendSelectionCandidates(BuiltProblem* built,
+                                 std::vector<MvSpec> fresh,
+                                 const Workload& workload,
+                                 const CostModel& model,
+                                 const StatsRegistry& registry);
+
+/// §5.3 domination pruning in place: compacts the problem and keeps the
+/// spec list aligned with the surviving candidate indices. Shared by the
+/// designer and the figure benches.
+void PruneDominated(BuiltProblem* built);
+
 }  // namespace coradd

@@ -1,0 +1,191 @@
+#include "solver/solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "solver/subproblem.h"
+
+namespace coradd {
+
+using solver_internal::CompiledProblem;
+using solver_internal::CompiledSolution;
+using solver_internal::NodeRef;
+using solver_internal::TaskResult;
+
+namespace {
+
+/// Auto node budget per task: keep a wave's work roughly constant across
+/// problem sizes so the time limit retains wave-boundary granularity.
+/// Purely a function of the pool size — never of thread count.
+uint64_t AutoNodesPerTask(size_t pool_size) {
+  const uint64_t budget = (1ull << 21) / std::max<size_t>(64, pool_size);
+  return std::clamp<uint64_t>(budget, 128, 8192);
+}
+
+}  // namespace
+
+void SolverStats::Accumulate(const SolverStats& other) {
+  nodes_expanded += other.nodes_expanded;
+  bound_prunes += other.bound_prunes;
+  leaf_shortcuts += other.leaf_shortcuts;
+  incumbent_updates += other.incumbent_updates;
+  waves += other.waves;
+  tasks += other.tasks;
+  solves += other.solves;
+  warm_solves += other.warm_solves;
+  warm_wins += other.warm_wins;
+  proved_optimal = proved_optimal && other.proved_optimal;
+  wall_seconds += other.wall_seconds;
+}
+
+std::string SolverStats::ToString() const {
+  return StrFormat(
+      "SolverStats{solves=%llu, nodes=%llu, prunes=%llu, shortcuts=%llu, "
+      "waves=%llu, tasks=%llu, warm=%llu/%llu, optimal=%s, wall=%.3fs}",
+      static_cast<unsigned long long>(solves),
+      static_cast<unsigned long long>(nodes_expanded),
+      static_cast<unsigned long long>(bound_prunes),
+      static_cast<unsigned long long>(leaf_shortcuts),
+      static_cast<unsigned long long>(waves),
+      static_cast<unsigned long long>(tasks),
+      static_cast<unsigned long long>(warm_wins),
+      static_cast<unsigned long long>(warm_solves),
+      proved_optimal ? "yes" : "no", wall_seconds);
+}
+
+SolverEngine::SolverEngine(SolverOptions options) : options_(options) {}
+
+SelectionResult SolverEngine::Solve(const SelectionProblem& problem,
+                                    SolverStats* stats,
+                                    const std::vector<int>* warm_chosen) const {
+  const auto t_start = std::chrono::steady_clock::now();
+  SolverStats local;
+  local.solves = 1;
+
+  const CompiledProblem cp = solver_internal::CompileProblem(problem);
+  const uint64_t nodes_per_task = options_.nodes_per_task > 0
+                                      ? options_.nodes_per_task
+                                      : AutoNodesPerTask(cp.pool.size());
+  const size_t tasks_per_wave = std::max<size_t>(1, options_.tasks_per_wave);
+
+  // --- Incumbent seeding: density greedy, optionally challenged by the
+  // caller's warm-start hint (mapped to pool positions, repaired).
+  CompiledSolution best = solver_internal::GreedyIncumbent(cp);
+  if (warm_chosen != nullptr && !warm_chosen->empty()) {
+    std::vector<int32_t> positions;
+    for (int id : *warm_chosen) {
+      if (id < 0 || static_cast<size_t>(id) >= cp.pos_of_candidate.size()) {
+        continue;
+      }
+      const int pos = cp.pos_of_candidate[static_cast<size_t>(id)];
+      if (pos >= 0) positions.push_back(pos);
+    }
+    const CompiledSolution warm = solver_internal::ApplyWarmHint(cp, positions);
+    if (warm.valid) {
+      local.warm_solves = 1;
+      if (warm.cost < best.cost) {
+        best = warm;
+        local.warm_wins = 1;
+      }
+    }
+  }
+
+  // --- Deterministic wave search. `open` is a stack (back = next in DFS
+  // order); each wave consumes up to tasks_per_wave subtrees from the top.
+  std::vector<NodeRef> open;
+  open.push_back(NodeRef{});
+  bool limit_hit = false;
+  ThreadPool* pool = options_.pool != nullptr ? options_.pool
+                     : options_.parallel      ? &ThreadPool::Shared()
+                                              : nullptr;
+  std::vector<NodeRef> wave;
+  std::vector<TaskResult> results;
+  while (!open.empty()) {
+    if (local.nodes_expanded >= options_.max_nodes) {
+      limit_hit = true;
+      break;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+    if (elapsed > options_.time_limit_seconds) {
+      limit_hit = true;
+      break;
+    }
+
+    const size_t width = std::min(tasks_per_wave, open.size());
+    wave.clear();
+    for (size_t t = 0; t < width; ++t) {
+      wave.push_back(std::move(open.back()));  // task 0 = deepest subtree
+      open.pop_back();
+    }
+    results.assign(width, TaskResult{});
+    const double wave_incumbent = best.cost;
+    // Last-wave clamp: shrink per-task budgets so a capped solve lands on
+    // max_nodes instead of overshooting by a whole wave. Deterministic —
+    // a pure function of the (deterministic) node counter.
+    const uint64_t remaining = options_.max_nodes - local.nodes_expanded;
+    const uint64_t task_budget = std::min<uint64_t>(
+        nodes_per_task,
+        std::max<uint64_t>(1, (remaining + width - 1) / width));
+    auto run_task = [&](size_t t) {
+      results[t] = solver_internal::RunSearchTask(
+          cp, std::move(wave[t]), wave_incumbent, task_budget,
+          options_.relative_gap);
+    };
+    if (pool != nullptr && width > 1) {
+      pool->ParallelFor(width, run_task);
+    } else {
+      for (size_t t = 0; t < width; ++t) run_task(t);
+    }
+
+    // Ordered merge: task order — never completion order — decides ties.
+    for (size_t t = 0; t < width; ++t) {
+      TaskResult& r = results[t];
+      local.nodes_expanded += r.nodes;
+      local.bound_prunes += r.bound_prunes;
+      local.leaf_shortcuts += r.leaf_shortcuts;
+      local.incumbent_updates += r.incumbent_updates;
+      if (r.best.valid && r.best.cost < best.cost) best = std::move(r.best);
+    }
+    // Preserve depth-first order: task 0 held the deepest subtree, so its
+    // suspension must end up back on top of the stack.
+    for (size_t t = width; t-- > 0;) {
+      for (auto& node : results[t].suspended) {
+        open.push_back(std::move(node));
+      }
+    }
+    local.waves += 1;
+    local.tasks += width;
+  }
+
+  // --- Result assembly in problem coordinates.
+  SelectionResult out;
+  out.chosen.assign(problem.forced.begin(), problem.forced.end());
+  for (int32_t pos : best.includes) {
+    out.chosen.push_back(cp.pool[static_cast<size_t>(pos)]);
+  }
+  std::sort(out.chosen.begin(), out.chosen.end());
+  out.expected_cost = EvaluateSelection(problem, out.chosen,
+                                        &out.best_for_query);
+  out.used_bytes = 0;
+  for (int m : out.chosen) {
+    out.used_bytes += problem.sizes[static_cast<size_t>(m)];
+  }
+  out.nodes_explored = local.nodes_expanded;
+  out.proved_optimal = !limit_hit;
+
+  local.proved_optimal = !limit_hit;
+  local.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  if (stats != nullptr) stats->Accumulate(local);
+  return out;
+}
+
+}  // namespace coradd

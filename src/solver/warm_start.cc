@@ -1,0 +1,46 @@
+#include "solver/warm_start.h"
+
+#include <algorithm>
+
+#include "cost/mv_spec.h"
+
+namespace coradd {
+
+std::vector<int> WarmStartSession::WarmChosen(const BuiltProblem& built) const {
+  std::vector<std::string> signatures;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    signatures = signatures_;
+  }
+  std::vector<int> out;
+  if (signatures.empty()) return out;
+  for (size_t m = 0; m < built.specs.size(); ++m) {
+    if (built.specs[m].is_base) continue;
+    if (std::binary_search(signatures.begin(), signatures.end(),
+                           MvSpecSignature(built.specs[m]))) {
+      out.push_back(static_cast<int>(m));
+    }
+  }
+  return out;
+}
+
+void WarmStartSession::Record(const BuiltProblem& built,
+                              const SelectionResult& result) {
+  std::vector<std::string> signatures;
+  signatures.reserve(result.chosen.size());
+  for (int m : result.chosen) {
+    const MvSpec& spec = built.specs[static_cast<size_t>(m)];
+    if (spec.is_base) continue;
+    signatures.push_back(MvSpecSignature(spec));
+  }
+  std::sort(signatures.begin(), signatures.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  signatures_ = std::move(signatures);
+}
+
+bool WarmStartSession::has_solution() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !signatures_.empty();
+}
+
+}  // namespace coradd

@@ -1,0 +1,40 @@
+// Warm-start bridge between consecutive solves of structurally similar
+// selection problems: a budget-grid sweep rebuilds (or re-prices) the
+// problem at every budget point, so candidate *indices* shift — but the
+// chosen objects barely do. The session remembers the previous solution as
+// MvSpec signatures and maps it into the next problem's index space, where
+// the engine repairs it into a feasible incumbent.
+//
+// Thread safety: a session may be shared across threads (it locks), but
+// warm-started solving is inherently a sequential chain — concurrent
+// sweeps should use one session per chain to keep results reproducible.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ilp/problem_builder.h"
+
+namespace coradd {
+
+/// Carries the previous solution of a solve chain across problems.
+class WarmStartSession {
+ public:
+  /// Candidate indices of `built` whose specs match the recorded solution
+  /// (ascending; forced candidates excluded). Empty when nothing recorded
+  /// or nothing maps.
+  std::vector<int> WarmChosen(const BuiltProblem& built) const;
+
+  /// Records `result` (its non-forced chosen specs) as the warm hint for
+  /// the next solve.
+  void Record(const BuiltProblem& built, const SelectionResult& result);
+
+  bool has_solution() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> signatures_;  ///< sorted spec signatures
+};
+
+}  // namespace coradd

@@ -4,6 +4,7 @@
 
 #include "cost/correlation_cost_model.h"
 #include "feedback/ilp_feedback.h"
+#include "solver/solver.h"
 #include "ssb/ssb.h"
 
 namespace coradd {
@@ -65,7 +66,7 @@ MvCandidateGenerator* FeedbackTest::generator_ = nullptr;
 TEST_F(FeedbackTest, NeverWorseThanInitialSolution) {
   const uint64_t budget = 8ull << 20;
   BuiltProblem initial = InitialProblem(budget);
-  const double before = SolveSelectionExact(initial.problem).expected_cost;
+  const double before = SolverEngine().Solve(initial.problem).expected_cost;
   FeedbackOptions options;
   options.max_iterations = 2;
   const FeedbackOutcome out = RunIlpFeedback(
@@ -87,7 +88,7 @@ TEST_F(FeedbackTest, AddsCandidatesFromSolution) {
 TEST_F(FeedbackTest, ZeroIterationsIsPlainSolve) {
   const uint64_t budget = 4ull << 20;
   BuiltProblem initial = InitialProblem(budget);
-  const double plain = SolveSelectionExact(initial.problem).expected_cost;
+  const double plain = SolverEngine().Solve(initial.problem).expected_cost;
   const FeedbackOutcome out = RunIlpFeedback(
       *workload_, *generator_, *model_, *registry_, std::move(initial),
       budget, FeedbackOptions{0, 6, 500});
