@@ -2,7 +2,8 @@
 // [6]) produces designs "up to 90% slower" than order-preserving
 // interleaved merging: design shared MVs for two-flight query groups both
 // ways and compare expected group runtimes under the correlation-aware
-// model.
+// model. --json emits BENCH_ablation_merging.json including the candgen
+// segment (trials priced vs pruned by the interleaving bound).
 #include "cost/correlation_cost_model.h"
 #include "bench/bench_util.h"
 #include "mv/index_merging.h"
@@ -11,7 +12,10 @@ using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
+  WallTimer timer;
   const double scale = FlagDouble(argc, argv, "scale", 0.02);
+  BenchJson json("ablation_merging", argc, argv);
+  json.Config("scale", scale);
   Fixture f = MakeSsbFixture(scale, 1024);
   CorrelationCostModel model(&f.context->registry());
 
@@ -51,9 +55,21 @@ int main(int argc, char** argv) {
         concat.DesignGroup(f.workload, group, "lineorder", 4), group);
     PrintRow({name, StrFormat("%.4f", inter), StrFormat("%.4f", cat),
               StrFormat("%+.0f%%", (cat / std::max(1e-12, inter) - 1.0) * 100)});
+    json.Row({{"group", BenchJson::Quote(name)},
+              {"interleave_seconds", BenchJson::Num(inter)},
+              {"concat_seconds", BenchJson::Num(cat)}});
   }
   std::printf(
       "\nPaper shape check: concatenation-only merging is never better and\n"
       "can be dramatically slower (paper observed up to 90%% slower).\n");
+
+  CandGenStats candgen;
+  candgen.trials_priced =
+      interleaved.trials_priced() + concat.trials_priced();
+  candgen.trials_pruned =
+      interleaved.trials_pruned() + concat.trials_pruned();
+  candgen.groups_designed = 2 * groups.size();
+  ReportCandgen(&json, *f.context, candgen);
+  json.Write(timer.Seconds());
   return 0;
 }

@@ -136,6 +136,10 @@ int main(int argc, char** argv) {
   json.Config("solver_nodes", static_cast<double>(total_stats.nodes_expanded));
   json.Config("solver_warm_solves",
               static_cast<double>(total_stats.warm_solves));
+  CandGenStats candgen = coradd.candgen_stats();
+  candgen.Accumulate(naive.candgen_stats());
+  candgen.Accumulate(commercial.candgen_stats());
+  ReportCandgen(&json, *f.context, candgen);
   json.Write(timer.Seconds());
   return 0;
 }

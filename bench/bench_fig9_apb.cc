@@ -76,6 +76,9 @@ int main(int argc, char** argv) {
   std::printf("wall time: %.1fs (fixture+design %.1fs, evaluation %.1fs)\n",
               timer.Seconds(), design_done, eval_seconds);
   json.Config("eval_seconds", eval_seconds);
+  CandGenStats candgen = coradd.candgen_stats();
+  candgen.Accumulate(commercial.candgen_stats());
+  ReportCandgen(&json, *f.context, candgen);
   json.Write(timer.Seconds());
   return 0;
 }

@@ -55,31 +55,57 @@ NaiveDesigner::NaiveDesigner(const DesignContext* context,
   CORADD_CHECK(context != nullptr);
   model_ = std::make_unique<CorrelationCostModel>(&context_->registry(),
                                                   model_options);
+  IndexMergingOptions merge_options;
+  merge_options.t = 1;  // dedicated designs only
+  dedicated_ = std::make_unique<ClusteredIndexDesigner>(
+      &context_->registry(), model_.get(), merge_options);
+}
+
+CandGenStats NaiveDesigner::candgen_stats() const {
+  CandGenStats out;
+  out.trials_priced = dedicated_->trials_priced();
+  out.trials_pruned = dedicated_->trials_pruned();
+  return out;
 }
 
 DatabaseDesign NaiveDesigner::Design(const Workload& workload,
                                      uint64_t budget_bytes) const {
   const double t0 = Now();
-  IndexMergingOptions merge_options;
-  merge_options.t = 1;  // dedicated designs only
-  ClusteredIndexDesigner dedicated(&context_->registry(), model_.get(),
-                                   merge_options);
-
+  // Fact re-clusterings + one dedicated key per query. The enumerated specs
+  // depend only on the statistics (dedicated keys come from predicate types
+  // and selectivities, not the cost model), so the set is cached under a
+  // designer tag and shared across budgets and repeat calls.
+  const std::shared_ptr<const CandidateSet> cached =
+      context_->candgen_cache().GetOrGenerate(
+          CandidateGenKey(workload, "naive-dedicated-t1", "",
+                          context_->stats_epoch()),
+          [&] {
+            CandidateSet set;
+            for (const auto& fact : workload.FactTables()) {
+              const UniverseStats* stats = context_->StatsForFact(fact);
+              const FactTableInfo* info =
+                  context_->catalog().GetFactInfo(fact);
+              CORADD_CHECK(stats != nullptr && info != nullptr);
+              for (auto& spec : FkReclusterCandidates(*info, *stats,
+                                                      workload)) {
+                set.mvs.push_back(std::move(spec));
+              }
+              for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+                if (workload.queries[qi].fact_table != fact) continue;
+                for (auto& spec : dedicated_->DesignGroup(
+                         workload, QueryGroup{static_cast<int>(qi)}, fact)) {
+                  set.mvs.push_back(std::move(spec));
+                }
+              }
+            }
+            return set;
+          });
   std::vector<MvSpec> candidates;
-  for (const auto& fact : workload.FactTables()) {
-    const UniverseStats* stats = context_->StatsForFact(fact);
-    const FactTableInfo* info = context_->catalog().GetFactInfo(fact);
-    CORADD_CHECK(stats != nullptr && info != nullptr);
-    for (auto& spec : FkReclusterCandidates(*info, *stats, workload)) {
-      candidates.push_back(std::move(spec));
-    }
-    for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
-      if (workload.queries[qi].fact_table != fact) continue;
-      for (auto& spec : dedicated.DesignGroup(
-               workload, QueryGroup{static_cast<int>(qi)}, fact)) {
-        spec.name = "naive_" + spec.name;
-        candidates.push_back(std::move(spec));
-      }
+  candidates.reserve(cached->mvs.size());
+  for (const auto& spec : cached->mvs) {
+    candidates.push_back(spec);
+    if (!candidates.back().is_fact_recluster) {
+      candidates.back().name = "naive_" + candidates.back().name;
     }
   }
 
@@ -118,13 +144,23 @@ CommercialDesigner::CommercialDesigner(const DesignContext* context,
       &context_->catalog(), &context_->registry(), model_.get(), options);
 }
 
+CandGenStats CommercialDesigner::candgen_stats() const {
+  return generator_->stats();
+}
+
 DatabaseDesign CommercialDesigner::Design(const Workload& workload,
                                           uint64_t budget_bytes) const {
   const double t0 = Now();
-  CandidateSet candidates = generator_->Generate(workload);
+  const std::shared_ptr<const CandidateSet> candidates =
+      context_->candgen_cache().GetOrGenerate(
+          CandidateGenKey(workload, model_->CacheId(),
+                          CandidateGeneratorOptionsSignature(
+                              generator_->options()),
+                          context_->stats_epoch()),
+          [&] { return generator_->Generate(workload); });
   BuiltProblem built =
-      BuildSelectionProblem(workload, std::move(candidates.mvs), *model_,
-                            context_->registry(), budget_bytes);
+      BuildSelectionProblem(workload, std::vector<MvSpec>(candidates->mvs),
+                            *model_, context_->registry(), budget_bytes);
   {
     const std::vector<bool> dominated = DominatedMask(built.problem);
     std::vector<int> old_index;

@@ -23,7 +23,10 @@ namespace coradd {
 
 /// §7.2's Naive baseline. Design() is const and thread-safe (the memoized
 /// cost model is internally synchronized), so bench sweeps can design every
-/// budget cell concurrently.
+/// budget cell concurrently. Candidate enumeration (fact re-clusterings +
+/// dedicated per-query keys) is model-independent, so it routes through the
+/// context's CandidateGenCache under a designer tag — concurrent budget
+/// cells and repeat calls share one enumeration pass.
 class NaiveDesigner {
  public:
   explicit NaiveDesigner(const DesignContext* context,
@@ -33,13 +36,18 @@ class NaiveDesigner {
 
   const CorrelationCostModel& model() const { return *model_; }
 
+  /// Trial-pricing counters of the dedicated-key designer.
+  CandGenStats candgen_stats() const;
+
  private:
   const DesignContext* context_;
   std::unique_ptr<CorrelationCostModel> model_;
+  std::unique_ptr<ClusteredIndexDesigner> dedicated_;
 };
 
 /// Correlation-oblivious commercial-designer proxy. Design() is const and
-/// thread-safe, like NaiveDesigner's.
+/// thread-safe, like NaiveDesigner's; generation goes through the context's
+/// CandidateGenCache keyed by the oblivious model's CacheId().
 class CommercialDesigner {
  public:
   explicit CommercialDesigner(const DesignContext* context,
@@ -48,6 +56,9 @@ class CommercialDesigner {
   DatabaseDesign Design(const Workload& workload, uint64_t budget_bytes) const;
 
   const ObliviousCostModel& model() const { return *model_; }
+
+  /// Trial-pricing counters of the underlying generator.
+  CandGenStats candgen_stats() const;
 
  private:
   const DesignContext* context_;

@@ -1,0 +1,126 @@
+#include "core/candgen_cache.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace coradd {
+
+namespace {
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendPredicate(std::string* s, const Predicate& p) {
+  *s += p.column;
+  switch (p.type) {
+    case PredicateType::kEquality:
+      *s += StrFormat("=%lld", static_cast<long long>(p.value));
+      break;
+    case PredicateType::kRange:
+      *s += StrFormat("@[%lld,%lld]", static_cast<long long>(p.lo),
+                      static_cast<long long>(p.hi));
+      break;
+    case PredicateType::kIn:
+      *s += "#(";
+      for (int64_t v : p.in_values) {
+        *s += StrFormat("%lld,", static_cast<long long>(v));
+      }
+      *s += ')';
+      break;
+  }
+  *s += ';';
+}
+}  // namespace
+
+std::string CandidateGenKey(const Workload& workload,
+                            const std::string& model_id,
+                            const std::string& options_signature,
+                            uint64_t stats_epoch) {
+  std::string s = model_id + "|" + options_signature + "|" +
+                  StrFormat("e%llu", static_cast<unsigned long long>(
+                                         stats_epoch)) +
+                  "|" + workload.name + "|";
+  for (const auto& q : workload.queries) {
+    s += q.id + "," + q.fact_table + StrFormat(",f=%.17g:", q.frequency);
+    for (const auto& p : q.predicates) AppendPredicate(&s, p);
+    s += "gb:";
+    for (const auto& g : q.group_by) {
+      s += g;
+      s += ',';
+    }
+    s += "ag:";
+    for (const auto& a : q.aggregates) {
+      s += a.col_a + "*" + a.col_b + ",";
+    }
+    s += '|';
+  }
+  return s;
+}
+
+std::shared_ptr<const CandidateSet> CandidateGenCache::GetOrGenerate(
+    const std::string& key,
+    const std::function<CandidateSet()>& generate) {
+  std::promise<std::shared_ptr<const CandidateSet>> promise;
+  std::shared_future<std::shared_ptr<const CandidateSet>> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      future = it->second;
+    } else {
+      ++misses_;
+      owner = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+    }
+  }
+  if (owner) {
+    // Generate outside the lock: other keys stay available, and same-key
+    // callers block on the shared future. A waiter that is itself a pool
+    // worker is safe — the generator's nested ParallelFor has its calling
+    // thread participate, so the pool cannot starve.
+    const double t0 = Now();
+    std::shared_ptr<const CandidateSet> set;
+    try {
+      set = std::make_shared<const CandidateSet>(generate());
+    } catch (...) {
+      // Drop the entry so a transient failure (e.g. bad_alloc) is not a
+      // permanently poisoned key; current waiters see the exception,
+      // future callers regenerate.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      return future.get();
+    }
+    const double wall = Now() - t0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      generation_seconds_ += wall;
+    }
+    promise.set_value(std::move(set));
+  }
+  return future.get();
+}
+
+CandGenStats CandidateGenCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CandGenStats out;
+  out.cache_hits = hits_;
+  out.cache_misses = misses_;
+  out.wall_seconds = generation_seconds_;
+  return out;
+}
+
+size_t CandidateGenCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace coradd

@@ -1,0 +1,64 @@
+// Cross-designer candidate-generation cache (the AutoAdmin candidate-reuse
+// insight applied at designer granularity): the CandidateSet produced by
+// MvCandidateGenerator is a pure function of (workload, statistics epoch,
+// cost-model identity, generator options), so CORADD, Naive and Commercial
+// designers — and every budget point of a DesignMany sweep or a bench grid —
+// share one generation pass per distinct key instead of regenerating.
+//
+// Concurrency: the first caller of a key generates while later callers of
+// the same key block on a shared future (designers design budget cells
+// concurrently since PR 4); generation runs outside the cache lock. Cached
+// sets are immutable and shared by pointer.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "mv/candidate_generator.h"
+
+namespace coradd {
+
+/// Cache key for one generation pass: every input the generated candidates
+/// depend on. `model_id` is CostModel::CacheId() (or a designer-specific
+/// tag for model-independent generation); `stats_epoch` invalidates across
+/// DesignContext::MineDependencies calls, which change the statistics the
+/// generator reads.
+std::string CandidateGenKey(const Workload& workload,
+                            const std::string& model_id,
+                            const std::string& options_signature,
+                            uint64_t stats_epoch);
+
+/// Keyed store of generated candidate pools.
+class CandidateGenCache {
+ public:
+  CandidateGenCache() = default;
+  CandidateGenCache(const CandidateGenCache&) = delete;
+  CandidateGenCache& operator=(const CandidateGenCache&) = delete;
+
+  /// Returns the cached set for `key`, generating it with `generate` on the
+  /// first call. Concurrent callers of the same key wait for the single
+  /// generation. `generate` must be a pure function of the key's inputs.
+  std::shared_ptr<const CandidateSet> GetOrGenerate(
+      const std::string& key,
+      const std::function<CandidateSet()>& generate);
+
+  /// Hit/miss counters and accumulated generation wall time.
+  CandGenStats stats() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const CandidateSet>>>
+      entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  double generation_seconds_ = 0.0;
+};
+
+}  // namespace coradd

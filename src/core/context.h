@@ -6,10 +6,12 @@
 // the correlation source every designer reading this context consumes.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "catalog/universe.h"
+#include "core/candgen_cache.h"
 #include "cost/cost_model.h"
 #include "discovery/fd_miner.h"
 #include "workload/query.h"
@@ -66,6 +68,19 @@ class DesignContext {
   const DiscoveredDependencies* DependenciesForFact(
       const std::string& fact) const;
 
+  /// Shared candidate-generation cache: CORADD, Naive and Commercial
+  /// designers (and DesignMany sweeps) reuse one generation pass per
+  /// (workload, cost-model id, options, stats epoch) key. Internally
+  /// synchronized, hence usable from const designers.
+  CandidateGenCache& candgen_cache() const { return candgen_cache_; }
+
+  /// Monotone statistics epoch, bumped by MineDependencies: cached
+  /// candidate sets generated under older statistics are keyed out rather
+  /// than invalidated in place.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_relaxed);
+  }
+
  private:
   const Catalog* catalog_;
   StatsOptions stats_options_;
@@ -74,6 +89,8 @@ class DesignContext {
   /// mined_[i] belongs to universes_[i]; nullptr until mined.
   std::vector<std::unique_ptr<DiscoveredDependencies>> mined_;
   StatsRegistry registry_;
+  mutable CandidateGenCache candgen_cache_;
+  std::atomic<uint64_t> stats_epoch_{0};
 };
 
 }  // namespace coradd

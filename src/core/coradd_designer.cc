@@ -37,17 +37,25 @@ CoraddDesigner::CoraddDesigner(const DesignContext* context,
 BuiltProblem CoraddDesigner::BuildPrunedProblem(const Workload& workload,
                                                 uint64_t budget_bytes,
                                                 CoraddRunInfo* info) const {
-  // --- §4: candidate generation.
+  // --- §4: candidate generation, shared across designers and sweeps
+  // through the context's CandidateGenCache (one pass per distinct key;
+  // repeat Design() calls and budget grids hit).
   const double t0 = Now();
-  CandidateSet candidates = generator_->Generate(workload);
-  info->candidates_enumerated = candidates.mvs.size();
+  const std::shared_ptr<const CandidateSet> candidates =
+      context_->candgen_cache().GetOrGenerate(
+          CandidateGenKey(workload, model_->CacheId(),
+                          CandidateGeneratorOptionsSignature(
+                              generator_->options()),
+                          context_->stats_epoch()),
+          [&] { return generator_->Generate(workload); });
+  info->candidates_enumerated = candidates->mvs.size();
   info->candgen_seconds += Now() - t0;
 
   // --- §5: build + prune.
   const double t1 = Now();
   BuiltProblem built =
-      BuildSelectionProblem(workload, std::move(candidates.mvs), *model_,
-                            context_->registry(), budget_bytes);
+      BuildSelectionProblem(workload, std::vector<MvSpec>(candidates->mvs),
+                            *model_, context_->registry(), budget_bytes);
   if (options_.prune_dominated) PruneDominated(&built);
   info->candidates_after_domination = built.specs.size();
   info->pricing_seconds += Now() - t1;

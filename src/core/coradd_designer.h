@@ -85,6 +85,10 @@ class CoraddDesigner {
   }
   const CorrelationCostModel& model() const { return *model_; }
 
+  /// Generation-work counters of this designer's generator (trials priced
+  /// and pruned across initial generation and feedback re-entries).
+  CandGenStats candgen_stats() const { return generator_->stats(); }
+
  private:
   /// §4 + §5.3: generate, price, and (optionally) domination-prune.
   BuiltProblem BuildPrunedProblem(const Workload& workload,

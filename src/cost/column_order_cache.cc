@@ -1,0 +1,86 @@
+#include "cost/column_order_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace coradd {
+
+ColumnOrderCache::ColumnOrderCache(const Synopsis* synopsis)
+    : synopsis_(synopsis) {
+  CORADD_CHECK(synopsis != nullptr);
+  columns_.resize(synopsis_->num_columns());
+}
+
+const ColumnOrder& ColumnOrderCache::ForColumn(int ucol) const {
+  const size_t slot = static_cast<size_t>(ucol);
+  CORADD_CHECK(slot < columns_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (columns_[slot] != nullptr) return *columns_[slot];
+  }
+
+  // Build outside the lock: the order is a pure function of the synopsis,
+  // so a concurrent duplicate build produces an identical object and the
+  // loser is simply dropped.
+  const std::vector<int64_t>& values = synopsis_->Values(ucol);
+  const size_t n = values.size();
+  auto order = std::make_shared<ColumnOrder>();
+  order->sorted_rows.resize(n);
+  std::iota(order->sorted_rows.begin(), order->sorted_rows.end(), 0u);
+  std::sort(order->sorted_rows.begin(), order->sorted_rows.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (values[a] != values[b]) return values[a] < values[b];
+              return a < b;
+            });
+  order->dense_rank.resize(n);
+  order->run_begin.clear();
+  for (size_t pos = 0; pos < n; ++pos) {
+    const uint32_t row = order->sorted_rows[pos];
+    if (pos == 0 || values[row] != values[order->sorted_rows[pos - 1]]) {
+      order->run_begin.push_back(static_cast<uint32_t>(pos));
+    }
+    order->dense_rank[row] =
+        static_cast<uint32_t>(order->run_begin.size() - 1);
+  }
+  order->run_begin.push_back(static_cast<uint32_t>(n));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (columns_[slot] == nullptr) columns_[slot] = std::move(order);
+  return *columns_[slot];
+}
+
+std::vector<uint32_t> ColumnOrderCache::ComposeRanks(
+    const std::vector<int>& ucols) const {
+  const size_t n = num_rows();
+  std::vector<uint32_t> rank(n);
+  if (ucols.empty()) {
+    // No key columns: the legacy comparator degenerates to row order.
+    std::iota(rank.begin(), rank.end(), 0u);
+    return rank;
+  }
+
+  // LSD radix composition. Seed with the last column's cached permutation
+  // (a stable sort of the identity by that column), then stably re-sort by
+  // each earlier column via one counting-sort pass over its dense ranks.
+  // The result orders rows by (ucols..., row index) — exactly the legacy
+  // comparison sort, since dense ranks are order-isomorphic to values and
+  // every pass is stable.
+  std::vector<uint32_t> order = ForColumn(ucols.back()).sorted_rows;
+  std::vector<uint32_t> next(n);
+  std::vector<uint32_t> offset;
+  for (size_t c = ucols.size() - 1; c-- > 0;) {
+    const ColumnOrder& col = ForColumn(ucols[c]);
+    // Bucket offsets are the cached equal-run boundaries.
+    offset.assign(col.run_begin.begin(), col.run_begin.end() - 1);
+    for (uint32_t row : order) next[offset[col.dense_rank[row]]++] = row;
+    order.swap(next);
+  }
+  for (size_t pos = 0; pos < n; ++pos) {
+    rank[order[pos]] = static_cast<uint32_t>(pos);
+  }
+  return rank;
+}
+
+}  // namespace coradd

@@ -1,0 +1,71 @@
+// Precomputed per-column sort orders of a table synopsis.
+//
+// The correlation cost model ranks every synopsis row by a trial MV's
+// clustered key to estimate how matched rows scatter across the heap.
+// Candidate generation prices thousands of trial keys per workload, and
+// sorting the full synopsis afresh for each one (an O(n log n) comparison
+// sort with a k-column comparator) dominated generation time. This cache
+// applies the CORDS discipline — compute per-column structure once, compose
+// cheaply per trial: each column's order is sorted a single time, and a
+// trial key's lexicographic order is then produced by LSD radix composition
+// (one stable counting-sort pass per key column over the cached dense
+// ranks), which is O(k * n) with no comparisons.
+//
+// Determinism contract: ComposeRanks(cols) returns bit-identical output to
+// a std::sort of row indices by (value(cols[0]), ..., value(cols[k-1]),
+// row index) — the exact comparator the cost model used before this cache
+// existed; tests/candgen_test.cc locks the equivalence down on randomized
+// synopses. Lazily built column orders are pure functions of the synopsis,
+// so concurrent construction is race-free and order-independent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "stats/synopsis.h"
+
+namespace coradd {
+
+/// Sort structure of one synopsis column.
+struct ColumnOrder {
+  /// Synopsis rows sorted by (column value, row index).
+  std::vector<uint32_t> sorted_rows;
+  /// dense_rank[row] = index of the row's value among the column's sorted
+  /// distinct values (0-based).
+  std::vector<uint32_t> dense_rank;
+  /// Equal-run boundaries in `sorted_rows`: run_begin[d] is the offset where
+  /// the d-th distinct value's run starts; run_begin.back() == n. The run
+  /// lengths double as the counting-sort bucket sizes during composition.
+  std::vector<uint32_t> run_begin;
+
+  size_t num_distinct() const {
+    return run_begin.empty() ? 0 : run_begin.size() - 1;
+  }
+};
+
+/// Lazily-built per-column orders over one synopsis, composable into
+/// multi-column clustered-key rank orders. Thread-safe.
+class ColumnOrderCache {
+ public:
+  explicit ColumnOrderCache(const Synopsis* synopsis);
+
+  size_t num_rows() const { return synopsis_->sample_rows(); }
+
+  /// The order of universe column `ucol`, built on first use.
+  const ColumnOrder& ForColumn(int ucol) const;
+
+  /// rank_of_row for the lexicographic order by (ucols..., row index):
+  /// rank_of_row[i] = position of synopsis row i under the trial key.
+  /// Bit-identical to the legacy fresh-sort ranks.
+  std::vector<uint32_t> ComposeRanks(const std::vector<int>& ucols) const;
+
+ private:
+  const Synopsis* synopsis_;
+  /// Guards lazy slot creation only; built ColumnOrders are immutable.
+  mutable std::mutex mu_;
+  mutable std::vector<std::shared_ptr<const ColumnOrder>> columns_;
+};
+
+}  // namespace coradd

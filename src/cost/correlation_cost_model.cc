@@ -15,6 +15,11 @@ CorrelationCostModel::CorrelationCostModel(const StatsRegistry* registry,
   CORADD_CHECK(registry != nullptr);
 }
 
+std::string CorrelationCostModel::CacheId() const {
+  return StrFormat("correlation-aware(b=%u,s=%zu)", options_.bucket_pages,
+                   options_.max_subset_size);
+}
+
 namespace {
 /// Structural identity of a spec for memoization (name excluded; column
 /// *set* determines row width, key *order* determines clustering).
@@ -34,6 +39,27 @@ std::string SpecSignature(const MvSpec& spec) {
   }
   return s;
 }
+
+/// Sorts bucket observations ascending. Values live in [0, num_buckets);
+/// when the bucket range is comparable to the observation count a counting
+/// sort beats the comparison sort — the output is identical either way, so
+/// the branch cannot affect estimates.
+void SortBucketObs(std::vector<int64_t>* obs, double num_buckets) {
+  const double dense_limit =
+      4.0 * static_cast<double>(obs->size()) + 1024.0;
+  if (num_buckets <= dense_limit) {
+    std::vector<uint32_t> counts(static_cast<size_t>(num_buckets) + 1, 0);
+    for (int64_t v : *obs) ++counts[static_cast<size_t>(v)];
+    size_t out = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+      for (uint32_t k = 0; k < counts[b]; ++k) {
+        (*obs)[out++] = static_cast<int64_t>(b);
+      }
+    }
+  } else {
+    std::sort(obs->begin(), obs->end());
+  }
+}
 }  // namespace
 
 const std::vector<uint32_t>& CorrelationCostModel::MatchedRows(
@@ -41,9 +67,11 @@ const std::vector<uint32_t>& CorrelationCostModel::MatchedRows(
     const std::vector<std::string>& cols) const {
   std::string key = stats.universe().fact_name() + "|" + q.id + "|";
   for (const auto& c : cols) key += c + ",";
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto it = matched_cache_.find(key);
-  if (it != matched_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = matched_cache_.find(key);
+    if (it != matched_cache_.end()) return it->second;
+  }
 
   const Synopsis& syn = stats.synopsis();
   std::vector<const Predicate*> preds;
@@ -66,42 +94,45 @@ const std::vector<uint32_t>& CorrelationCostModel::MatchedRows(
     }
     if (ok) matched.push_back(static_cast<uint32_t>(i));
   }
-  return matched_cache_.emplace(std::move(key), std::move(matched))
+  std::lock_guard<std::mutex> lock(mu_);
+  return matched_cache_.try_emplace(std::move(key), std::move(matched))
       .first->second;
+}
+
+const ColumnOrderCache& CorrelationCostModel::OrderCache(
+    const UniverseStats& stats) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = order_caches_.find(&stats);
+  if (it == order_caches_.end()) {
+    it = order_caches_
+             .try_emplace(&stats,
+                          std::make_unique<ColumnOrderCache>(&stats.synopsis()))
+             .first;
+  }
+  return *it->second;
 }
 
 const CorrelationCostModel::RankCacheEntry& CorrelationCostModel::Ranks(
     const UniverseStats& stats, const MvSpec& spec) const {
   std::string key = stats.universe().fact_name() + "|";
   for (const auto& c : spec.clustered_key) key += c + ",";
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto it = rank_cache_.find(key);
-  if (it != rank_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = rank_cache_.find(key);
+    if (it != rank_cache_.end()) return it->second;
+  }
 
-  const Synopsis& syn = stats.synopsis();
-  const size_t n = syn.sample_rows();
   std::vector<int> key_cols;
+  key_cols.reserve(spec.clustered_key.size());
   for (const auto& c : spec.clustered_key) {
     key_cols.push_back(stats.universe().ColumnIndex(c));
   }
 
-  std::vector<uint32_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    for (int c : key_cols) {
-      const int64_t va = syn.Values(c)[a];
-      const int64_t vb = syn.Values(c)[b];
-      if (va != vb) return va < vb;
-    }
-    return a < b;
-  });
-
   RankCacheEntry entry;
-  entry.rank_of_row.resize(n);
-  for (size_t pos = 0; pos < n; ++pos) {
-    entry.rank_of_row[order[pos]] = static_cast<uint32_t>(pos);
-  }
-  return rank_cache_.emplace(std::move(key), std::move(entry)).first->second;
+  entry.rank_of_row = OrderCache(stats).ComposeRanks(key_cols);
+  std::lock_guard<std::mutex> lock(mu_);
+  return rank_cache_.try_emplace(std::move(key), std::move(entry))
+      .first->second;
 }
 
 CostBreakdown CorrelationCostModel::FullScanPath(
@@ -148,16 +179,19 @@ CostBreakdown CorrelationCostModel::SecondaryPathCost(
     memo_key += c;
     memo_key += ',';
   }
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (auto it = result_cache_.find(memo_key); it != result_cache_.end()) {
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = result_cache_.find(memo_key); it != result_cache_.end()) {
+      return it->second;
+    }
   }
   const UniverseStats* stats = registry_->ForFact(spec.fact_table);
   CORADD_CHECK(stats != nullptr);
   const DiskParams& disk = stats->options().disk;
   CostBreakdown out;
   if (spec.clustered_key.empty() || secondary_cols.empty()) {
-    result_cache_[memo_key] = out;
+    std::lock_guard<std::mutex> lock(mu_);
+    result_cache_.try_emplace(std::move(memo_key), out);
     return out;
   }
 
@@ -197,7 +231,7 @@ CostBreakdown CorrelationCostModel::SecondaryPathCost(
       bucket_obs.push_back(
           static_cast<int64_t>(static_cast<double>(ranks[i]) * scale));
     }
-    std::sort(bucket_obs.begin(), bucket_obs.end());
+    SortBucketObs(&bucket_obs, num_buckets);
 
     // Two estimators for the number of distinct buckets the full matched
     // population touches, good in complementary regimes:
@@ -242,29 +276,15 @@ CostBreakdown CorrelationCostModel::SecondaryPathCost(
   out.read_seconds = pages_read * disk.PageReadSeconds();
   out.seek_seconds = disk.seek_seconds * fragments * height;
   out.seconds = out.read_seconds + out.seek_seconds;
-  result_cache_[memo_key] = out;
-  return out;
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_cache_.try_emplace(std::move(memo_key), std::move(out))
+      .first->second;
 }
 
-CostBreakdown CorrelationCostModel::Cost(const Query& q,
-                                         const MvSpec& spec) const {
-  const UniverseStats* stats = registry_->ForFact(spec.fact_table);
-  if (stats == nullptr || !MvCanServe(q, spec)) return CostBreakdown{};
-
-  const std::string memo_key = "C|" + q.id + "|" + SpecSignature(spec);
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  if (auto it = result_cache_.find(memo_key); it != result_cache_.end()) {
-    return it->second;
-  }
-
-  CostBreakdown best = FullScanPath(q, spec, *stats);
-
-  const CostBreakdown clustered = ClusteredPath(q, spec, *stats);
-  if (clustered.feasible() && clustered.seconds < best.seconds) {
-    best = clustered;
-  }
-
-  // Secondary paths: singletons, pairs (bounded), and the full set.
+std::vector<std::vector<std::string>> CorrelationCostModel::SecondarySubsets(
+    const Query& q) const {
+  // Singletons, pairs (bounded), and the full set — the exact family both
+  // Cost() and CostLowerBound() walk, factored out so they cannot drift.
   const auto pred_cols = q.PredicateColumns();
   std::vector<std::vector<std::string>> subsets;
   for (const auto& c : pred_cols) subsets.push_back({c});
@@ -276,13 +296,82 @@ CostBreakdown CorrelationCostModel::Cost(const Query& q,
     }
   }
   if (pred_cols.size() > 2) subsets.push_back(pred_cols);
+  return subsets;
+}
 
-  for (const auto& sub : subsets) {
+CostBreakdown CorrelationCostModel::Cost(const Query& q,
+                                         const MvSpec& spec) const {
+  const UniverseStats* stats = registry_->ForFact(spec.fact_table);
+  if (stats == nullptr || !MvCanServe(q, spec)) return CostBreakdown{};
+
+  const std::string memo_key = "C|" + q.id + "|" + SpecSignature(spec);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = result_cache_.find(memo_key); it != result_cache_.end()) {
+      return it->second;
+    }
+  }
+
+  CostBreakdown best = FullScanPath(q, spec, *stats);
+
+  const CostBreakdown clustered = ClusteredPath(q, spec, *stats);
+  if (clustered.feasible() && clustered.seconds < best.seconds) {
+    best = clustered;
+  }
+
+  for (const auto& sub : SecondarySubsets(q)) {
     const CostBreakdown sec = SecondaryPathCost(q, spec, sub);
     if (sec.feasible() && sec.seconds < best.seconds) best = sec;
   }
-  result_cache_[memo_key] = best;
-  return best;
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_cache_.try_emplace(memo_key, std::move(best)).first->second;
+}
+
+double CorrelationCostModel::CostLowerBound(const Query& q,
+                                            const MvSpec& spec) const {
+  const UniverseStats* stats = registry_->ForFact(spec.fact_table);
+  if (stats == nullptr || !MvCanServe(q, spec)) return kInfeasibleCost;
+
+  // Exact cheap paths: full scan always, clustered prefix when usable.
+  double lb = FullScanPath(q, spec, *stats).seconds;
+  const CostBreakdown clustered = ClusteredPath(q, spec, *stats);
+  if (clustered.feasible()) lb = std::min(lb, clustered.seconds);
+
+  // Floor under every secondary path the model can produce, per subset it
+  // would actually price. The floor is AE-free and key-independent, built
+  // from the cached matched-row sets: when a subset matches < 4 sampled
+  // rows, SecondaryPathCost uses the uncorrelated-scatter formula whose
+  // bucket count we reproduce exactly; otherwise the AE/span estimate can
+  // legitimately collapse to one bucket (a perfectly correlated clustering
+  // really is that cheap), so only the >=1-bucket, >=1-seek-chain floor is
+  // sound. Fragments >= 1 in every branch.
+  if (!spec.clustered_key.empty() && !q.predicates.empty()) {
+    const DiskParams& disk = stats->options().disk;
+    const double pages = static_cast<double>(MvHeapPages(spec, *stats, disk));
+    const double height = MvBTreeHeight(spec, *stats, disk);
+    const double num_buckets =
+        std::max(1.0, pages / static_cast<double>(options_.bucket_pages));
+    const size_t n = stats->synopsis().sample_rows();
+    for (const auto& sub : SecondarySubsets(q)) {
+      double floor_buckets = 1.0;
+      if (n > 0 && MatchedRows(*stats, q, sub).size() < 4) {
+        double sel_cols = 1.0;
+        for (const auto& p : q.predicates) {
+          if (std::find(sub.begin(), sub.end(), p.column) != sub.end()) {
+            sel_cols *= EstimateSelectivity(p, *stats);
+          }
+        }
+        const double matched_full = std::max(
+            1.0, sel_cols * static_cast<double>(stats->num_rows()));
+        floor_buckets = std::min(num_buckets, matched_full);
+      }
+      const double floor_pages = std::min(
+          pages, floor_buckets * static_cast<double>(options_.bucket_pages));
+      lb = std::min(lb, floor_pages * disk.PageReadSeconds() +
+                            disk.seek_seconds * height);
+    }
+  }
+  return lb;
 }
 
 }  // namespace coradd

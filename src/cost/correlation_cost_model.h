@@ -12,6 +12,16 @@
 // table synopsis for the hypothetical design, exactly as A-2.2 prescribes
 // ("we run the Adaptive Estimator (AE) over random samples on the fly to
 // estimate fragments and selectivity for a given MV design and query").
+//
+// Hot-path layout (docs/CANDGEN.md): candidate generation prices thousands
+// of trial clustered keys, so (1) per-column synopsis orders are precomputed
+// once in a ColumnOrderCache and every trial key's ranks are composed by
+// stable counting-sort passes instead of a fresh comparison sort; (2) every
+// estimate is memoized by structural signature, so alpha sweeps, ablations
+// and feedback re-entries that revisit a (query, spec) pair never re-price;
+// (3) estimates compute outside the cache lock — concurrent misses duplicate
+// a pure computation and the first insert wins, keeping results independent
+// of thread count and arrival order.
 #pragma once
 
 #include <map>
@@ -19,6 +29,7 @@
 #include <mutex>
 
 #include "cost/access_path.h"
+#include "cost/column_order_cache.h"
 #include "cost/cost_model.h"
 
 namespace coradd {
@@ -43,6 +54,7 @@ class CorrelationCostModel : public CostModel {
 
   CostBreakdown Cost(const Query& q, const MvSpec& spec) const override;
   std::string name() const override { return "correlation-aware"; }
+  std::string CacheId() const override;
 
   /// Secondary-path estimate via a CM/index on exactly `secondary_cols`
   /// (exposed for the CM Designer, which sweeps attribute combinations).
@@ -55,6 +67,13 @@ class CorrelationCostModel : public CostModel {
     return SecondaryPathCost(q, spec, secondary_cols);
   }
 
+  /// Cheap, AE-free lower bound on Cost(q, spec).seconds: the minimum of
+  /// the exact full-scan and clustered-prefix path costs and a floor under
+  /// every possible secondary path (>= 1 bucket read + 1 seek chain).
+  /// Candidate generation prunes trial clusterings against it;
+  /// property_test locks down CostLowerBound <= Cost on random specs.
+  double CostLowerBound(const Query& q, const MvSpec& spec) const override;
+
  private:
   struct RankCacheEntry {
     /// rank_of_row[i] = position of synopsis row i in clustered-key order.
@@ -66,9 +85,16 @@ class CorrelationCostModel : public CostModel {
       const UniverseStats& stats, const Query& q,
       const std::vector<std::string>& cols) const;
 
-  /// Clustered-key rank of every synopsis row for `spec`'s key.
+  /// Clustered-key rank of every synopsis row for `spec`'s key, composed
+  /// from the per-column order cache.
   const RankCacheEntry& Ranks(const UniverseStats& stats,
                               const MvSpec& spec) const;
+
+  /// The (lazily created) per-column order cache of `stats`' synopsis.
+  const ColumnOrderCache& OrderCache(const UniverseStats& stats) const;
+
+  /// The secondary-path column subsets Cost() prices for `q`.
+  std::vector<std::vector<std::string>> SecondarySubsets(const Query& q) const;
 
   CostBreakdown FullScanPath(const Query& q, const MvSpec& spec,
                              const UniverseStats& stats) const;
@@ -78,12 +104,15 @@ class CorrelationCostModel : public CostModel {
   const StatsRegistry* registry_;
   CorrelationCostModelOptions options_;
 
-  /// One lock for all three caches: the parallel evaluator shares a single
-  /// planner across execution threads. Recursive because Cost() holds it
-  /// while pricing secondary subsets through SecondaryPathCost(). Estimates
-  /// compute under the lock — they are memoized, and the designers prime
-  /// most entries serially before parallel evaluation starts.
-  mutable std::recursive_mutex mu_;
+  /// One lock guards lookup/insert on all four caches below; estimates are
+  /// computed OUTSIDE it (they are pure functions of immutable statistics),
+  /// so parallel candidate generation and evaluation price concurrently.
+  /// Map nodes are stable, entries are never erased, and racing computers
+  /// of the same key produce identical values (first insert wins) — results
+  /// are bit-identical at any thread count.
+  mutable std::mutex mu_;
+  mutable std::map<const UniverseStats*, std::unique_ptr<ColumnOrderCache>>
+      order_caches_;
   mutable std::map<std::string, std::vector<uint32_t>> matched_cache_;
   mutable std::map<std::string, RankCacheEntry> rank_cache_;
   /// Full-result memo keyed on (query id, structural spec signature[, cols]).

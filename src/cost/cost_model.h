@@ -71,7 +71,22 @@ class CostModel {
       const Query& q, const MvSpec& spec,
       const std::vector<std::string>& secondary_cols) const = 0;
 
+  /// A cheap lower bound on Cost(q, spec).seconds, used by candidate
+  /// generation to skip pricing trial clusterings that provably cannot beat
+  /// the best already seen. Must never exceed the true model cost; the
+  /// conservative default (no pruning power) is always sound.
+  virtual double CostLowerBound(const Query& q, const MvSpec& spec) const {
+    (void)q;
+    (void)spec;
+    return 0.0;
+  }
+
   virtual std::string name() const = 0;
+
+  /// Identity of this model for cross-designer caches: models with equal
+  /// CacheId() produce bit-identical candidate sets for the same workload
+  /// and statistics. Includes tuning options when they affect pricing.
+  virtual std::string CacheId() const { return name(); }
 };
 
 /// True iff `spec` contains every column `q` references (fact re-clusterings

@@ -1,8 +1,45 @@
 #include "mv/candidate_generator.h"
 
+#include "common/string_util.h"
 #include "mv/fk_clustering.h"
 
 namespace coradd {
+
+std::string CandidateGeneratorOptionsSignature(
+    const CandidateGeneratorOptions& options) {
+  std::string s = "g:";
+  for (double a : options.grouping.alphas) s += StrFormat("%.17g,", a);
+  s += StrFormat("seed=%llu,restarts=%d|m:t=%d,attrs=%zu,inter=%zu,cat=%d,"
+                 "prune=%d,block=%zu",
+                 static_cast<unsigned long long>(options.grouping.seed),
+                 options.grouping.restarts, options.merging.t,
+                 options.merging.max_key_attrs,
+                 options.merging.max_interleavings,
+                 options.merging.concatenation_only ? 1 : 0,
+                 options.merging.prune_trials ? 1 : 0,
+                 options.merging.pricing_block);
+  return s;
+}
+
+void CandGenStats::Accumulate(const CandGenStats& other) {
+  trials_priced += other.trials_priced;
+  trials_pruned += other.trials_pruned;
+  groups_designed += other.groups_designed;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  wall_seconds += other.wall_seconds;
+}
+
+std::string CandGenStats::ToString() const {
+  return StrFormat(
+      "CandGenStats{priced=%llu, pruned=%llu, groups=%llu, hits=%llu, "
+      "misses=%llu, wall=%.3fs}",
+      static_cast<unsigned long long>(trials_priced),
+      static_cast<unsigned long long>(trials_pruned),
+      static_cast<unsigned long long>(groups_designed),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), wall_seconds);
+}
 
 MvCandidateGenerator::MvCandidateGenerator(const Catalog* catalog,
                                            const StatsRegistry* registry,
@@ -15,19 +52,31 @@ MvCandidateGenerator::MvCandidateGenerator(const Catalog* catalog,
   CORADD_CHECK(catalog != nullptr);
   CORADD_CHECK(registry != nullptr);
   CORADD_CHECK(model != nullptr);
+  if (options_.merging.pool == nullptr) options_.merging.pool = options_.pool;
   index_designer_ = std::make_unique<ClusteredIndexDesigner>(
       registry_, model_, options_.merging);
+}
+
+CandGenStats MvCandidateGenerator::stats() const {
+  CandGenStats out;
+  out.trials_priced = index_designer_->trials_priced();
+  out.trials_pruned = index_designer_->trials_pruned();
+  out.groups_designed = groups_designed_.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<MvSpec> MvCandidateGenerator::DesignForGroup(
     const Workload& workload, const QueryGroup& group,
     const std::string& fact_table, int t_override) const {
+  groups_designed_.fetch_add(1, std::memory_order_relaxed);
   return index_designer_->DesignGroup(workload, group, fact_table,
                                       t_override);
 }
 
 CandidateSet MvCandidateGenerator::Generate(const Workload& workload) const {
   CandidateSet out;
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
   for (const auto& fact : workload.FactTables()) {
     const UniverseStats* stats = registry_->ForFact(fact);
     CORADD_CHECK(stats != nullptr);
@@ -47,12 +96,18 @@ CandidateSet MvCandidateGenerator::Generate(const Workload& workload) const {
     QueryGrouper grouper(stats, options_.grouping);
     std::vector<QueryGroup> groups = grouper.Groups(workload, fact_queries);
 
-    // §4.2: t clusterings per group.
-    for (const auto& group : groups) {
-      for (auto& spec :
-           index_designer_->DesignGroup(workload, group, fact)) {
-        out.mvs.push_back(std::move(spec));
-      }
+    // §4.2: t clusterings per group. Groups are independent, so their
+    // designs fan out across the pool; per-group results land in their own
+    // slot and merge back in group order — bit-identical to the serial
+    // loop at any thread count.
+    std::vector<std::vector<MvSpec>> per_group(groups.size());
+    pool.ParallelFor(groups.size(), [&](size_t g) {
+      per_group[g] =
+          index_designer_->DesignGroup(workload, groups[g], fact);
+    });
+    groups_designed_.fetch_add(groups.size(), std::memory_order_relaxed);
+    for (auto& specs : per_group) {
+      for (auto& spec : specs) out.mvs.push_back(std::move(spec));
     }
     out.groups.insert(out.groups.end(), groups.begin(), groups.end());
 

@@ -1,12 +1,19 @@
 // The MV Candidate Generator (§4, Fig 1): query grouping -> clustered index
 // design -> fact-table re-clustering candidates, producing the MvSpec pool
 // the ILP selects from.
+//
+// Group design is embarrassingly parallel: every query group's clustered
+// indexes are designed independently on the thread pool and merged back in
+// group order, so the generated CandidateSet is bit-identical at any thread
+// count (the PR 3/PR 4 determinism contract; tests/candgen_test.cc).
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "mv/index_merging.h"
 #include "mv/query_grouping.h"
 
@@ -16,7 +23,15 @@ namespace coradd {
 struct CandidateGeneratorOptions {
   QueryGroupingOptions grouping;
   IndexMergingOptions merging;
+  /// Pool group design fans out on; nullptr = ThreadPool::Shared(). Also
+  /// seeds merging.pool when that is unset.
+  ThreadPool* pool = nullptr;
 };
+
+/// Signature of every option that affects the generated candidates (pools
+/// excluded — they must not). Keys the cross-designer CandidateGenCache.
+std::string CandidateGeneratorOptionsSignature(
+    const CandidateGeneratorOptions& options);
 
 /// The generated candidate pool.
 struct CandidateSet {
@@ -24,6 +39,20 @@ struct CandidateSet {
   /// The deduplicated query groups candidates were generated from (per fact
   /// table, flattened) — reused by ILP feedback.
   std::vector<QueryGroup> groups;
+};
+
+/// Counters describing candidate-generation work, accumulated across
+/// generation passes and cache lookups (bench `candgen` JSON segment).
+struct CandGenStats {
+  uint64_t trials_priced = 0;    ///< trial clusterings fully priced
+  uint64_t trials_pruned = 0;    ///< trials skipped by the pruning bound
+  uint64_t groups_designed = 0;  ///< DesignGroup invocations
+  uint64_t cache_hits = 0;       ///< CandidateGenCache hits
+  uint64_t cache_misses = 0;     ///< CandidateGenCache misses (generations)
+  double wall_seconds = 0.0;     ///< wall time spent generating
+
+  void Accumulate(const CandGenStats& other);
+  std::string ToString() const;
 };
 
 /// Produces the initial candidate pool for a workload.
@@ -45,12 +74,18 @@ class MvCandidateGenerator {
 
   const CandidateGeneratorOptions& options() const { return options_; }
 
+  /// Generation-work counters since construction (trials priced/pruned and
+  /// groups designed; cache fields and wall time are owned by the
+  /// CandidateGenCache and stay zero here).
+  CandGenStats stats() const;
+
  private:
   const Catalog* catalog_;
   const StatsRegistry* registry_;
   const CostModel* model_;
   CandidateGeneratorOptions options_;
   std::unique_ptr<ClusteredIndexDesigner> index_designer_;
+  mutable std::atomic<uint64_t> groups_designed_{0};
 };
 
 }  // namespace coradd

@@ -1,7 +1,6 @@
 #include "mv/index_merging.h"
 
 #include <algorithm>
-#include <map>
 #include <set>
 
 #include "common/string_util.h"
@@ -183,11 +182,91 @@ double ClusteredIndexDesigner::GroupCost(const Workload& workload,
   return total;
 }
 
+double ClusteredIndexDesigner::GroupCostLowerBound(const Workload& workload,
+                                                   const QueryGroup& group,
+                                                   const MvSpec& spec) const {
+  double total = 0.0;
+  for (int qi : group) {
+    const Query& q = workload.queries[static_cast<size_t>(qi)];
+    total += model_->CostLowerBound(q, spec) * q.frequency;
+  }
+  return total;
+}
+
+std::map<double, std::vector<std::string>> ClusteredIndexDesigner::ScoreTrials(
+    const Workload& workload, const QueryGroup& group, const MvSpec& proto,
+    const std::vector<std::vector<std::string>>& trials, size_t keep) const {
+  std::map<double, std::vector<std::string>> scored;
+  if (trials.empty()) return scored;
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
+  const size_t block = std::max<size_t>(size_t{1}, options_.pricing_block);
+  std::vector<double> cost(trials.size(), 0.0);
+  std::vector<char> pruned(trials.size(), 0);
+  uint64_t n_priced = 0;
+  uint64_t n_pruned = 0;
+
+  for (size_t begin = 0; begin < trials.size(); begin += block) {
+    const size_t end = std::min(trials.size(), begin + block);
+
+    // Pruning threshold: the keep-th smallest distinct priced cost so far.
+    // A trial whose lower bound exceeds it strictly cannot enter the kept
+    // top-`keep` (costs only shrink the threshold as more trials merge),
+    // so skipping it cannot change the produced candidates. The threshold
+    // refreshes at block boundaries only — between-block state is merged in
+    // enumeration order — so the pruned set is deterministic at any thread
+    // count.
+    double threshold = kInfeasibleCost;
+    bool have_threshold = false;
+    if (options_.prune_trials && scored.size() >= keep && keep > 0) {
+      auto it = scored.begin();
+      std::advance(it, static_cast<long>(keep) - 1);
+      threshold = it->first;
+      have_threshold = true;
+    }
+    if (have_threshold) {
+      for (size_t i = begin; i < end; ++i) {
+        MvSpec trial = proto;
+        trial.clustered_key = trials[i];
+        if (GroupCostLowerBound(workload, group, trial) > threshold) {
+          pruned[i] = 1;
+        }
+      }
+    }
+
+    // Price the surviving block concurrently; each task writes only its own
+    // slot, and GroupCost is a pure function of (trial, model state) whose
+    // memo layer is insertion-order independent.
+    pool.ParallelFor(end - begin, [&](size_t k) {
+      const size_t i = begin + k;
+      if (pruned[i]) return;
+      MvSpec trial = proto;
+      trial.clustered_key = trials[i];
+      cost[i] = GroupCost(workload, group, trial);
+    });
+
+    // Merge in enumeration order: equal-cost ties keep the first-enumerated
+    // key, exactly as the legacy serial loop did.
+    for (size_t i = begin; i < end; ++i) {
+      if (pruned[i]) {
+        ++n_pruned;
+        continue;
+      }
+      ++n_priced;
+      scored.emplace(cost[i], trials[i]);
+    }
+  }
+  trials_priced_.fetch_add(n_priced, std::memory_order_relaxed);
+  trials_pruned_.fetch_add(n_pruned, std::memory_order_relaxed);
+  return scored;
+}
+
 std::vector<MvSpec> ClusteredIndexDesigner::DesignGroup(
     const Workload& workload, const QueryGroup& group,
     const std::string& fact_table, int t_override) const {
   CORADD_CHECK(!group.empty());
   const int t = t_override > 0 ? t_override : options_.t;
+  const size_t keep = static_cast<size_t>(std::max(1, t));
   const UniverseStats* stats = registry_->ForFact(fact_table);
   CORADD_CHECK(stats != nullptr);
 
@@ -205,28 +284,37 @@ std::vector<MvSpec> ClusteredIndexDesigner::DesignGroup(
   for (size_t gi = 1; gi < group.size(); ++gi) {
     const std::vector<std::string> dedicated = DedicatedKey(
         workload.queries[static_cast<size_t>(group[gi])], *stats);
-    std::map<double, std::vector<std::string>> scored;  // cost -> key
+    // Enumerate this merge level's trials in a fixed order, then price.
+    // Interleavings whose attribute-drop truncation collapses onto an
+    // already-enumerated key are dominated (identical clustering, identical
+    // cost) and are dropped before pricing.
+    std::vector<std::vector<std::string>> trials;
     std::set<std::vector<std::string>> seen;
+    uint64_t dominated = 0;
     for (const auto& base : candidates) {
       for (auto& merged : Interleavings(base, dedicated)) {
         std::vector<std::string> key =
             ApplyAttributeDrop(merged, proto, *stats);
-        if (!seen.insert(key).second) continue;
-        MvSpec trial = proto;
-        trial.clustered_key = key;
-        const double cost = GroupCost(workload, group, trial);
-        scored.emplace(cost, std::move(key));
+        if (seen.insert(key).second) {
+          trials.push_back(std::move(key));
+        } else {
+          ++dominated;
+        }
       }
     }
+    trials_pruned_.fetch_add(dominated, std::memory_order_relaxed);
+    const std::map<double, std::vector<std::string>> scored =
+        ScoreTrials(workload, group, proto, trials, keep);
     candidates.clear();
     for (const auto& [cost, key] : scored) {
       candidates.push_back(key);
-      if (candidates.size() >= static_cast<size_t>(t)) break;
+      if (candidates.size() >= keep) break;
     }
     CORADD_CHECK(!candidates.empty());
   }
 
-  // Rank final candidates and emit up to t specs.
+  // Rank final candidates and emit up to t specs (all survivors of the last
+  // merge were fully priced, so this re-ranking is pure memo hits).
   std::map<double, std::vector<std::string>> final_scored;
   for (const auto& key : candidates) {
     MvSpec trial = proto;

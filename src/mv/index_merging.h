@@ -9,11 +9,21 @@
 // designer keeps the t clusterings with the best expected group runtime
 // under the provided cost model, and drops trailing attributes once the
 // leading attributes' distinct count exceeds one value per heap page.
+//
+// Trial pricing is the designer's hot loop, so it runs in deterministic
+// parallel blocks: trials are enumerated in a fixed order, each block is
+// priced concurrently on the thread pool, results merge back in enumeration
+// order, and between blocks a sound lower bound (CostModel::CostLowerBound)
+// prunes trials that provably cannot enter the kept top-t. The produced
+// candidates are bit-identical at any thread count and with pruning on or
+// off (tests/property_test.cc + tests/candgen_test.cc lock this down).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "mv/query_grouping.h"
 
@@ -32,6 +42,15 @@ struct IndexMergingOptions {
   /// When true, merge by concatenation only — the [6]-style baseline used
   /// by the ablation bench for the "up to 90% slower" claim.
   bool concatenation_only = false;
+  /// Skip pricing trial keys whose cost lower bound already exceeds the
+  /// worst kept top-t cost. Sound (never changes the produced candidates);
+  /// off only for the pruning-safety property tests.
+  bool prune_trials = true;
+  /// Trials priced per parallel block; the pruning threshold refreshes at
+  /// block boundaries only, keeping the pruned set deterministic.
+  size_t pricing_block = 32;
+  /// Pool trial pricing fans out on; nullptr = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
 };
 
 /// Designs clustered indexes for MV candidates.
@@ -61,6 +80,17 @@ class ClusteredIndexDesigner {
                                   const std::string& fact_table,
                                   int t_override = 0) const;
 
+  /// Trial clusterings fully priced / dropped before pricing (dominated
+  /// interleavings whose truncation duplicates an enumerated key, plus
+  /// bound prunes) since construction (monotone; deterministic for a fixed
+  /// input sequence).
+  uint64_t trials_priced() const {
+    return trials_priced_.load(std::memory_order_relaxed);
+  }
+  uint64_t trials_pruned() const {
+    return trials_pruned_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Truncates `key` per the attribute-drop rule for the MV's page count.
   std::vector<std::string> ApplyAttributeDrop(
@@ -71,9 +101,22 @@ class ClusteredIndexDesigner {
   double GroupCost(const Workload& workload, const QueryGroup& group,
                    const MvSpec& spec) const;
 
+  /// Sum of model cost lower bounds — never exceeds GroupCost.
+  double GroupCostLowerBound(const Workload& workload, const QueryGroup& group,
+                             const MvSpec& spec) const;
+
+  /// Prices `trials` (block-parallel, bound-pruned) and returns the scored
+  /// map (cost -> key, first-enumerated wins cost ties). `keep` is the
+  /// top-t size the caller will retain — the pruning threshold.
+  std::map<double, std::vector<std::string>> ScoreTrials(
+      const Workload& workload, const QueryGroup& group, const MvSpec& proto,
+      const std::vector<std::vector<std::string>>& trials, size_t keep) const;
+
   const StatsRegistry* registry_;
   const CostModel* model_;
   IndexMergingOptions options_;
+  mutable std::atomic<uint64_t> trials_priced_{0};
+  mutable std::atomic<uint64_t> trials_pruned_{0};
 };
 
 }  // namespace coradd

@@ -218,6 +218,51 @@ TEST_F(CoreTest, DesignsDisableFeedbackStillValid) {
   EXPECT_LE(d.object_bytes, 8ull << 20);
 }
 
+namespace {
+void ExpectDesignsIdentical(const DatabaseDesign& a, const DatabaseDesign& b) {
+  EXPECT_EQ(a.designer, b.designer);
+  EXPECT_EQ(a.expected_seconds, b.expected_seconds);  // bitwise
+  EXPECT_EQ(a.object_bytes, b.object_bytes);
+  EXPECT_EQ(a.object_for_query, b.object_for_query);
+  ASSERT_EQ(a.objects.size(), b.objects.size());
+  for (size_t o = 0; o < a.objects.size(); ++o) {
+    EXPECT_EQ(a.objects[o].spec.name, b.objects[o].spec.name) << o;
+    EXPECT_EQ(a.objects[o].spec.columns, b.objects[o].spec.columns) << o;
+    EXPECT_EQ(a.objects[o].spec.clustered_key, b.objects[o].spec.clustered_key)
+        << o;
+    EXPECT_EQ(a.objects[o].btree_columns, b.objects[o].btree_columns) << o;
+  }
+}
+}  // namespace
+
+TEST_F(CoreTest, BaselineDesignsUnchangedByCandidateGenCache) {
+  // Naive and Commercial route candidate generation through the context's
+  // CandidateGenCache (fixing the duplicate-work bug where each budget cell
+  // regenerated model-independent specs). A cache-hitting repeat call and a
+  // designer on a fresh cold-cache context must select identical designs.
+  const uint64_t budget = 8ull << 20;
+  NaiveDesigner naive(context_);
+  CommercialDesigner commercial(context_);
+  const DatabaseDesign n1 = naive.Design(*workload_, budget);
+  const DatabaseDesign c1 = commercial.Design(*workload_, budget);
+  const uint64_t hits_before = context_->candgen_cache().stats().cache_hits;
+  const DatabaseDesign n2 = naive.Design(*workload_, budget);
+  const DatabaseDesign c2 = commercial.Design(*workload_, budget);
+  EXPECT_GE(context_->candgen_cache().stats().cache_hits, hits_before + 2);
+  ExpectDesignsIdentical(n1, n2);
+  ExpectDesignsIdentical(c1, c2);
+
+  StatsOptions sopt;
+  sopt.sample_rows = 2048;
+  sopt.disk.page_size_bytes = 1024;
+  DesignContext cold(catalog_, *workload_, sopt);
+  NaiveDesigner cold_naive(&cold);
+  CommercialDesigner cold_commercial(&cold);
+  EXPECT_EQ(cold.candgen_cache().stats().cache_hits, 0u);
+  ExpectDesignsIdentical(n1, cold_naive.Design(*workload_, budget));
+  ExpectDesignsIdentical(c1, cold_commercial.Design(*workload_, budget));
+}
+
 TEST_F(CoreTest, FeedbackNeverHurtsExpectedCost) {
   CoraddOptions with = FastOptions();
   CoraddOptions without = FastOptions();

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/context.h"
+#include "cost/correlation_cost_model.h"
 #include "cost/cost_model.h"
 #include "ilp/branch_and_bound.h"
 #include "ilp/domination.h"
 #include "ilp/greedy_mk.h"
+#include "mv/index_merging.h"
 #include "ssb/ssb.h"
 #include "stats/histogram.h"
 #include "storage/layout.h"
@@ -188,6 +191,127 @@ TEST_P(SolverOrderingTest, ExactLeqGreedyMkAndDensityGreedy) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverOrderingTest,
                          ::testing::Range<uint64_t>(500, 515));
+
+// ---------- Candidate generation: memoized pricing + pruning safety -------
+
+/// Shared small-SSB pricing fixture (built once; the cost models are pure
+/// functions of it).
+struct CandgenFixture {
+  std::unique_ptr<Catalog> catalog;
+  Workload workload;
+  std::unique_ptr<DesignContext> context;
+
+  CandgenFixture() {
+    ssb::SsbOptions options;
+    options.scale_factor = 0.002;
+    catalog = ssb::MakeCatalog(options);
+    workload = ssb::MakeWorkload();
+    StatsOptions sopt;
+    sopt.sample_rows = 2048;
+    sopt.disk.page_size_bytes = 1024;
+    context = std::make_unique<DesignContext>(catalog.get(), workload, sopt);
+  }
+};
+
+const CandgenFixture& SharedCandgenFixture() {
+  static const CandgenFixture* fixture = new CandgenFixture();
+  return *fixture;
+}
+
+/// Random MvSpec over the SSB universe: random stored-column subset with a
+/// random clustered key drawn from it.
+MvSpec RandomSpec(Rng* rng, const Workload& workload) {
+  // Column pool: everything any query references (so some specs can serve
+  // some queries), shuffled and truncated.
+  std::vector<std::string> pool;
+  for (const auto& q : workload.queries) {
+    for (const auto& c : q.AllColumns()) {
+      if (std::find(pool.begin(), pool.end(), c) == pool.end()) {
+        pool.push_back(c);
+      }
+    }
+  }
+  for (size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng->Uniform(i)]);
+  }
+  MvSpec spec;
+  spec.fact_table = "lineorder";
+  spec.name = "prop_spec";
+  const size_t num_cols = 3 + rng->Uniform(pool.size() - 3);
+  spec.columns.assign(pool.begin(),
+                      pool.begin() + static_cast<long>(num_cols));
+  const size_t key_len = 1 + rng->Uniform(std::min<size_t>(5, num_cols));
+  spec.clustered_key.assign(spec.columns.begin(),
+                            spec.columns.begin() + static_cast<long>(key_len));
+  return spec;
+}
+
+class CandgenPricingPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CandgenPricingPropertyTest, MemoizedPricesMatchFreshToTheLastBit) {
+  const CandgenFixture& f = SharedCandgenFixture();
+  Rng rng(GetParam());
+  CorrelationCostModel warm(&f.context->registry());
+  CorrelationCostModel fresh(&f.context->registry());
+  for (int trial = 0; trial < 6; ++trial) {
+    const MvSpec spec = RandomSpec(&rng, f.workload);
+    for (const auto& q : f.workload.queries) {
+      const double first = warm.Seconds(q, spec);   // computes + memoizes
+      const double memo = warm.Seconds(q, spec);    // pure memo hit
+      const double cold = fresh.Seconds(q, spec);   // freshly computed
+      EXPECT_EQ(first, memo) << q.id;               // bitwise
+      EXPECT_EQ(first, cold) << q.id;               // bitwise
+      // The generation pruning bound never exceeds the true model cost.
+      EXPECT_LE(warm.CostLowerBound(q, spec), first) << q.id;
+    }
+  }
+}
+
+TEST_P(CandgenPricingPropertyTest, PruningNeverDropsBestInterleaving) {
+  const CandgenFixture& f = SharedCandgenFixture();
+  Rng rng(GetParam() * 131 + 5);
+  CorrelationCostModel model(&f.context->registry());
+
+  // Random small-arity group; prune off == exhaustive enumeration (every
+  // order-preserving interleaving under the cap is priced).
+  QueryGroup group;
+  const size_t arity = 2 + rng.Uniform(2);
+  while (group.size() < arity) {
+    const int qi = static_cast<int>(rng.Uniform(f.workload.queries.size()));
+    if (std::find(group.begin(), group.end(), qi) == group.end()) {
+      group.push_back(qi);
+    }
+  }
+  std::sort(group.begin(), group.end());
+
+  IndexMergingOptions pruned_options;
+  pruned_options.t = 1 + static_cast<int>(rng.Uniform(3));
+  IndexMergingOptions exhaustive_options = pruned_options;
+  exhaustive_options.prune_trials = false;
+  ClusteredIndexDesigner pruned(&f.context->registry(), &model,
+                                pruned_options);
+  ClusteredIndexDesigner exhaustive(&f.context->registry(), &model,
+                                    exhaustive_options);
+
+  const std::vector<MvSpec> a =
+      pruned.DesignGroup(f.workload, group, "lineorder");
+  const std::vector<MvSpec> b =
+      exhaustive.DesignGroup(f.workload, group, "lineorder");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name) << i;
+    EXPECT_EQ(a[i].clustered_key, b[i].clustered_key) << i;
+    EXPECT_EQ(a[i].columns, b[i].columns) << i;
+  }
+  // Every trial the exhaustive designer priced was either priced or
+  // provably dominated under pruning — never silently lost.
+  EXPECT_EQ(pruned.trials_priced() + pruned.trials_pruned(),
+            exhaustive.trials_priced() + exhaustive.trials_pruned());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CandgenPricingPropertyTest,
+                         ::testing::Range<uint64_t>(700, 708));
 
 // ---------- SSB scaling invariants ----------------------------------------
 
