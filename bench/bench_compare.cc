@@ -1,0 +1,97 @@
+// bench_compare — statistical diff of BENCH_*.json perf records.
+//
+//   bench_compare <baseline.json> <current.json> [options]
+//   bench_compare --baseline-dir=bench/baselines --run-dir=build [options]
+//
+// Options:
+//   --metrics=wall_seconds     comma-separated metric names, or "all"
+//   --min-effect=0.05          relative mean delta that counts as a change
+//   --noise-floor=1e-4         both means below this => NO-CHANGE
+//   --singleton-threshold=0.3  fallback threshold for single-shot (v1) files
+//   --report=FILE              also write the report text to FILE
+//   --gate                     CI mode: exit 1 on REGRESSION or error,
+//                              0 otherwise (improvement / noise pass)
+//
+// Exit codes without --gate: 0 NO-CHANGE, 10 IMPROVEMENT, 11 TOO-NOISY,
+// 12 REGRESSION, 1 error. Directory mode aggregates over every
+// BENCH_*.json present in the run dir; the overall verdict is the most
+// severe metric verdict. See docs/BENCHMARKING.md.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchkit/compare.h"
+#include "benchkit/flags.h"
+#include "common/string_util.h"
+
+using namespace coradd;
+using namespace coradd::benchkit;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare <baseline.json> <current.json> [options]\n"
+      "       bench_compare --baseline-dir=DIR --run-dir=DIR [options]\n"
+      "options: --metrics=NAMES|all --min-effect=F --noise-floor=F\n"
+      "         --singleton-threshold=F --report=FILE --gate\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CompareOptions options;
+  options.min_effect = FlagDouble(argc, argv, "min-effect", 0.05);
+  options.noise_floor_seconds = FlagDouble(argc, argv, "noise-floor", 1e-4);
+  options.singleton_threshold =
+      FlagDouble(argc, argv, "singleton-threshold", 0.30);
+  const std::string metrics = FlagValue(argc, argv, "metrics", "");
+  if (!metrics.empty()) {
+    for (const std::string& m : Split(metrics, ',')) {
+      if (!m.empty()) options.metrics.push_back(m);
+    }
+  }
+  const bool gate = FlagBool(argc, argv, "gate");
+  const std::string report_path = FlagValue(argc, argv, "report", "");
+  const std::string baseline_dir = FlagValue(argc, argv, "baseline-dir", "");
+  const std::string run_dir = FlagValue(argc, argv, "run-dir", "");
+
+  Result<CompareReport> result = Status::InvalidArgument("unset");
+  if (!baseline_dir.empty() || !run_dir.empty()) {
+    if (baseline_dir.empty() || run_dir.empty()) return Usage();
+    result = CompareDirs(baseline_dir, run_dir, options);
+  } else {
+    // Positional: the first two non-flag arguments.
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+      if (argv[i][0] != '-') files.push_back(argv[i]);
+    }
+    if (files.size() != 2) return Usage();
+    result = CompareFiles(files[0], files[1], options);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  const CompareReport& report = *result;
+  const std::string text = RenderReport(report);
+  std::fputs(text.c_str(), stdout);
+  if (!report_path.empty()) {
+    std::FILE* f = std::fopen(report_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_compare: cannot write %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+  }
+  if (gate) {
+    return report.overall == Verdict::kRegression ? 1 : 0;
+  }
+  return VerdictExitCode(report.overall);
+}

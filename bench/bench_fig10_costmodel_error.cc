@@ -3,7 +3,8 @@
 // fact tables clustered by keys of decreasing correlation (orderdate ->
 // ... -> orderkey). The commercial (oblivious) model predicts the same
 // cost regardless of clustering, while the real runtime varies ~25x; the
-// correlation-aware model tracks it.
+// correlation-aware model tracks it. Runs under the benchkit repetition
+// harness; --json emits schema-v2 BENCH_fig10_costmodel_error.json.
 #include "cost/correlation_cost_model.h"
 #include "cost/oblivious_cost_model.h"
 #include "bench/bench_util.h"
@@ -13,63 +14,83 @@ using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
+  Harness h("fig10_costmodel_error", argc, argv);
   const double scale = FlagDouble(argc, argv, "scale", 0.02);
-  Fixture f = MakeSsbFixture(scale, 1024);
-  const UniverseStats* stats = f.context->StatsForFact("lineorder");
-  const Universe& u = stats->universe();
-  CorrelationCostModel aware(&f.context->registry());
-  ObliviousCostModel oblivious(&f.context->registry());
-  Materializer materializer(f.context->UniverseForFact("lineorder"),
-                            stats->options().disk);
-  QueryExecutor executor(&f.context->registry(), &aware);
+  BenchJson& json = h.json();
+  json.Config("scale", scale);
 
-  // The A-2.1 query: AVG(price*discount) WHERE commitdate = <value>.
-  // A range of a week keeps enough matching tuples at bench scale.
-  Query q;
-  q.id = "fig10";
-  q.fact_table = "lineorder";
-  q.predicates = {Predicate::Range("lo_commitdate", 19940601, 19940607)};
-  q.aggregates = {{"lo_extendedprice", "lo_discount"}};
+  h.Run([&](const RunPass& pass) {
+    Fixture f = MakeSsbFixture(scale, 1024);
+    const UniverseStats* stats = f.context->StatsForFact("lineorder");
+    const Universe& u = stats->universe();
+    CorrelationCostModel aware(&f.context->registry());
+    ObliviousCostModel oblivious(&f.context->registry());
+    Materializer materializer(f.context->UniverseForFact("lineorder"),
+                              stats->options().disk);
+    QueryExecutor executor(&f.context->registry(), &aware);
 
-  // Clusterings from strongly correlated to uncorrelated with commitdate.
-  const std::vector<std::string> clusterings = {
-      "lo_commitdate", "lo_orderdate", "lo_orderkey", "lo_custkey",
-      "lo_partkey"};
+    // The A-2.1 query: AVG(price*discount) WHERE commitdate = <value>.
+    // A range of a week keeps enough matching tuples at bench scale.
+    Query q;
+    q.id = "fig10";
+    q.fact_table = "lineorder";
+    q.predicates = {Predicate::Range("lo_commitdate", 19940601, 19940607)};
+    q.aggregates = {{"lo_extendedprice", "lo_discount"}};
 
-  PrintHeader("Figure 10: errors in cost model (one query, many clusterings)",
-              {"clustered_on", "fragments", "real[s]", "aware[s]",
-               "commercial[s]"});
-  for (const auto& key : clusterings) {
-    MvSpec spec;
-    spec.name = "fact_" + key;
-    spec.fact_table = "lineorder";
-    for (size_t c = 0; c < u.fact_table().schema().NumColumns(); ++c) {
-      spec.columns.push_back(u.fact_table().schema().Column(c).name);
+    // Clusterings from strongly correlated to uncorrelated with commitdate.
+    const std::vector<std::string> clusterings = {
+        "lo_commitdate", "lo_orderdate", "lo_orderkey", "lo_custkey",
+        "lo_partkey"};
+
+    if (pass.reporting) {
+      PrintHeader(
+          "Figure 10: errors in cost model (one query, many clusterings)",
+          {"clustered_on", "fragments", "real[s]", "aware[s]",
+           "commercial[s]"});
     }
-    spec.clustered_key = {key};
-    spec.is_fact_recluster = true;
+    for (const auto& key : clusterings) {
+      MvSpec spec;
+      spec.name = "fact_" + key;
+      spec.fact_table = "lineorder";
+      for (size_t c = 0; c < u.fact_table().schema().NumColumns(); ++c) {
+        spec.columns.push_back(u.fact_table().schema().Column(c).name);
+      }
+      spec.clustered_key = {key};
+      spec.is_fact_recluster = true;
 
-    CmSpec cm;
-    cm.key_columns = {"lo_commitdate"};
-    auto obj = materializer.Materialize(spec, {cm});
-    DiskModel disk(stats->options().disk);
-    // Force the CM plan, as the paper's query rewriting does: the point of
-    // Fig 10 is the cost of the *same secondary plan* under different
-    // clusterings, even where a full scan would win.
-    const QueryRunResult run = executor.RunWithCm(q, *obj, 0, &disk);
+      CmSpec cm;
+      cm.key_columns = {"lo_commitdate"};
+      auto obj = materializer.Materialize(spec, {cm});
+      DiskModel disk(stats->options().disk);
+      // Force the CM plan, as the paper's query rewriting does: the point of
+      // Fig 10 is the cost of the *same secondary plan* under different
+      // clusterings, even where a full scan would win.
+      const QueryRunResult run = executor.RunWithCm(q, *obj, 0, &disk);
 
-    const CostBreakdown aware_est =
-        aware.SecondaryPathCost(q, spec, {"lo_commitdate"});
-    const CostBreakdown oblivious_est =
-        oblivious.SecondaryCost(q, spec, {"lo_commitdate"});
+      const CostBreakdown aware_est =
+          aware.SecondaryPathCost(q, spec, {"lo_commitdate"});
+      const CostBreakdown oblivious_est =
+          oblivious.SecondaryCost(q, spec, {"lo_commitdate"});
 
-    PrintRow({key, std::to_string(run.fragments),
-              StrFormat("%.4f", run.seconds),
-              StrFormat("%.4f", aware_est.seconds),
-              StrFormat("%.4f", oblivious_est.seconds)});
-  }
-  std::printf(
-      "\nPaper shape check: the commercial column is flat while real\n"
-      "runtime grows ~25x with fragments; the aware column tracks real.\n");
-  return 0;
+      if (!pass.reporting) continue;
+      PrintRow({key, std::to_string(run.fragments),
+                StrFormat("%.4f", run.seconds),
+                StrFormat("%.4f", aware_est.seconds),
+                StrFormat("%.4f", oblivious_est.seconds)});
+      json.Row({{"clustered_on", BenchJson::Quote(key)},
+                {"fragments",
+                 BenchJson::Num(static_cast<double>(run.fragments))},
+                {"real_seconds", BenchJson::Num(run.seconds)},
+                {"aware_seconds", BenchJson::Num(aware_est.seconds)},
+                {"commercial_seconds",
+                 BenchJson::Num(oblivious_est.seconds)}});
+    }
+    if (pass.reporting) {
+      std::printf(
+          "\nPaper shape check: the commercial column is flat while real\n"
+          "runtime grows ~25x with fragments; the aware column tracks "
+          "real.\n");
+    }
+  });
+  return h.Finish();
 }

@@ -2,6 +2,8 @@
 // against a fact table clustered by orderdate (correlated) vs orderkey
 // (uncorrelated). The paper measured 6s vs 150s (25x) on SSB Scale 20.
 // Also prints a coarse visualization of which heap regions are touched.
+// Runs under the benchkit repetition harness; --json emits schema-v2
+// BENCH_fig13_access_pattern.json.
 #include "cost/correlation_cost_model.h"
 #include "bench/bench_util.h"
 #include "exec/executor.h"
@@ -10,68 +12,86 @@ using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
+  Harness h("fig13_access_pattern", argc, argv);
   const double scale = FlagDouble(argc, argv, "scale", 0.02);
-  Fixture f = MakeSsbFixture(scale, 1024);
-  const UniverseStats* stats = f.context->StatsForFact("lineorder");
-  const Universe& u = stats->universe();
-  CorrelationCostModel model(&f.context->registry());
-  Materializer materializer(f.context->UniverseForFact("lineorder"),
-                            stats->options().disk);
-  QueryExecutor executor(&f.context->registry(), &model);
+  BenchJson& json = h.json();
+  json.Config("scale", scale);
 
-  Query q;
-  q.id = "fig13";
-  q.fact_table = "lineorder";
-  q.predicates = {Predicate::Range("lo_commitdate", 19950101, 19950103)};
-  q.aggregates = {{"lo_extendedprice", "lo_discount"}};
+  h.Run([&](const RunPass& pass) {
+    Fixture f = MakeSsbFixture(scale, 1024);
+    const UniverseStats* stats = f.context->StatsForFact("lineorder");
+    const Universe& u = stats->universe();
+    CorrelationCostModel model(&f.context->registry());
+    Materializer materializer(f.context->UniverseForFact("lineorder"),
+                              stats->options().disk);
+    QueryExecutor executor(&f.context->registry(), &model);
 
-  struct Case {
-    const char* name;
-    const char* key;
-  };
-  double correlated_seconds = 0.0, uncorrelated_seconds = 0.0;
-  for (const Case c : {Case{"orderdate (correlated)", "lo_orderdate"},
-                       Case{"orderkey (uncorrelated)", "lo_orderkey"}}) {
-    MvSpec spec;
-    spec.name = std::string("fact_by_") + c.key;
-    spec.fact_table = "lineorder";
-    for (size_t col = 0; col < u.fact_table().schema().NumColumns(); ++col) {
-      spec.columns.push_back(u.fact_table().schema().Column(col).name);
-    }
-    spec.clustered_key = {c.key};
-    spec.is_fact_recluster = true;
-    CmSpec cm;
-    cm.key_columns = {"lo_commitdate"};
-    auto obj = materializer.Materialize(spec, {cm});
+    Query q;
+    q.id = "fig13";
+    q.fact_table = "lineorder";
+    q.predicates = {Predicate::Range("lo_commitdate", 19950101, 19950103)};
+    q.aggregates = {{"lo_extendedprice", "lo_discount"}};
 
-    DiskModel disk(stats->options().disk);
-    const QueryRunResult run = executor.Run(q, *obj, &disk);
-    if (c.key == std::string("lo_orderdate")) {
-      correlated_seconds = run.seconds;
-    } else {
-      uncorrelated_seconds = run.seconds;
-    }
-
-    // Visualize the touched pages as a 64-char strip (Fig 13 style).
-    std::string strip(64, '.');
-    const int cd = obj->table->table().schema().ColumnIndex("lo_commitdate");
-    for (RowId r = 0; r < obj->table->NumRows(); ++r) {
-      const int64_t v = obj->table->table().Value(r, static_cast<size_t>(cd));
-      if (v >= 19950101 && v <= 19950103) {
-        strip[static_cast<size_t>(obj->table->PageOfRow(r) * 64 /
-                                  obj->table->NumPages())] = '#';
+    struct Case {
+      const char* name;
+      const char* key;
+    };
+    double correlated_seconds = 0.0, uncorrelated_seconds = 0.0;
+    for (const Case c : {Case{"orderdate (correlated)", "lo_orderdate"},
+                         Case{"orderkey (uncorrelated)", "lo_orderkey"}}) {
+      MvSpec spec;
+      spec.name = std::string("fact_by_") + c.key;
+      spec.fact_table = "lineorder";
+      for (size_t col = 0; col < u.fact_table().schema().NumColumns(); ++col) {
+        spec.columns.push_back(u.fact_table().schema().Column(col).name);
       }
+      spec.clustered_key = {c.key};
+      spec.is_fact_recluster = true;
+      CmSpec cm;
+      cm.key_columns = {"lo_commitdate"};
+      auto obj = materializer.Materialize(spec, {cm});
+
+      DiskModel disk(stats->options().disk);
+      const QueryRunResult run = executor.Run(q, *obj, &disk);
+      if (c.key == std::string("lo_orderdate")) {
+        correlated_seconds = run.seconds;
+      } else {
+        uncorrelated_seconds = run.seconds;
+      }
+
+      if (!pass.reporting) continue;
+      // Visualize the touched pages as a 64-char strip (Fig 13 style).
+      std::string strip(64, '.');
+      const int cd = obj->table->table().schema().ColumnIndex("lo_commitdate");
+      for (RowId r = 0; r < obj->table->NumRows(); ++r) {
+        const int64_t v = obj->table->table().Value(r, static_cast<size_t>(cd));
+        if (v >= 19950101 && v <= 19950103) {
+          strip[static_cast<size_t>(obj->table->PageOfRow(r) * 64 /
+                                    obj->table->NumPages())] = '#';
+        }
+      }
+      std::printf("clustered on %-26s [%s]\n", c.name, strip.c_str());
+      std::printf("  fragments=%llu pages_read=%llu seeks=%llu time=%s\n",
+                  static_cast<unsigned long long>(run.fragments),
+                  static_cast<unsigned long long>(run.pages_read),
+                  static_cast<unsigned long long>(run.seeks),
+                  HumanSeconds(run.seconds).c_str());
+      json.Row({{"clustered_on", BenchJson::Quote(c.key)},
+                {"fragments",
+                 BenchJson::Num(static_cast<double>(run.fragments))},
+                {"pages_read",
+                 BenchJson::Num(static_cast<double>(run.pages_read))},
+                {"seeks", BenchJson::Num(static_cast<double>(run.seeks))},
+                {"simulated_seconds", BenchJson::Num(run.seconds)}});
     }
-    std::printf("clustered on %-26s [%s]\n", c.name, strip.c_str());
-    std::printf("  fragments=%llu pages_read=%llu seeks=%llu time=%s\n",
-                static_cast<unsigned long long>(run.fragments),
-                static_cast<unsigned long long>(run.pages_read),
-                static_cast<unsigned long long>(run.seeks),
-                HumanSeconds(run.seconds).c_str());
-  }
-  std::printf(
-      "\nuncorrelated/correlated runtime ratio: %.1fx  (paper: 150s/6s = "
-      "25x at Scale 20)\n",
-      uncorrelated_seconds / std::max(1e-12, correlated_seconds));
-  return 0;
+    if (pass.reporting) {
+      std::printf(
+          "\nuncorrelated/correlated runtime ratio: %.1fx  (paper: 150s/6s = "
+          "25x at Scale 20)\n",
+          uncorrelated_seconds / std::max(1e-12, correlated_seconds));
+      json.Config("runtime_ratio",
+                  uncorrelated_seconds / std::max(1e-12, correlated_seconds));
+    }
+  });
+  return h.Finish();
 }

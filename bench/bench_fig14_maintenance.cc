@@ -2,7 +2,8 @@
 // lineorder table while the system maintains a growing set of additional
 // MVs. The paper observed a 67x blow-up from 1 GB to 3 GB of MVs on a
 // machine whose 4 GB RAM held the 2 GB base table: cost explodes once the
-// dirtied working set overflows the buffer pool.
+// dirtied working set overflows the buffer pool. Runs under the benchkit
+// repetition harness; --json emits schema-v2 BENCH_fig14_maintenance.json.
 #include "bench/bench_util.h"
 #include "exec/maintenance.h"
 
@@ -10,43 +11,60 @@ using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
+  Harness h("fig14_maintenance", argc, argv);
   const double inserts = FlagDouble(argc, argv, "inserts", 500000);
+  BenchJson& json = h.json();
+  json.Config("inserts", inserts);
 
-  // Scaled geometry mirroring the paper's machine: the base table occupies
-  // half the pool, so ~2 pool-sizes of additional MVs start thrashing.
-  const uint64_t pool_pages = 64000;       // "4 GB RAM"
-  const uint64_t base_heap = 32000;        // "2 GB lineorder"
-  const uint64_t base_pk_index = 3200;
+  h.Run([&](const RunPass& pass) {
+    // Scaled geometry mirroring the paper's machine: the base table occupies
+    // half the pool, so ~2 pool-sizes of additional MVs start thrashing.
+    const uint64_t pool_pages = 64000;       // "4 GB RAM"
+    const uint64_t base_heap = 32000;        // "2 GB lineorder"
+    const uint64_t base_pk_index = 3200;
 
-  MaintenanceOptions options;
-  options.num_inserts = static_cast<uint64_t>(inserts);
-  options.buffer_pool_pages = pool_pages;
+    MaintenanceOptions options;
+    options.num_inserts = static_cast<uint64_t>(inserts);
+    options.buffer_pool_pages = pool_pages;
 
-  PrintHeader("Figure 14: cost of 500k insertions vs additional MV size",
-              {"mv_pages/pool", "elapsed[s]", "evictions", "misses"});
-  double at_half = 0.0, at_double = 0.0;
-  for (double mv_fraction : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
-    const uint64_t mv_pages =
-        static_cast<uint64_t>(mv_fraction * static_cast<double>(pool_pages));
-    std::vector<MaintainedObject> objects = {
-        MaintainedObject{base_heap, base_pk_index, true}};
-    // Additional MVs: four equal objects summing to mv_pages (the paper
-    // materializes several MVs; inserts dirty each one).
-    for (int i = 0; i < 4 && mv_pages > 0; ++i) {
-      objects.push_back(
-          MaintainedObject{mv_pages / 4, mv_pages / 40, false});
+    if (pass.reporting) {
+      PrintHeader("Figure 14: cost of 500k insertions vs additional MV size",
+                  {"mv_pages/pool", "elapsed[s]", "evictions", "misses"});
     }
-    const MaintenanceResult r = SimulateInsertions(objects, options);
-    if (mv_fraction == 0.5) at_half = r.seconds;
-    if (mv_fraction == 2.0) at_double = r.seconds;
-    PrintRow({StrFormat("%.2f", mv_fraction),
-              StrFormat("%.1f", r.seconds),
-              std::to_string(r.dirty_evictions),
-              std::to_string(r.pool_misses)});
-  }
-  std::printf(
-      "\nblow-up (2.0x pool vs 0.5x pool): %.0fx   (paper: 67x from 1 GB\n"
-      "to 3 GB of MVs on a 4 GB machine)\n",
-      at_double / std::max(1e-9, at_half));
-  return 0;
+    double at_half = 0.0, at_double = 0.0;
+    for (double mv_fraction : {0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+      const uint64_t mv_pages =
+          static_cast<uint64_t>(mv_fraction * static_cast<double>(pool_pages));
+      std::vector<MaintainedObject> objects = {
+          MaintainedObject{base_heap, base_pk_index, true}};
+      // Additional MVs: four equal objects summing to mv_pages (the paper
+      // materializes several MVs; inserts dirty each one).
+      for (int i = 0; i < 4 && mv_pages > 0; ++i) {
+        objects.push_back(
+            MaintainedObject{mv_pages / 4, mv_pages / 40, false});
+      }
+      const MaintenanceResult r = SimulateInsertions(objects, options);
+      if (mv_fraction == 0.5) at_half = r.seconds;
+      if (mv_fraction == 2.0) at_double = r.seconds;
+      if (!pass.reporting) continue;
+      PrintRow({StrFormat("%.2f", mv_fraction),
+                StrFormat("%.1f", r.seconds),
+                std::to_string(r.dirty_evictions),
+                std::to_string(r.pool_misses)});
+      json.Row({{"mv_fraction", BenchJson::Num(mv_fraction)},
+                {"simulated_seconds", BenchJson::Num(r.seconds)},
+                {"dirty_evictions",
+                 BenchJson::Num(static_cast<double>(r.dirty_evictions))},
+                {"pool_misses",
+                 BenchJson::Num(static_cast<double>(r.pool_misses))}});
+    }
+    if (pass.reporting) {
+      std::printf(
+          "\nblow-up (2.0x pool vs 0.5x pool): %.0fx   (paper: 67x from 1 GB\n"
+          "to 3 GB of MVs on a 4 GB machine)\n",
+          at_double / std::max(1e-9, at_half));
+      json.Config("blowup", at_double / std::max(1e-9, at_half));
+    }
+  });
+  return h.Finish();
 }

@@ -1,5 +1,7 @@
 // Reproduces Figure 2: MV size vs. covered queries for groups with
 // overlapping (Q1.1+Q1.2) and disjoint (Q1.2+Q3.4) target attributes.
+// Runs under the benchkit repetition harness; --json emits schema-v2
+// BENCH_fig2_mv_sizes.json.
 #include "bench/bench_util.h"
 #include "cost/correlation_cost_model.h"
 #include "mv/index_merging.h"
@@ -8,32 +10,48 @@ using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
+  Harness h("fig2_mv_sizes", argc, argv);
   const double scale = FlagDouble(argc, argv, "scale", 0.02);
-  Fixture f = MakeSsbFixture(scale, 1024);
-  const UniverseStats* stats = f.context->StatsForFact("lineorder");
-  CorrelationCostModel model(&f.context->registry());
-  ClusteredIndexDesigner designer(&f.context->registry(), &model);
+  BenchJson& json = h.json();
+  json.Config("scale", scale);
 
-  // Workload indices: Q1.1 = 0, Q1.2 = 1, Q3.4 = 9.
-  const std::vector<std::pair<std::string, QueryGroup>> groups = {
-      {"{Q1.1}", {0}},        {"{Q1.2}", {1}},       {"{Q3.4}", {9}},
-      {"{Q1.1,Q1.2}", {0, 1}}, {"{Q1.2,Q3.4}", {1, 9}},
-  };
+  h.Run([&](const RunPass& pass) {
+    Fixture f = MakeSsbFixture(scale, 1024);
+    const UniverseStats* stats = f.context->StatsForFact("lineorder");
+    CorrelationCostModel model(&f.context->registry());
+    ClusteredIndexDesigner designer(&f.context->registry(), &model);
 
-  PrintHeader("Figure 2: MV candidate sizes (overlap vs no overlap)",
-              {"group", "columns", "size", "size/fact"});
-  for (const auto& [name, group] : groups) {
-    const auto specs = designer.DesignGroup(f.workload, group, "lineorder");
-    const MvSpec& spec = specs.front();
-    const uint64_t size =
-        EstimateMvSizeBytes(spec, *stats, stats->options().disk);
-    PrintRow({name, std::to_string(spec.columns.size()),
-              HumanBytes(size),
-              StrFormat("%.2f", static_cast<double>(size) /
-                                    static_cast<double>(f.fact_heap_bytes))});
-  }
-  std::printf(
-      "\nPaper shape check: size({Q1.1,Q1.2}) is barely above the singletons\n"
-      "(targets overlap); size({Q1.2,Q3.4}) is much larger (disjoint targets).\n");
-  return 0;
+    // Workload indices: Q1.1 = 0, Q1.2 = 1, Q3.4 = 9.
+    const std::vector<std::pair<std::string, QueryGroup>> groups = {
+        {"{Q1.1}", {0}},        {"{Q1.2}", {1}},       {"{Q3.4}", {9}},
+        {"{Q1.1,Q1.2}", {0, 1}}, {"{Q1.2,Q3.4}", {1, 9}},
+    };
+
+    if (pass.reporting) {
+      PrintHeader("Figure 2: MV candidate sizes (overlap vs no overlap)",
+                  {"group", "columns", "size", "size/fact"});
+    }
+    for (const auto& [name, group] : groups) {
+      const auto specs = designer.DesignGroup(f.workload, group, "lineorder");
+      const MvSpec& spec = specs.front();
+      const uint64_t size =
+          EstimateMvSizeBytes(spec, *stats, stats->options().disk);
+      if (!pass.reporting) continue;
+      PrintRow({name, std::to_string(spec.columns.size()),
+                HumanBytes(size),
+                StrFormat("%.2f", static_cast<double>(size) /
+                                      static_cast<double>(f.fact_heap_bytes))});
+      json.Row({{"group", BenchJson::Quote(name)},
+                {"columns",
+                 BenchJson::Num(static_cast<double>(spec.columns.size()))},
+                {"size_bytes", BenchJson::Num(static_cast<double>(size))}});
+    }
+    if (pass.reporting) {
+      std::printf(
+          "\nPaper shape check: size({Q1.1,Q1.2}) is barely above the "
+          "singletons\n(targets overlap); size({Q1.2,Q3.4}) is much larger "
+          "(disjoint targets).\n");
+    }
+  });
+  return h.Finish();
 }

@@ -6,7 +6,8 @@
 //
 // The ILP column runs on the parallel solver engine, warm-started across
 // the budget grid through a WarmStartSession (the per-budget problems are
-// rebuilt, so the session maps solutions by spec signature). --json emits
+// rebuilt, so the session maps solutions by spec signature). Runs under
+// the benchkit repetition harness; --json emits schema-v2
 // BENCH_fig5_ilp_vs_greedy.json with per-budget SolverStats.
 #include "cost/correlation_cost_model.h"
 #include "bench/bench_util.h"
@@ -21,58 +22,70 @@ using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
-  WallTimer timer;
+  Harness h("fig5_ilp_vs_greedy", argc, argv);
   const double scale = FlagDouble(argc, argv, "scale", 0.02);
-  BenchJson json("fig5_ilp_vs_greedy", argc, argv);
+  BenchJson& json = h.json();
   json.Config("scale", scale);
-  Fixture f = MakeSsbFixture(scale, 1024);
-  CorrelationCostModel model(&f.context->registry());
-  CandidateGeneratorOptions gopt = BenchCoraddOptions().candidates;
-  MvCandidateGenerator generator(f.catalog.get(), &f.context->registry(),
-                                 &model, gopt);
-  CandidateSet candidates = generator.Generate(f.workload);
-  std::printf("Candidate pool: %zu MVs (SSB 13 queries, scale %.3f)\n",
-              candidates.mvs.size(), scale);
 
-  const SolverEngine engine;
-  WarmStartSession warm;
-  PrintHeader("Figure 5: optimal (ILP) versus Greedy(m,k)",
-              {"budget", "ILP[s]", "Greedy(m,k)[s]", "greedy/ilp",
-               "ilp_nodes"});
-  for (uint64_t budget : BudgetGrid(f.fact_heap_bytes)) {
-    BuiltProblem built = BuildSelectionProblem(
-        f.workload, candidates.mvs, model, f.context->registry(), budget);
-    PruneDominated(&built);
+  h.Run([&](const RunPass& pass) {
+    Fixture f = MakeSsbFixture(scale, 1024);
+    CorrelationCostModel model(&f.context->registry());
+    CandidateGeneratorOptions gopt = BenchCoraddOptions().candidates;
+    MvCandidateGenerator generator(f.catalog.get(), &f.context->registry(),
+                                   &model, gopt);
+    WallTimer gen_timer;
+    CandidateSet candidates = generator.Generate(f.workload);
+    h.Sample("candgen_seconds", gen_timer.Seconds());
+    if (pass.reporting) {
+      std::printf("Candidate pool: %zu MVs (SSB 13 queries, scale %.3f)\n",
+                  candidates.mvs.size(), scale);
+      PrintHeader("Figure 5: optimal (ILP) versus Greedy(m,k)",
+                  {"budget", "ILP[s]", "Greedy(m,k)[s]", "greedy/ilp",
+                   "ilp_nodes"});
+    }
 
-    SolverStats stats;
-    const std::vector<int> warm_chosen = warm.WarmChosen(built);
-    const SelectionResult ilp =
-        engine.Solve(built.problem, &stats,
-                     warm_chosen.empty() ? nullptr : &warm_chosen);
-    warm.Record(built, ilp);
-    const SelectionResult greedy = SolveSelectionGreedyMk(built.problem);
-    PrintRow({HumanBytes(budget), StrFormat("%.3f", ilp.expected_cost),
-              StrFormat("%.3f", greedy.expected_cost),
-              StrFormat("%.2fx", greedy.expected_cost /
-                                     std::max(1e-12, ilp.expected_cost)),
-              std::to_string(ilp.nodes_explored)});
-    json.Row({{"budget_bytes", BenchJson::Num(static_cast<double>(budget))},
-              {"ilp_seconds", BenchJson::Num(ilp.expected_cost)},
-              {"greedy_mk_seconds", BenchJson::Num(greedy.expected_cost)},
-              {"solver_nodes", BenchJson::Num(static_cast<double>(
-                                   stats.nodes_expanded))},
-              {"solver_prunes", BenchJson::Num(static_cast<double>(
-                                    stats.bound_prunes))},
-              {"solver_warm", BenchJson::Num(static_cast<double>(
-                                  stats.warm_solves))},
-              {"solver_wall_seconds", BenchJson::Num(stats.wall_seconds)},
-              {"proved_optimal",
-               stats.proved_optimal ? std::string("true")
-                                    : std::string("false")}});
-  }
-  std::printf(
-      "\nPaper shape check: greedy/ilp ~1.0 at tight budgets (exhaustive\n"
-      "phase optimal), rising to ~1.2-1.4x at mid budgets.\n");
-  json.Write(timer.Seconds());
-  return 0;
+    const SolverEngine engine;
+    WarmStartSession warm;
+    WallTimer solve_timer;
+    for (uint64_t budget : BudgetGrid(f.fact_heap_bytes)) {
+      BuiltProblem built = BuildSelectionProblem(
+          f.workload, candidates.mvs, model, f.context->registry(), budget);
+      PruneDominated(&built);
+
+      SolverStats stats;
+      const std::vector<int> warm_chosen = warm.WarmChosen(built);
+      const SelectionResult ilp =
+          engine.Solve(built.problem, &stats,
+                       warm_chosen.empty() ? nullptr : &warm_chosen);
+      warm.Record(built, ilp);
+      const SelectionResult greedy = SolveSelectionGreedyMk(built.problem);
+      if (!pass.reporting) continue;
+      PrintRow({HumanBytes(budget), StrFormat("%.3f", ilp.expected_cost),
+                StrFormat("%.3f", greedy.expected_cost),
+                StrFormat("%.2fx", greedy.expected_cost /
+                                       std::max(1e-12, ilp.expected_cost)),
+                std::to_string(ilp.nodes_explored)});
+      json.Row({{"budget_bytes", BenchJson::Num(static_cast<double>(budget))},
+                {"ilp_seconds", BenchJson::Num(ilp.expected_cost)},
+                {"greedy_mk_seconds", BenchJson::Num(greedy.expected_cost)},
+                {"solver_nodes", BenchJson::Num(static_cast<double>(
+                                     stats.nodes_expanded))},
+                {"solver_prunes", BenchJson::Num(static_cast<double>(
+                                      stats.bound_prunes))},
+                {"solver_warm", BenchJson::Num(static_cast<double>(
+                                    stats.warm_solves))},
+                {"solver_wall_seconds", BenchJson::Num(stats.wall_seconds)},
+                {"proved_optimal",
+                 stats.proved_optimal ? std::string("true")
+                                      : std::string("false")}});
+    }
+    h.Sample("solve_grid_seconds", solve_timer.Seconds());
+    if (pass.reporting) {
+      std::printf(
+          "\nPaper shape check: greedy/ilp ~1.0 at tight budgets "
+          "(exhaustive\nphase optimal), rising to ~1.2-1.4x at mid "
+          "budgets.\n");
+    }
+  });
+  return h.Finish();
 }

@@ -5,7 +5,8 @@
 // 20k candidates, plus the dense-simplex LP relaxation at smaller sizes
 // (the substitution is documented in DESIGN.md §2). The exact-size section
 // doubles as a live old-vs-new cross-check: both engines must agree on the
-// objective. --json emits BENCH_fig6_solver_runtime.json with SolverStats.
+// objective. Runs under the benchkit repetition harness; --json emits
+// schema-v2 BENCH_fig6_solver_runtime.json with SolverStats.
 #include <chrono>
 #include <cmath>
 
@@ -63,113 +64,132 @@ SelectionProblem Synthetic(size_t num_candidates, size_t num_queries,
 }  // namespace
 
 int main(int argc, char** argv) {
-  WallTimer timer;
-  const double max_thousands = FlagDouble(argc, argv, "max", 20.0);
-  BenchJson json("fig6_solver_runtime", argc, argv);
+  Harness h("fig6_solver_runtime", argc, argv);
+  const double max_thousands =
+      FlagDouble(argc, argv, "max", h.fast() ? 2.0 : 20.0);
+  BenchJson& json = h.json();
   json.Config("max_thousands", max_thousands);
 
-  // Realistic sizes first: what actually reaches the solver after
-  // domination pruning (§5.3: ~160 candidates) is solved to proven
-  // optimality in well under the paper's <1s — by both engines, which
-  // must agree on the objective (the legacy serial search stays as the
-  // reference implementation).
-  const SolverEngine engine;
-  PrintHeader("Exact solve at post-domination sizes (proven optimal)",
-              {"#cands", "engine[s]", "legacy[s]", "nodes", "match",
-               "expected[s]"});
-  for (size_t n : {100ul, 200ul, 400ul, 800ul}) {
-    const SelectionProblem p = Synthetic(n, 13, n);
-    SolverStats stats;
-    const double t0 = Now();
-    const SelectionResult r = engine.Solve(p, &stats);
-    const double engine_secs = Now() - t0;
-    const double t1 = Now();
-    const SelectionResult legacy = SolveSelectionExact(p);
-    const double legacy_secs = Now() - t1;
-    // Objective equality within the engine's optimality gap (the chosen
-    // sets may differ on equal-cost plateaus, and a gap-pruned engine
-    // solve may sit up to relative_gap above the legacy optimum; each
-    // engine is individually deterministic).
-    const double tol =
-        2.0 * engine.options().relative_gap * (1.0 + legacy.expected_cost);
-    const bool match =
-        std::abs(r.expected_cost - legacy.expected_cost) <= tol &&
-        r.proved_optimal && legacy.proved_optimal;
-    PrintRow({std::to_string(n), StrFormat("%.3f", engine_secs),
-              StrFormat("%.3f", legacy_secs),
-              std::to_string(r.nodes_explored), match ? "yes" : "NO",
-              StrFormat("%.1f", r.expected_cost)});
-    json.Row({{"section", BenchJson::Quote("exact")},
-              {"candidates", BenchJson::Num(static_cast<double>(n))},
-              {"engine_seconds", BenchJson::Num(engine_secs)},
-              {"legacy_seconds", BenchJson::Num(legacy_secs)},
-              {"solver_nodes",
-               BenchJson::Num(static_cast<double>(stats.nodes_expanded))},
-              {"solver_prunes",
-               BenchJson::Num(static_cast<double>(stats.bound_prunes))},
-              {"solver_waves",
-               BenchJson::Num(static_cast<double>(stats.waves))},
-              {"objective", BenchJson::Num(r.expected_cost)},
-              {"objectives_match",
-               match ? std::string("true") : std::string("false")}});
-  }
+  h.Run([&](const RunPass& pass) {
+    // Realistic sizes first: what actually reaches the solver after
+    // domination pruning (§5.3: ~160 candidates) is solved to proven
+    // optimality in well under the paper's <1s — by both engines, which
+    // must agree on the objective (the legacy serial search stays as the
+    // reference implementation).
+    const SolverEngine engine;
+    if (pass.reporting) {
+      PrintHeader("Exact solve at post-domination sizes (proven optimal)",
+                  {"#cands", "engine[s]", "legacy[s]", "nodes", "match",
+                   "expected[s]"});
+    }
+    for (size_t n : {100ul, 200ul, 400ul, 800ul}) {
+      const SelectionProblem p = Synthetic(n, 13, n);
+      SolverStats stats;
+      const double t0 = Now();
+      const SelectionResult r = engine.Solve(p, &stats);
+      const double engine_secs = Now() - t0;
+      const double t1 = Now();
+      const SelectionResult legacy = SolveSelectionExact(p);
+      const double legacy_secs = Now() - t1;
+      if (n == 800ul) {
+        h.Sample("exact800_engine_seconds", engine_secs);
+        h.Sample("exact800_legacy_seconds", legacy_secs);
+      }
+      // Objective equality within the engine's optimality gap (the chosen
+      // sets may differ on equal-cost plateaus, and a gap-pruned engine
+      // solve may sit up to relative_gap above the legacy optimum; each
+      // engine is individually deterministic).
+      const double tol =
+          2.0 * engine.options().relative_gap * (1.0 + legacy.expected_cost);
+      const bool match =
+          std::abs(r.expected_cost - legacy.expected_cost) <= tol &&
+          r.proved_optimal && legacy.proved_optimal;
+      if (!pass.reporting) continue;
+      PrintRow({std::to_string(n), StrFormat("%.3f", engine_secs),
+                StrFormat("%.3f", legacy_secs),
+                std::to_string(r.nodes_explored), match ? "yes" : "NO",
+                StrFormat("%.1f", r.expected_cost)});
+      json.Row({{"section", BenchJson::Quote("exact")},
+                {"candidates", BenchJson::Num(static_cast<double>(n))},
+                {"engine_seconds", BenchJson::Num(engine_secs)},
+                {"legacy_seconds", BenchJson::Num(legacy_secs)},
+                {"solver_nodes",
+                 BenchJson::Num(static_cast<double>(stats.nodes_expanded))},
+                {"solver_prunes",
+                 BenchJson::Num(static_cast<double>(stats.bound_prunes))},
+                {"solver_waves",
+                 BenchJson::Num(static_cast<double>(stats.waves))},
+                {"objective", BenchJson::Num(r.expected_cost)},
+                {"objectives_match",
+                 match ? std::string("true") : std::string("false")}});
+    }
 
-  // Stress scale (the paper's 0-20k sweep): time-capped search; quality is
-  // reported against the density-greedy heuristic (the incumbent is always
-  // at least as good; "optimal=yes" means proven).
-  PrintHeader("Figure 6: solver runtime vs #MV candidates (20s cap)",
-              {"#cands", "engine[s]", "optimal", "engine_cost",
-               "greedy_cost"});
-  for (size_t n : {1000ul, 2000ul, 5000ul, 10000ul, 15000ul, 20000ul}) {
-    if (n > static_cast<size_t>(max_thousands * 1000)) break;
-    const SelectionProblem p = Synthetic(n, 13, n);
-    SolverOptions options;
-    options.time_limit_seconds = 20.0;
-    const SolverEngine capped(options);
-    SolverStats stats;
-    const double t0 = Now();
-    const SelectionResult r = capped.Solve(p, &stats);
-    const double secs = Now() - t0;
-    const SelectionResult greedy = SolveSelectionGreedyDensity(p);
-    PrintRow({std::to_string(n), StrFormat("%.3f", secs),
-              r.proved_optimal ? "yes" : "no",
-              StrFormat("%.1f", r.expected_cost),
-              StrFormat("%.1f", greedy.expected_cost)});
-    json.Row({{"section", BenchJson::Quote("stress")},
-              {"candidates", BenchJson::Num(static_cast<double>(n))},
-              {"engine_seconds", BenchJson::Num(secs)},
-              {"solver_nodes",
-               BenchJson::Num(static_cast<double>(stats.nodes_expanded))},
-              {"proved_optimal", r.proved_optimal ? std::string("true")
-                                                  : std::string("false")},
-              {"engine_cost", BenchJson::Num(r.expected_cost)},
-              {"greedy_cost", BenchJson::Num(greedy.expected_cost)}});
-  }
+    // Stress scale (the paper's 0-20k sweep): time-capped search; quality
+    // is reported against the density-greedy heuristic (the incumbent is
+    // always at least as good; "optimal=yes" means proven).
+    if (pass.reporting) {
+      PrintHeader("Figure 6: solver runtime vs #MV candidates (20s cap)",
+                  {"#cands", "engine[s]", "optimal", "engine_cost",
+                   "greedy_cost"});
+    }
+    for (size_t n : {1000ul, 2000ul, 5000ul, 10000ul, 15000ul, 20000ul}) {
+      if (n > static_cast<size_t>(max_thousands * 1000)) break;
+      const SelectionProblem p = Synthetic(n, 13, n);
+      SolverOptions options;
+      options.time_limit_seconds = h.fast() ? 2.0 : 20.0;
+      const SolverEngine capped(options);
+      SolverStats stats;
+      const double t0 = Now();
+      const SelectionResult r = capped.Solve(p, &stats);
+      const double secs = Now() - t0;
+      const SelectionResult greedy = SolveSelectionGreedyDensity(p);
+      if (!pass.reporting) continue;
+      PrintRow({std::to_string(n), StrFormat("%.3f", secs),
+                r.proved_optimal ? "yes" : "no",
+                StrFormat("%.1f", r.expected_cost),
+                StrFormat("%.1f", greedy.expected_cost)});
+      json.Row({{"section", BenchJson::Quote("stress")},
+                {"candidates", BenchJson::Num(static_cast<double>(n))},
+                {"engine_seconds", BenchJson::Num(secs)},
+                {"solver_nodes",
+                 BenchJson::Num(static_cast<double>(stats.nodes_expanded))},
+                {"proved_optimal", r.proved_optimal ? std::string("true")
+                                                    : std::string("false")},
+                {"engine_cost", BenchJson::Num(r.expected_cost)},
+                {"greedy_cost", BenchJson::Num(greedy.expected_cost)}});
+    }
 
-  PrintHeader("LP relaxation (dense two-phase simplex) runtime",
-              {"#cands", "lp[s]", "iters", "objective"});
-  for (size_t n : {50ul, 100ul, 200ul, 400ul}) {
-    const SelectionProblem p = Synthetic(n, 13, n + 7);
-    const PaperIlpFormulation form = BuildPaperIlp(p);
-    const double t0 = Now();
-    const LpSolution s = SolvePaperLpRelaxation(form);
-    const double secs = Now() - t0;
-    PrintRow({std::to_string(n), StrFormat("%.3f", secs),
-              std::to_string(s.iterations),
-              s.status == LpStatus::kOptimal ? StrFormat("%.1f", s.objective)
-                                             : std::string("n/a")});
-    json.Row({{"section", BenchJson::Quote("lp")},
-              {"candidates", BenchJson::Num(static_cast<double>(n))},
-              {"lp_seconds", BenchJson::Num(secs)},
-              {"lp_iterations",
-               BenchJson::Num(static_cast<double>(s.iterations))}});
-  }
-  std::printf(
-      "\nPaper shape check: proven-optimal in <<1s at the ~160-candidate\n"
-      "sizes domination pruning leaves on real workloads (§5.3); at the\n"
-      "synthetic 0-20k stress sweep, runtime grows with candidate count and\n"
-      "the capped search still returns solutions no worse than greedy\n"
-      "(the paper's CPLEX needed minutes at 20k).\n");
-  json.Write(timer.Seconds());
-  return 0;
+    if (pass.reporting) {
+      PrintHeader("LP relaxation (dense two-phase simplex) runtime",
+                  {"#cands", "lp[s]", "iters", "objective"});
+    }
+    for (size_t n : {50ul, 100ul, 200ul, 400ul}) {
+      const SelectionProblem p = Synthetic(n, 13, n + 7);
+      const PaperIlpFormulation form = BuildPaperIlp(p);
+      const double t0 = Now();
+      const LpSolution s = SolvePaperLpRelaxation(form);
+      const double secs = Now() - t0;
+      if (n == 400ul) h.Sample("lp400_seconds", secs);
+      if (!pass.reporting) continue;
+      PrintRow({std::to_string(n), StrFormat("%.3f", secs),
+                std::to_string(s.iterations),
+                s.status == LpStatus::kOptimal
+                    ? StrFormat("%.1f", s.objective)
+                    : std::string("n/a")});
+      json.Row({{"section", BenchJson::Quote("lp")},
+                {"candidates", BenchJson::Num(static_cast<double>(n))},
+                {"lp_seconds", BenchJson::Num(secs)},
+                {"lp_iterations",
+                 BenchJson::Num(static_cast<double>(s.iterations))}});
+    }
+    if (pass.reporting) {
+      std::printf(
+          "\nPaper shape check: proven-optimal in <<1s at the "
+          "~160-candidate\nsizes domination pruning leaves on real workloads "
+          "(§5.3); at the\nsynthetic 0-20k stress sweep, runtime grows with "
+          "candidate count and\nthe capped search still returns solutions no "
+          "worse than greedy\n(the paper's CPLEX needed minutes at 20k).\n");
+    }
+  });
+  return h.Finish();
 }

@@ -1,10 +1,19 @@
-// Microbenchmarks (google-benchmark) for the substrate hot paths: B+Tree
-// range lookups, secondary-index lookups, CM lookups, fragment coalescing,
-// AE estimation, k-means, and the simplex solver. These guard the designer
-// runtime budget (§7.2 reports CORADD at 7.5h on paper hardware; our
-// reproduction must stay interactive).
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the substrate hot paths: B+Tree range lookups,
+// secondary-index lookups, fragment coalescing, AE estimation, k-means,
+// and the simplex solver. These guard the designer runtime budget (§7.2
+// reports CORADD at 7.5h on paper hardware; our reproduction must stay
+// interactive).
+//
+// Runs on benchkit::MeasureThroughput (batch-doubling calibration, then
+// warmup + N timed batches; samples are seconds per iteration), replacing
+// the earlier google-benchmark binary so the micro numbers flow through
+// the same schema-v2 BENCH_micro.json / bench_compare pipeline as every
+// other bench. `--fast` drops the large-table sizes for smoke/CI runs.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "ilp/lp.h"
 #include "mv/kmeans.h"
@@ -13,7 +22,9 @@
 #include "storage/layout.h"
 #include "storage/secondary_index.h"
 
-namespace coradd {
+using namespace coradd;
+using namespace coradd::bench;
+
 namespace {
 
 std::unique_ptr<ClusteredTable> MakeTable(size_t rows) {
@@ -32,89 +43,111 @@ std::unique_ptr<ClusteredTable> MakeTable(size_t rows) {
                                           std::vector<int>{0, 1}, 8192);
 }
 
-void BM_ClusteredEqualRange(benchmark::State& state) {
-  auto ct = MakeTable(static_cast<size_t>(state.range(0)));
-  Rng rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        ct->EqualRange({static_cast<int64_t>(rng.Uniform(1000))}));
-  }
+/// Keeps the optimizer from discarding a computed result (the moral
+/// equivalent of benchmark::DoNotOptimize).
+template <typename T>
+inline void Consume(T&& value) {
+  asm volatile("" : : "g"(&value) : "memory");
 }
-BENCHMARK(BM_ClusteredEqualRange)->Arg(100000)->Arg(1000000);
 
-void BM_SecondaryLookupRange(benchmark::State& state) {
-  auto ct = MakeTable(static_cast<size_t>(state.range(0)));
-  SecondaryBTreeIndex idx(ct.get(), 2);
-  Rng rng(3);
-  for (auto _ : state) {
-    const int64_t lo = static_cast<int64_t>(rng.Uniform(1 << 20));
-    benchmark::DoNotOptimize(idx.LookupRange(lo, lo + 1000));
-  }
+std::string HumanPerIter(double seconds) {
+  if (seconds < 1e-6) return StrFormat("%.1f ns", seconds * 1e9);
+  if (seconds < 1e-3) return StrFormat("%.2f us", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.2f ms", seconds * 1e3);
+  return StrFormat("%.3f s", seconds);
 }
-BENCHMARK(BM_SecondaryLookupRange)->Arg(100000)->Arg(1000000);
 
-void BM_CoalescePages(benchmark::State& state) {
-  Rng rng(4);
-  std::vector<uint64_t> pages;
-  for (int i = 0; i < state.range(0); ++i) pages.push_back(rng.Uniform(100000));
-  std::sort(pages.begin(), pages.end());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(CoalescePages(pages, 4));
-  }
+/// Measures one micro case and records it as a metric named `name` in the
+/// shared BENCH_micro.json.
+template <typename Fn>
+void RunCase(Harness& h, const std::string& name, Fn&& op) {
+  ThroughputOptions opts;
+  opts.warmup = std::max(1, h.warmup());
+  opts.repetitions = h.repetitions();
+  const ThroughputResult r = MeasureThroughput(opts, op);
+  const SampleStats s = Summarize(r.samples);
+  PrintRow({name, HumanPerIter(s.mean),
+            "±" + HumanPerIter(s.ci95_half),
+            StrFormat("%.1f%%", 100.0 * s.rsd()),
+            std::to_string(r.iterations)});
+  h.json().MetricSamples(name, "s", r.samples, r.warmup_samples);
 }
-BENCHMARK(BM_CoalescePages)->Arg(1000)->Arg(100000);
-
-void BM_AeEstimate(benchmark::State& state) {
-  Rng rng(5);
-  std::vector<int64_t> sample;
-  for (int i = 0; i < state.range(0); ++i) {
-    sample.push_back(static_cast<int64_t>(rng.Uniform(5000)));
-  }
-  std::sort(sample.begin(), sample.end());
-  for (auto _ : state) {
-    const auto profile =
-        SampleFrequencyProfile::FromSortedValues(sample, 10000000);
-    benchmark::DoNotOptimize(EstimateDistinctAe(profile));
-  }
-}
-BENCHMARK(BM_AeEstimate)->Arg(1024)->Arg(8192);
-
-void BM_KMeans(benchmark::State& state) {
-  Rng gen(6);
-  std::vector<std::vector<double>> points;
-  for (int i = 0; i < 52; ++i) {
-    std::vector<double> p(static_cast<size_t>(state.range(0)));
-    for (auto& x : p) x = gen.UniformDouble();
-    points.push_back(std::move(p));
-  }
-  Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(KMeans(points, 8, &rng));
-  }
-}
-BENCHMARK(BM_KMeans)->Arg(40)->Arg(80);
-
-void BM_SimplexSmall(benchmark::State& state) {
-  Rng rng(8);
-  LinearProgram lp;
-  const int n = static_cast<int>(state.range(0));
-  lp.num_vars = n;
-  for (int j = 0; j < n; ++j) {
-    lp.objective.push_back(-1.0 - static_cast<double>(rng.Uniform(10)));
-  }
-  for (int i = 0; i < n / 2; ++i) {
-    std::vector<double> row(static_cast<size_t>(n));
-    for (auto& v : row) v = static_cast<double>(rng.Uniform(4));
-    lp.AddRow(std::move(row), 40.0 + static_cast<double>(rng.Uniform(40)));
-  }
-  lp.upper_bounds.assign(static_cast<size_t>(n), 5.0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SolveLp(lp));
-  }
-}
-BENCHMARK(BM_SimplexSmall)->Arg(30)->Arg(100);
 
 }  // namespace
-}  // namespace coradd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Harness h("micro", argc, argv);
+  const size_t big_rows = h.fast() ? 100000 : 1000000;
+
+  PrintHeader("substrate microbenchmarks (per-iteration, 95% CI)",
+              {"case", "mean", "ci95", "rsd", "iters/batch"});
+
+  // Table sizes: 100k always; the 1M variants only outside --fast (the
+  // table build itself dominates smoke runtime).
+  std::vector<size_t> table_rows = {100000};
+  if (!h.fast()) table_rows.push_back(big_rows);
+  for (const size_t rows : table_rows) {
+    auto ct = MakeTable(rows);
+    Rng rng(2);
+    RunCase(h, StrFormat("clustered_equal_range_%zuk", rows / 1000), [&] {
+      Consume(ct->EqualRange({static_cast<int64_t>(rng.Uniform(1000))}));
+    });
+    SecondaryBTreeIndex idx(ct.get(), 2);
+    Rng rng2(3);
+    RunCase(h, StrFormat("secondary_lookup_range_%zuk", rows / 1000), [&] {
+      const int64_t lo = static_cast<int64_t>(rng2.Uniform(1 << 20));
+      Consume(idx.LookupRange(lo, lo + 1000));
+    });
+  }
+  for (const size_t n : {size_t{1000}, size_t{100000}}) {
+    Rng rng(4);
+    std::vector<uint64_t> pages;
+    for (size_t i = 0; i < n; ++i) pages.push_back(rng.Uniform(100000));
+    std::sort(pages.begin(), pages.end());
+    RunCase(h, StrFormat("coalesce_pages_%zu", n),
+            [&] { Consume(CoalescePages(pages, 4)); });
+  }
+  for (const size_t n : {size_t{1024}, size_t{8192}}) {
+    Rng rng(5);
+    std::vector<int64_t> sample;
+    for (size_t i = 0; i < n; ++i) {
+      sample.push_back(static_cast<int64_t>(rng.Uniform(5000)));
+    }
+    std::sort(sample.begin(), sample.end());
+    RunCase(h, StrFormat("ae_estimate_%zu", n), [&] {
+      const auto profile =
+          SampleFrequencyProfile::FromSortedValues(sample, 10000000);
+      Consume(EstimateDistinctAe(profile));
+    });
+  }
+  for (const size_t dims : {size_t{40}, size_t{80}}) {
+    Rng gen(6);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 52; ++i) {
+      std::vector<double> p(dims);
+      for (auto& x : p) x = gen.UniformDouble();
+      points.push_back(std::move(p));
+    }
+    Rng rng(7);
+    RunCase(h, StrFormat("kmeans_52x%zu", dims),
+            [&] { Consume(KMeans(points, 8, &rng)); });
+  }
+  for (const int n : {30, 100}) {
+    Rng rng(8);
+    LinearProgram lp;
+    lp.num_vars = n;
+    for (int j = 0; j < n; ++j) {
+      lp.objective.push_back(-1.0 - static_cast<double>(rng.Uniform(10)));
+    }
+    for (int i = 0; i < n / 2; ++i) {
+      std::vector<double> row(static_cast<size_t>(n));
+      for (auto& v : row) v = static_cast<double>(rng.Uniform(4));
+      lp.AddRow(std::move(row), 40.0 + static_cast<double>(rng.Uniform(40)));
+    }
+    lp.upper_bounds.assign(static_cast<size_t>(n), 5.0);
+    RunCase(h, StrFormat("simplex_small_%d", n),
+            [&] { Consume(SolveLp(lp)); });
+  }
+
+  return h.Finish();
+}

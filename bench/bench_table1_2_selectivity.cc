@@ -1,6 +1,8 @@
 // Reproduces Tables 1 and 2: selectivity vectors of SSB Q1.1-Q1.3 before
 // and after Selectivity Propagation, plus the correlation strengths the
-// propagation uses. Run: bench_table1_2_selectivity [--scale=0.02]
+// propagation uses. Runs under the benchkit repetition harness; --json
+// emits schema-v2 BENCH_table1_2_selectivity.json.
+// Run: bench_table1_2_selectivity [--scale=0.02]
 #include "bench/bench_util.h"
 #include "mv/selectivity_vector.h"
 
@@ -8,54 +10,69 @@ using namespace coradd;
 using namespace coradd::bench;
 
 int main(int argc, char** argv) {
+  Harness h("table1_2_selectivity", argc, argv);
   const double scale = FlagDouble(argc, argv, "scale", 0.02);
-  Fixture f = MakeSsbFixture(scale, 1024);
-  const UniverseStats* stats = f.context->StatsForFact("lineorder");
-  const Universe& u = stats->universe();
+  BenchJson& json = h.json();
+  json.Config("scale", scale);
 
-  const std::vector<std::string> attrs = {"d_year", "d_yearmonthnum",
-                                          "d_weeknuminyear", "lo_discount",
-                                          "lo_quantity"};
-  SelectivityVectorBuilder builder(stats);
+  h.Run([&](const RunPass& pass) {
+    Fixture f = MakeSsbFixture(scale, 1024);
+    const UniverseStats* stats = f.context->StatsForFact("lineorder");
+    const Universe& u = stats->universe();
 
-  PrintHeader("Table 1: selectivity vectors of SSB (before propagation)",
-              {"query", "year", "yearmonth", "weeknum", "discount", "qty"});
-  for (int qi = 0; qi < 3; ++qi) {
-    const Query& q = f.workload.queries[static_cast<size_t>(qi)];
-    const auto v = builder.Raw(q);
-    std::vector<std::string> row = {q.id};
-    for (const auto& a : attrs) {
-      row.push_back(StrFormat("%.4f", v[static_cast<size_t>(u.ColumnIndex(a))]));
+    const std::vector<std::string> attrs = {"d_year", "d_yearmonthnum",
+                                            "d_weeknuminyear", "lo_discount",
+                                            "lo_quantity"};
+    SelectivityVectorBuilder builder(stats);
+
+    auto emit = [&](const char* table, bool propagated) {
+      if (pass.reporting) {
+        PrintHeader(table, {"query", "year", "yearmonth", "weeknum",
+                            "discount", "qty"});
+      }
+      for (int qi = 0; qi < 3; ++qi) {
+        const Query& q = f.workload.queries[static_cast<size_t>(qi)];
+        const auto v = propagated ? builder.Propagated(q) : builder.Raw(q);
+        if (!pass.reporting) continue;
+        std::vector<std::string> row = {q.id};
+        std::vector<std::pair<std::string, std::string>> fields = {
+            {"table", BenchJson::Quote(propagated ? "after" : "before")},
+            {"query", BenchJson::Quote(q.id)}};
+        for (const auto& a : attrs) {
+          const double sel = v[static_cast<size_t>(u.ColumnIndex(a))];
+          row.push_back(StrFormat("%.4f", sel));
+          fields.emplace_back(a, BenchJson::Num(sel));
+        }
+        PrintRow(row);
+        json.Row(std::move(fields));
+      }
+    };
+
+    emit("Table 1: selectivity vectors of SSB (before propagation)", false);
+
+    const CorrelationCatalog& corr = stats->correlations();
+    const int year = u.ColumnIndex("d_year");
+    const int ymn = u.ColumnIndex("d_yearmonthnum");
+    const int week = u.ColumnIndex("d_weeknuminyear");
+    if (pass.reporting) {
+      std::printf("\nStrength(yearmonth -> year)          = %.3f\n",
+                  corr.Strength(ymn, year));
+      std::printf("Strength(year -> yearmonth)          = %.3f\n",
+                  corr.Strength(year, ymn));
+      std::printf("Strength(weeknum -> yearmonth)       = %.3f\n",
+                  corr.Strength(week, ymn));
+      std::printf("Strength(yearmonth -> year,weeknum)  = %.3f\n",
+                  corr.Strength(std::vector<int>{ymn},
+                                std::vector<int>{year, week}));
     }
-    PrintRow(row);
-  }
 
-  const CorrelationCatalog& corr = stats->correlations();
-  const int year = u.ColumnIndex("d_year");
-  const int ymn = u.ColumnIndex("d_yearmonthnum");
-  const int week = u.ColumnIndex("d_weeknuminyear");
-  std::printf("\nStrength(yearmonth -> year)          = %.3f\n",
-              corr.Strength(ymn, year));
-  std::printf("Strength(year -> yearmonth)          = %.3f\n",
-              corr.Strength(year, ymn));
-  std::printf("Strength(weeknum -> yearmonth)       = %.3f\n",
-              corr.Strength(week, ymn));
-  std::printf("Strength(yearmonth -> year,weeknum)  = %.3f\n",
-              corr.Strength(std::vector<int>{ymn}, std::vector<int>{year, week}));
-
-  PrintHeader("Table 2: selectivity vectors after propagation",
-              {"query", "year", "yearmonth", "weeknum", "discount", "qty"});
-  for (int qi = 0; qi < 3; ++qi) {
-    const Query& q = f.workload.queries[static_cast<size_t>(qi)];
-    const auto v = builder.Propagated(q);
-    std::vector<std::string> row = {q.id};
-    for (const auto& a : attrs) {
-      row.push_back(StrFormat("%.4f", v[static_cast<size_t>(u.ColumnIndex(a))]));
+    emit("Table 2: selectivity vectors after propagation", true);
+    if (pass.reporting) {
+      std::printf(
+          "\nPaper shape check: after propagation Q1.2's `year` and Q1.3's\n"
+          "`yearmonth` drop from 1.0 to ~the determining attribute's "
+          "level.\n");
     }
-    PrintRow(row);
-  }
-  std::printf(
-      "\nPaper shape check: after propagation Q1.2's `year` and Q1.3's\n"
-      "`yearmonth` drop from 1.0 to ~the determining attribute's level.\n");
-  return 0;
+  });
+  return h.Finish();
 }

@@ -1,5 +1,9 @@
-// Shared infrastructure for the paper-reproduction bench binaries: flag
-// parsing, scaled SSB/APB fixtures, budget grids, and aligned table output.
+// Shared infrastructure for the paper-reproduction bench binaries: scaled
+// SSB/APB fixtures, budget grids, aligned table output, and re-exports of
+// the statistics-grade harness in src/benchkit/ (flags, repetition
+// measurement, schema-v2 BENCH_*.json emission). Every bench runs its body
+// through benchkit::Harness — warmup + N repetitions with per-repetition
+// wall samples, summary statistics and 95% CIs; see docs/BENCHMARKING.md.
 //
 // Scale note: the paper ran SSB Scale 4 / APB 45M rows on a physical disk.
 // The harness defaults to smaller row counts with proportionally smaller
@@ -8,16 +12,16 @@
 // --scale / --pages to change.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "apb/apb.h"
+#include "benchkit/bench_json.h"
+#include "benchkit/flags.h"
+#include "benchkit/harness.h"
 #include "common/string_util.h"
 #include "core/baseline_designers.h"
 #include "core/coradd_designer.h"
@@ -27,47 +31,20 @@
 namespace coradd {
 namespace bench {
 
-/// Minimal --key=value flag access.
-inline std::string FlagValue(int argc, char** argv, const std::string& key,
-                             const std::string& default_value) {
-  const std::string prefix = "--" + key + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i] + prefix.size());
-    }
-  }
-  return default_value;
-}
-
-inline double FlagDouble(int argc, char** argv, const std::string& key,
-                         double default_value) {
-  const std::string v = FlagValue(argc, argv, key, "");
-  return v.empty() ? default_value : std::atof(v.c_str());
-}
-
-/// True when `--key` or `--key=<truthy>` was passed.
-inline bool FlagBool(int argc, char** argv, const std::string& key) {
-  const std::string bare = "--" + key;
-  for (int i = 1; i < argc; ++i) {
-    if (bare == argv[i]) return true;
-  }
-  const std::string v = FlagValue(argc, argv, key, "");
-  return !(v.empty() || v == "0" || v == "false");
-}
-
-/// Wall-clock stopwatch for bench reporting.
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-  double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+// Harness surface (implemented in src/benchkit/, shared with unit tests).
+using benchkit::BenchJson;
+using benchkit::FlagBool;
+using benchkit::FlagDouble;
+using benchkit::FlagInt;
+using benchkit::FlagValue;
+using benchkit::Harness;
+using benchkit::MeasureThroughput;
+using benchkit::RunPass;
+using benchkit::SampleStats;
+using benchkit::Summarize;
+using benchkit::ThroughputOptions;
+using benchkit::ThroughputResult;
+using benchkit::WallTimer;
 
 /// A ready-to-use experiment fixture.
 struct Fixture {
@@ -160,70 +137,6 @@ inline CoraddOptions BenchCoraddOptions() {
   options.solver.time_limit_seconds = 20.0;
   return options;
 }
-
-/// Machine-readable bench output: when the bench was invoked with --json,
-/// Write() emits BENCH_<name>.json — bench name, config key/values,
-/// wall-time, and one record per result row (simulated seconds etc.) — the
-/// repo's perf-trajectory record (CI uploads these as artifacts).
-class BenchJson {
- public:
-  BenchJson(std::string name, int argc, char** argv)
-      : name_(std::move(name)), enabled_(FlagBool(argc, argv, "json")) {}
-
-  bool enabled() const { return enabled_; }
-
-  void Config(const std::string& key, const std::string& value) {
-    config_.emplace_back(key, Quote(value));
-  }
-  void Config(const std::string& key, double value) {
-    config_.emplace_back(key, StrFormat("%.6g", value));
-  }
-
-  /// One result record of (key, already-JSON-encoded value) pairs.
-  void Row(std::vector<std::pair<std::string, std::string>> fields) {
-    rows_.push_back(std::move(fields));
-  }
-
-  static std::string Quote(const std::string& s) { return "\"" + s + "\""; }
-  static std::string Num(double v) { return StrFormat("%.9g", v); }
-
-  /// Writes BENCH_<name>.json to the working directory (no-op without
-  /// --json). `wall_seconds` is the bench's total wall-clock time.
-  void Write(double wall_seconds) const {
-    if (!enabled_) return;
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      return;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_seconds\": %.3f,\n",
-                 name_.c_str(), wall_seconds);
-    std::fprintf(f, "  \"config\": {");
-    for (size_t i = 0; i < config_.size(); ++i) {
-      std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
-                   config_[i].first.c_str(), config_[i].second.c_str());
-    }
-    std::fprintf(f, "},\n  \"rows\": [\n");
-    for (size_t r = 0; r < rows_.size(); ++r) {
-      std::fprintf(f, "    {");
-      for (size_t i = 0; i < rows_[r].size(); ++i) {
-        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
-                     rows_[r][i].first.c_str(), rows_[r][i].second.c_str());
-      }
-      std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
-  }
-
- private:
-  std::string name_;
-  bool enabled_;
-  std::vector<std::pair<std::string, std::string>> config_;
-  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
-};
 
 /// Prints and records the candidate-generation segment (wall seconds,
 /// trials priced/pruned, generation-cache hits) in a bench's --json output:

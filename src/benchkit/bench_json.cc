@@ -1,0 +1,185 @@
+#include "benchkit/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
+
+#include "benchkit/flags.h"
+#include "benchkit/json_util.h"
+#include "common/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+namespace coradd {
+namespace benchkit {
+
+EnvInfo CaptureEnv() {
+  EnvInfo env;
+#if defined(__VERSION__)
+#if defined(__clang__)
+  env.compiler = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  env.compiler = std::string("gcc ") + __VERSION__;
+#else
+  env.compiler = __VERSION__;
+#endif
+#else
+  env.compiler = "unknown";
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct utsname u;
+  if (uname(&u) == 0) {
+    env.os = std::string(u.sysname) + " " + u.release + " " + u.machine;
+  }
+#endif
+  if (env.os.empty()) env.os = "unknown";
+  env.hardware_threads = std::thread::hardware_concurrency();
+  const char* threads = std::getenv("CORADD_THREADS");
+  env.coradd_threads = threads != nullptr ? threads : "";
+  env.timestamp_unix = static_cast<long long>(std::time(nullptr));
+  return env;
+}
+
+BenchJson::BenchJson(std::string name, int argc, char** argv)
+    : name_(std::move(name)), enabled_(FlagBool(argc, argv, "json")) {}
+
+BenchJson::BenchJson(std::string name, bool enabled)
+    : name_(std::move(name)), enabled_(enabled) {}
+
+void BenchJson::Config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, JsonQuote(value));
+}
+
+void BenchJson::Config(const std::string& key, double value) {
+  config_.emplace_back(key, JsonNum(value, 6));
+}
+
+void BenchJson::Row(
+    std::vector<std::pair<std::string, std::string>> fields) {
+  rows_.push_back(std::move(fields));
+}
+
+void BenchJson::MetricSamples(const std::string& name, const std::string& unit,
+                              std::vector<double> samples,
+                              std::vector<double> warmup_samples) {
+  for (Metric& m : metrics_) {
+    if (m.name == name) {
+      m.unit = unit;
+      m.samples = std::move(samples);
+      m.warmup_samples = std::move(warmup_samples);
+      return;
+    }
+  }
+  metrics_.push_back(
+      Metric{name, unit, std::move(samples), std::move(warmup_samples)});
+}
+
+void BenchJson::SetRepetitions(int repetitions, int warmup) {
+  repetitions_ = repetitions;
+  warmup_ = warmup;
+}
+
+std::string BenchJson::Quote(const std::string& s) { return JsonQuote(s); }
+
+std::string BenchJson::Num(double v) { return JsonNum(v, 9); }
+
+namespace {
+
+void WriteSampleArray(std::FILE* f, const char* key,
+                      const std::vector<double>& samples) {
+  std::fprintf(f, "\"%s\": [", key);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::fprintf(f, "%s%s", i == 0 ? "" : ", ", JsonNum(samples[i], 9).c_str());
+  }
+  std::fprintf(f, "]");
+}
+
+}  // namespace
+
+void BenchJson::Write(double total_wall_seconds) const {
+  if (!enabled_) return;
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+
+  // v1-comparable headline: the mean measured wall time when repetitions
+  // were recorded, the raw invocation wall otherwise.
+  double wall_seconds = total_wall_seconds;
+  for (const Metric& m : metrics_) {
+    if (m.name == "wall_seconds" && !m.samples.empty()) {
+      wall_seconds = Summarize(m.samples).mean;
+      break;
+    }
+  }
+
+  std::fprintf(f, "{\n  \"schema_version\": 2,\n  \"bench\": %s,\n",
+               JsonQuote(name_).c_str());
+  std::fprintf(f, "  \"wall_seconds\": %s,\n",
+               JsonNum(wall_seconds, 9).c_str());
+  std::fprintf(f, "  \"total_wall_seconds\": %s,\n",
+               JsonNum(total_wall_seconds, 9).c_str());
+
+  const EnvInfo env = CaptureEnv();
+  std::fprintf(f, "  \"env\": {\"compiler\": %s, \"os\": %s, ",
+               JsonQuote(env.compiler).c_str(), JsonQuote(env.os).c_str());
+  std::fprintf(f, "\"hardware_threads\": %u, \"coradd_threads\": %s, ",
+               env.hardware_threads, JsonQuote(env.coradd_threads).c_str());
+  std::fprintf(f, "\"timestamp_unix\": %lld, ", env.timestamp_unix);
+  std::fprintf(f, "\"repetitions\": %d, \"warmup\": %d},\n", repetitions_,
+               warmup_);
+
+  std::fprintf(f, "  \"config\": {");
+  for (size_t i = 0; i < config_.size(); ++i) {
+    std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                 JsonQuote(config_[i].first).c_str(),
+                 config_[i].second.c_str());
+  }
+  std::fprintf(f, "},\n");
+
+  std::fprintf(f, "  \"metrics\": [\n");
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = metrics_[i];
+    const SampleStats s = Summarize(m.samples);
+    std::fprintf(f, "    {\"name\": %s, \"unit\": %s,\n     ",
+                 JsonQuote(m.name).c_str(), JsonQuote(m.unit).c_str());
+    WriteSampleArray(f, "samples", m.samples);
+    std::fprintf(f, ",\n     ");
+    WriteSampleArray(f, "warmup_samples", m.warmup_samples);
+    std::fprintf(f, ",\n");
+    std::fprintf(
+        f,
+        "     \"mean\": %s, \"median\": %s, \"stddev\": %s, \"mad\": %s,\n",
+        JsonNum(s.mean, 9).c_str(), JsonNum(s.median, 9).c_str(),
+        JsonNum(s.stddev, 9).c_str(), JsonNum(s.mad, 9).c_str());
+    std::fprintf(
+        f,
+        "     \"ci95_lo\": %s, \"ci95_hi\": %s, \"min\": %s, \"max\": %s, "
+        "\"outliers\": %zu}%s\n",
+        JsonNum(s.ci95_lo(), 9).c_str(), JsonNum(s.ci95_hi(), 9).c_str(),
+        JsonNum(s.min, 9).c_str(), JsonNum(s.max, 9).c_str(), s.outliers,
+        i + 1 == metrics_.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"rows\": [\n");
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::fprintf(f, "    {");
+    for (size_t i = 0; i < rows_[r].size(); ++i) {
+      std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                   JsonQuote(rows_[r][i].first).c_str(),
+                   rows_[r][i].second.c_str());
+    }
+    std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows, %zu metrics)\n", path.c_str(),
+              rows_.size(), metrics_.size());
+}
+
+}  // namespace benchkit
+}  // namespace coradd

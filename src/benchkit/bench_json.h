@@ -1,0 +1,103 @@
+// BENCH_<name>.json writer — schema v2. Compared to the single-shot v1
+// emitted by earlier revisions (bench / wall_seconds / config / rows), v2
+// adds per-repetition samples with summary statistics for every metric,
+// environment metadata, and locale/escaping-safe emission:
+//
+//   {
+//     "schema_version": 2,
+//     "bench": "<name>",
+//     "wall_seconds": <mean measured wall, v1-comparable>,
+//     "total_wall_seconds": <whole invocation including warmup+reporting>,
+//     "env": {"compiler": ..., "os": ..., "hardware_threads": ...,
+//             "coradd_threads": ..., "timestamp_unix": ...,
+//             "repetitions": ..., "warmup": ...},
+//     "config": {"scale": 0.005, ...},
+//     "metrics": [{"name": "wall_seconds", "unit": "s",
+//                  "samples": [...], "warmup_samples": [...],
+//                  "mean": ..., "median": ..., "stddev": ..., "mad": ...,
+//                  "ci95_lo": ..., "ci95_hi": ..., "min": ..., "max": ...,
+//                  "outliers": 0}, ...],
+//     "rows": [{...}, ...]
+//   }
+//
+// `config` and `rows` keep their v1 shapes so existing consumers (the CI
+// determinism jq extraction, trajectory scripts) read v2 files unchanged.
+// bench_compare consumes the `metrics` arrays.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchkit/stats.h"
+
+namespace coradd {
+namespace benchkit {
+
+/// Host/build metadata recorded in every v2 document.
+struct EnvInfo {
+  std::string compiler;        ///< e.g. "gcc 12.2.0" (from __VERSION__).
+  std::string os;              ///< uname sysname+release, or "unknown".
+  unsigned hardware_threads = 0;
+  std::string coradd_threads;  ///< $CORADD_THREADS, empty when unset.
+  long long timestamp_unix = 0;
+};
+EnvInfo CaptureEnv();
+
+/// Machine-readable bench output: when the bench was invoked with --json,
+/// Write() emits BENCH_<name>.json — the repo's perf-trajectory record
+/// (CI uploads these as artifacts and bench_compare gates on them).
+class BenchJson {
+ public:
+  /// Enabled iff `--json` is among the args.
+  BenchJson(std::string name, int argc, char** argv);
+  BenchJson(std::string name, bool enabled);
+
+  bool enabled() const { return enabled_; }
+  const std::string& name() const { return name_; }
+
+  void Config(const std::string& key, const std::string& value);
+  void Config(const std::string& key, double value);
+
+  /// One result record of (key, already-JSON-encoded value) pairs.
+  void Row(std::vector<std::pair<std::string, std::string>> fields);
+
+  /// Records one metric's full repetition samples (summary statistics are
+  /// computed at Write() time). Re-adding a name replaces the samples.
+  void MetricSamples(const std::string& name, const std::string& unit,
+                     std::vector<double> samples,
+                     std::vector<double> warmup_samples = {});
+
+  /// Repetition counts recorded under "env" (set by the harness).
+  void SetRepetitions(int repetitions, int warmup);
+
+  /// Escaped JSON string token / locale-safe JSON number token, for
+  /// callers assembling Row() fields.
+  static std::string Quote(const std::string& s);
+  static std::string Num(double v);
+
+  /// Writes BENCH_<name>.json to the working directory (no-op without
+  /// --json). `total_wall_seconds` is the whole invocation's wall clock;
+  /// the v1-comparable top-level "wall_seconds" is the mean of the
+  /// "wall_seconds" metric when one was recorded, else this value.
+  void Write(double total_wall_seconds) const;
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string unit;
+    std::vector<double> samples;
+    std::vector<double> warmup_samples;
+  };
+
+  std::string name_;
+  bool enabled_;
+  int repetitions_ = 1;
+  int warmup_ = 0;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Metric> metrics_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+}  // namespace benchkit
+}  // namespace coradd

@@ -1,0 +1,266 @@
+#include "benchkit/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "benchkit/json_parser.h"
+#include "common/string_util.h"
+
+namespace coradd {
+namespace benchkit {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kNoChange:
+      return "NO-CHANGE";
+    case Verdict::kImprovement:
+      return "IMPROVEMENT";
+    case Verdict::kTooNoisy:
+      return "TOO-NOISY";
+    case Verdict::kRegression:
+      return "REGRESSION";
+  }
+  return "UNKNOWN";
+}
+
+int VerdictExitCode(Verdict v) {
+  switch (v) {
+    case Verdict::kNoChange:
+      return 0;
+    case Verdict::kImprovement:
+      return 10;
+    case Verdict::kTooNoisy:
+      return 11;
+    case Verdict::kRegression:
+      return 12;
+  }
+  return 1;
+}
+
+const std::vector<double>* BenchDoc::Samples(const std::string& name) const {
+  for (const auto& [metric, samples] : metrics) {
+    if (metric == name) return &samples;
+  }
+  return nullptr;
+}
+
+Result<BenchDoc> LoadBenchDoc(const std::string& path) {
+  Result<JsonValue> parsed = ParseJsonFile(path);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument(path + ": top-level value is not an object");
+  }
+  BenchDoc doc;
+  doc.bench = root.StringOr("bench", path);
+  doc.schema_version =
+      static_cast<int>(root.NumberOr("schema_version", 1.0));
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics != nullptr && metrics->is_array()) {
+    for (const JsonValue& m : metrics->AsArray()) {
+      if (!m.is_object()) continue;
+      const std::string name = m.StringOr("name", "");
+      const JsonValue* samples = m.Find("samples");
+      if (name.empty() || samples == nullptr || !samples->is_array()) continue;
+      std::vector<double> values;
+      for (const JsonValue& s : samples->AsArray()) {
+        if (s.is_number()) values.push_back(s.AsNumber());
+      }
+      doc.metrics.emplace_back(name, std::move(values));
+    }
+  }
+  // v1 fallback (and a guard for empty v2 metric arrays): the single-shot
+  // wall time becomes a one-sample "wall_seconds" metric.
+  if (doc.Samples("wall_seconds") == nullptr) {
+    const JsonValue* wall = root.Find("wall_seconds");
+    if (wall != nullptr && wall->is_number()) {
+      doc.metrics.emplace_back("wall_seconds",
+                               std::vector<double>{wall->AsNumber()});
+    }
+  }
+  if (doc.metrics.empty()) {
+    return Status::InvalidArgument(path + ": no comparable metrics");
+  }
+  return doc;
+}
+
+MetricVerdict CompareMetric(const std::string& bench,
+                            const std::string& metric,
+                            const std::vector<double>& base_samples,
+                            const std::vector<double>& cur_samples,
+                            const CompareOptions& options) {
+  MetricVerdict mv;
+  mv.bench = bench;
+  mv.metric = metric;
+  mv.base = Summarize(base_samples);
+  mv.cur = Summarize(cur_samples);
+  if (mv.base.mean != 0.0) {
+    mv.effect = (mv.cur.mean - mv.base.mean) / mv.base.mean;
+  }
+
+  if (mv.base.mean < options.noise_floor_seconds &&
+      mv.cur.mean < options.noise_floor_seconds) {
+    mv.verdict = Verdict::kNoChange;
+    mv.note = "below noise floor";
+    return mv;
+  }
+  if (mv.base.n < 2 || mv.cur.n < 2) {
+    // No repetitions on one side: only a threshold call is possible.
+    mv.note = "single-shot, threshold only";
+    if (mv.effect >= options.singleton_threshold) {
+      mv.verdict = Verdict::kRegression;
+    } else if (mv.effect <= -options.singleton_threshold) {
+      mv.verdict = Verdict::kImprovement;
+    } else {
+      mv.verdict = Verdict::kNoChange;
+    }
+    return mv;
+  }
+  mv.welch = WelchTTest(cur_samples, base_samples);
+  if (mv.welch.significant && mv.effect >= options.min_effect) {
+    mv.verdict = Verdict::kRegression;
+  } else if (mv.welch.significant && mv.effect <= -options.min_effect) {
+    mv.verdict = Verdict::kImprovement;
+  } else if (!mv.welch.significant &&
+             std::abs(mv.effect) >= options.min_effect) {
+    mv.verdict = Verdict::kTooNoisy;
+    mv.note = "effect above threshold but not significant";
+  } else {
+    mv.verdict = Verdict::kNoChange;
+  }
+  return mv;
+}
+
+namespace {
+
+std::vector<std::string> MetricsToCompare(const BenchDoc& base,
+                                          const BenchDoc& cur,
+                                          const CompareOptions& options) {
+  std::vector<std::string> wanted = options.metrics;
+  if (wanted.empty()) wanted = {"wall_seconds"};
+  if (wanted.size() == 1 && wanted[0] == "all") {
+    wanted.clear();
+    for (const auto& [name, samples] : cur.metrics) wanted.push_back(name);
+  }
+  std::vector<std::string> out;
+  for (const std::string& name : wanted) {
+    if (base.Samples(name) != nullptr && cur.Samples(name) != nullptr) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+void Accumulate(CompareReport* report, MetricVerdict mv) {
+  report->overall = std::max(report->overall, mv.verdict);
+  report->metrics.push_back(std::move(mv));
+}
+
+}  // namespace
+
+CompareReport CompareDocs(const BenchDoc& base, const BenchDoc& cur,
+                          const CompareOptions& options) {
+  CompareReport report;
+  for (const std::string& name : MetricsToCompare(base, cur, options)) {
+    Accumulate(&report, CompareMetric(cur.bench, name, *base.Samples(name),
+                                      *cur.Samples(name), options));
+  }
+  return report;
+}
+
+Result<CompareReport> CompareFiles(const std::string& baseline_path,
+                                   const std::string& run_path,
+                                   const CompareOptions& options) {
+  Result<BenchDoc> base = LoadBenchDoc(baseline_path);
+  if (!base.ok()) return base.status();
+  Result<BenchDoc> cur = LoadBenchDoc(run_path);
+  if (!cur.ok()) return cur.status();
+  return CompareDocs(*base, *cur, options);
+}
+
+Result<CompareReport> CompareDirs(const std::string& baseline_dir,
+                                  const std::string& run_dir,
+                                  const CompareOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(run_dir, ec)) {
+    return Status::NotFound("run dir not found: " + run_dir);
+  }
+  if (!fs::is_directory(baseline_dir, ec)) {
+    return Status::NotFound("baseline dir not found: " + baseline_dir);
+  }
+  auto list = [](const std::string& dir) {
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        names.push_back(name);
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  const std::vector<std::string> run_files = list(run_dir);
+  const std::vector<std::string> base_files = list(baseline_dir);
+
+  CompareReport report;
+  for (const std::string& name : base_files) {
+    if (std::find(run_files.begin(), run_files.end(), name) ==
+        run_files.end()) {
+      report.only_in_baseline.push_back(name);
+    }
+  }
+  for (const std::string& name : run_files) {
+    if (std::find(base_files.begin(), base_files.end(), name) ==
+        base_files.end()) {
+      report.only_in_run.push_back(name);
+      continue;
+    }
+    Result<CompareReport> one =
+        CompareFiles(baseline_dir + "/" + name, run_dir + "/" + name, options);
+    if (!one.ok()) return one.status();
+    for (MetricVerdict& mv : one.value().metrics) {
+      Accumulate(&report, std::move(mv));
+    }
+  }
+  return report;
+}
+
+std::string RenderReport(const CompareReport& report) {
+  std::string out;
+  size_t counts[4] = {0, 0, 0, 0};
+  for (const MetricVerdict& mv : report.metrics) {
+    counts[static_cast<int>(mv.verdict)]++;
+    out += StrFormat("%-12s %s/%s: %s", VerdictName(mv.verdict),
+                     mv.bench.c_str(), mv.metric.c_str(),
+                     StrFormat("base %.4gs ±%.2g (n=%zu) -> cur %.4gs ±%.2g "
+                               "(n=%zu)  %+.1f%%",
+                               mv.base.mean, mv.base.ci95_half, mv.base.n,
+                               mv.cur.mean, mv.cur.ci95_half, mv.cur.n,
+                               100.0 * mv.effect)
+                         .c_str());
+    if (mv.welch.df > 0.0) {
+      out += StrFormat("  t=%.2f df=%.1f", mv.welch.t, mv.welch.df);
+    }
+    if (!mv.note.empty()) out += "  [" + mv.note + "]";
+    out += "\n";
+  }
+  for (const std::string& name : report.only_in_run) {
+    out += "NEW          " + name + ": no committed baseline\n";
+  }
+  for (const std::string& name : report.only_in_baseline) {
+    out += "MISSING      " + name + ": baseline present but not in this run\n";
+  }
+  out += StrFormat(
+      "verdict: %s (%zu metric%s compared: %zu regression, %zu too-noisy, "
+      "%zu improvement, %zu no-change)\n",
+      VerdictName(report.overall), report.metrics.size(),
+      report.metrics.size() == 1 ? "" : "s", counts[3], counts[2], counts[1],
+      counts[0]);
+  return out;
+}
+
+}  // namespace benchkit
+}  // namespace coradd

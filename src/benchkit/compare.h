@@ -1,0 +1,113 @@
+// Statistical comparison of BENCH_*.json documents: the library behind
+// the bench_compare CLI and its golden tests. Two runs of the same bench
+// are compared metric-by-metric with Welch's t-test on the per-repetition
+// samples; each metric — and the report as a whole — gets one of four
+// verdicts with distinct exit codes so CI can gate on regressions:
+//
+//   NO-CHANGE    exit 0   not significant, or effect below --min-effect
+//   IMPROVEMENT  exit 10  significantly faster by at least min_effect
+//   TOO-NOISY    exit 11  effect above min_effect but not significant —
+//                         the samples cannot support a call either way
+//   REGRESSION   exit 12  significantly slower by at least min_effect
+//   (errors: exit 1)
+//
+// All compared metrics are wall-clock style (lower is better). v1 files
+// (no "metrics" array) degrade to a single-sample threshold comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchkit/stats.h"
+#include "common/status.h"
+
+namespace coradd {
+namespace benchkit {
+
+/// Severity-ordered: the overall verdict is the max over metric verdicts.
+enum class Verdict {
+  kNoChange = 0,
+  kImprovement = 1,
+  kTooNoisy = 2,
+  kRegression = 3,
+};
+
+const char* VerdictName(Verdict v);  ///< "NO-CHANGE", "REGRESSION", ...
+int VerdictExitCode(Verdict v);      ///< 0 / 10 / 11 / 12 per the table.
+
+struct CompareOptions {
+  /// Minimum relative mean delta (cur vs base) that counts as a change.
+  /// Significant shifts smaller than this stay NO-CHANGE; CI gates use a
+  /// larger value to absorb cross-machine wall-clock differences.
+  double min_effect = 0.05;
+  /// Metrics whose means are both below this are NO-CHANGE regardless
+  /// (sub-noise-floor timings carry no signal).
+  double noise_floor_seconds = 1e-4;
+  /// Fallback threshold when either side has < 2 samples (v1 files):
+  /// no significance test is possible, so only deltas beyond this call a
+  /// regression / improvement.
+  double singleton_threshold = 0.30;
+  /// Metric names to compare; empty means just "wall_seconds", the single
+  /// entry "all" compares every metric present in both documents.
+  std::vector<std::string> metrics = {};
+};
+
+/// One bench document reduced to its comparable samples.
+struct BenchDoc {
+  std::string bench;
+  int schema_version = 1;
+  std::vector<std::pair<std::string, std::vector<double>>> metrics;
+
+  const std::vector<double>* Samples(const std::string& name) const;
+};
+
+struct MetricVerdict {
+  std::string bench;
+  std::string metric;
+  SampleStats base;
+  SampleStats cur;
+  double effect = 0.0;  ///< (cur.mean - base.mean) / base.mean.
+  WelchResult welch;
+  Verdict verdict = Verdict::kNoChange;
+  std::string note;  ///< e.g. "single-shot baseline", "below noise floor".
+};
+
+struct CompareReport {
+  Verdict overall = Verdict::kNoChange;
+  std::vector<MetricVerdict> metrics;
+  /// Bench names present on only one side (reported, never a failure).
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_run;
+};
+
+/// Parses one BENCH_*.json (schema v1 or v2) into its samples.
+Result<BenchDoc> LoadBenchDoc(const std::string& path);
+
+/// Verdict for one metric pair (exposed for unit tests).
+MetricVerdict CompareMetric(const std::string& bench,
+                            const std::string& metric,
+                            const std::vector<double>& base_samples,
+                            const std::vector<double>& cur_samples,
+                            const CompareOptions& options);
+
+/// Compares two parsed documents metric-by-metric.
+CompareReport CompareDocs(const BenchDoc& base, const BenchDoc& cur,
+                          const CompareOptions& options);
+
+/// Convenience: load + compare two files.
+Result<CompareReport> CompareFiles(const std::string& baseline_path,
+                                   const std::string& run_path,
+                                   const CompareOptions& options);
+
+/// Compares every BENCH_*.json in `run_dir` against the file of the same
+/// name in `baseline_dir` (sorted order; one aggregated report).
+Result<CompareReport> CompareDirs(const std::string& baseline_dir,
+                                  const std::string& run_dir,
+                                  const CompareOptions& options);
+
+/// Human-readable multi-line report (one line per metric + a summary
+/// line; golden tests pin key phrases of this output).
+std::string RenderReport(const CompareReport& report);
+
+}  // namespace benchkit
+}  // namespace coradd

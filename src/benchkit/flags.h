@@ -1,0 +1,48 @@
+// Minimal --key=value flag access shared by every bench binary and the
+// benchkit harness (moved here from bench/bench_util.h so the harness can
+// parse its own flags without depending on the bench fixtures).
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace coradd {
+namespace benchkit {
+
+/// Value of `--key=<v>`, or `default_value` when absent.
+inline std::string FlagValue(int argc, char** argv, const std::string& key,
+                             const std::string& default_value) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return default_value;
+}
+
+inline double FlagDouble(int argc, char** argv, const std::string& key,
+                         double default_value) {
+  const std::string v = FlagValue(argc, argv, key, "");
+  return v.empty() ? default_value : std::atof(v.c_str());
+}
+
+inline int FlagInt(int argc, char** argv, const std::string& key,
+                   int default_value) {
+  const std::string v = FlagValue(argc, argv, key, "");
+  return v.empty() ? default_value : std::atoi(v.c_str());
+}
+
+/// True when `--key` or `--key=<truthy>` was passed.
+inline bool FlagBool(int argc, char** argv, const std::string& key) {
+  const std::string bare = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  const std::string v = FlagValue(argc, argv, key, "");
+  return !(v.empty() || v == "0" || v == "false");
+}
+
+}  // namespace benchkit
+}  // namespace coradd

@@ -1,0 +1,68 @@
+#include "benchkit/harness.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace coradd {
+namespace benchkit {
+
+Harness::Harness(std::string name, int argc, char** argv)
+    : name_(std::move(name)),
+      repetitions_(FlagInt(argc, argv, "reps", 3)),
+      warmup_(FlagInt(argc, argv, "warmup", 1)),
+      fast_(FlagBool(argc, argv, "fast")),
+      quiet_(FlagBool(argc, argv, "quiet")),
+      json_(name_, argc, argv) {
+  if (repetitions_ < 1) repetitions_ = 1;
+  if (warmup_ < 0) warmup_ = 0;
+  json_.SetRepetitions(repetitions_, warmup_);
+  json_.Config("fast", fast_ ? "true" : "false");
+}
+
+void Harness::Sample(const std::string& name, double value) {
+  if (!in_measured_pass_) return;
+  for (auto& [metric, samples] : metric_samples_) {
+    if (metric == name) {
+      samples.push_back(value);
+      return;
+    }
+  }
+  metric_samples_.emplace_back(name, std::vector<double>{value});
+}
+
+void Harness::PrintSummary() const {
+  if (quiet_) return;
+  const SampleStats s = Summarize(wall_samples_);
+  if (s.n < 2) {
+    std::printf("\n[%s] wall %.3fs (1 repetition; pass --reps=N for CIs)\n",
+                name_.c_str(), s.mean);
+    return;
+  }
+  std::printf(
+      "\n[%s] wall mean %.3fs ±%.3fs (95%% CI, n=%zu)  median %.3fs  "
+      "stddev %.3fs  rsd %.1f%%%s\n",
+      name_.c_str(), s.mean, s.ci95_half, s.n, s.median, s.stddev,
+      100.0 * s.rsd(),
+      s.outliers > 0
+          ? StrFormat("  [%zu outlier%s]", s.outliers,
+                      s.outliers == 1 ? "" : "s")
+                .c_str()
+          : "");
+}
+
+int Harness::Finish() {
+  // Benches that measure through MeasureThroughput() instead of Run()
+  // (bench_micro) have no whole-pass wall samples; skip the empty metric.
+  if (!wall_samples_.empty()) {
+    json_.MetricSamples("wall_seconds", "s", wall_samples_, wall_warmup_);
+  }
+  for (auto& [metric, samples] : metric_samples_) {
+    json_.MetricSamples(metric, "s", samples);
+  }
+  json_.Write(total_timer_.Seconds());
+  return 0;
+}
+
+}  // namespace benchkit
+}  // namespace coradd

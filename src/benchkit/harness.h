@@ -1,0 +1,144 @@
+// Repetition harness for the bench binaries: runs a bench body through
+// warmup + N measured repetitions, collects per-repetition wall-clock
+// samples (plus any named sub-metrics the body reports via Sample()), and
+// emits the schema-v2 BENCH_<name>.json with summary statistics.
+//
+// Pass protocol: the body runs warmup() + repetitions() times. Pass 0 is
+// the *reporting* pass — the only one where the body should print tables
+// and record json Config()/Row() output. With the default --warmup=1 the
+// reporting pass is also a warmup pass, so print overhead and cold-cache
+// effects never contaminate the measured samples; under --warmup=0 pass 0
+// is measured and its (small) print overhead is accepted. Fixtures built
+// inside the body are recreated every pass, so repetitions measure
+// cold-start work and memo caches cannot leak across samples.
+//
+// Flags parsed (shared by every bench): --reps=N (default 3), --warmup=N
+// (default 1), --json, --fast, --quiet.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchkit/bench_json.h"
+#include "benchkit/flags.h"
+#include "benchkit/stats.h"
+
+namespace coradd {
+namespace benchkit {
+
+/// Wall-clock stopwatch (moved here from bench/bench_util.h).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// State handed to the bench body on every pass.
+struct RunPass {
+  int index = 0;         ///< 0-based over all passes.
+  bool warmup = false;   ///< True for the first --warmup passes.
+  /// True exactly once (pass 0): print tables / record json rows now.
+  bool reporting = false;
+};
+
+class Harness {
+ public:
+  Harness(std::string name, int argc, char** argv);
+
+  int repetitions() const { return repetitions_; }
+  int warmup() const { return warmup_; }
+  bool fast() const { return fast_; }
+  BenchJson& json() { return json_; }
+
+  /// Records `value` into metric `name` for the current measured pass
+  /// (ignored during warmup passes, so samples align with wall samples).
+  void Sample(const std::string& name, double value);
+
+  /// Runs `body` through all passes, timing each into the "wall_seconds"
+  /// metric, then prints a summary line (unless --quiet).
+  template <typename Fn>
+  void Run(Fn&& body) {
+    for (int pass = 0; pass < warmup_ + repetitions_; ++pass) {
+      RunPass rp;
+      rp.index = pass;
+      rp.warmup = pass < warmup_;
+      rp.reporting = pass == 0;
+      in_measured_pass_ = !rp.warmup;
+      const WallTimer t;
+      body(static_cast<const RunPass&>(rp));
+      const double wall = t.Seconds();
+      (rp.warmup ? wall_warmup_ : wall_samples_).push_back(wall);
+      in_measured_pass_ = false;
+    }
+    PrintSummary();
+  }
+
+  const std::vector<double>& wall_samples() const { return wall_samples_; }
+
+  /// Computes final statistics and writes BENCH_<name>.json (no-op
+  /// without --json). Returns the process exit code (0).
+  int Finish();
+
+ private:
+  void PrintSummary() const;
+
+  std::string name_;
+  int repetitions_;
+  int warmup_;
+  bool fast_;
+  bool quiet_;
+  BenchJson json_;
+  WallTimer total_timer_;
+  std::vector<double> wall_samples_;
+  std::vector<double> wall_warmup_;
+  std::vector<std::pair<std::string, std::vector<double>>> metric_samples_;
+  bool in_measured_pass_ = false;
+};
+
+/// Calibrated throughput measurement for microbenchmarks: doubles the
+/// inner iteration count until one batch takes at least
+/// `min_sample_seconds`, then times `opts.warmup + opts.repetitions`
+/// batches. Samples are seconds *per iteration*.
+struct ThroughputOptions {
+  int warmup = 1;
+  int repetitions = 3;
+  double min_sample_seconds = 0.02;
+};
+struct ThroughputResult {
+  std::vector<double> samples;         ///< Seconds per iteration, measured.
+  std::vector<double> warmup_samples;  ///< Seconds per iteration, warmup.
+  long long iterations = 1;            ///< Iterations per timed batch.
+};
+
+template <typename Fn>
+ThroughputResult MeasureThroughput(const ThroughputOptions& opts, Fn&& op) {
+  ThroughputResult r;
+  // Calibrate: grow the batch until it runs long enough to time reliably.
+  while (true) {
+    const WallTimer t;
+    for (long long i = 0; i < r.iterations; ++i) op();
+    if (t.Seconds() >= opts.min_sample_seconds || r.iterations >= (1LL << 30)) {
+      break;
+    }
+    r.iterations *= 2;
+  }
+  for (int pass = 0; pass < opts.warmup + opts.repetitions; ++pass) {
+    const WallTimer t;
+    for (long long i = 0; i < r.iterations; ++i) op();
+    const double per_iter = t.Seconds() / static_cast<double>(r.iterations);
+    (pass < opts.warmup ? r.warmup_samples : r.samples).push_back(per_iter);
+  }
+  return r;
+}
+
+}  // namespace benchkit
+}  // namespace coradd

@@ -1,0 +1,68 @@
+// Minimal recursive-descent JSON reader for BENCH_*.json documents (used
+// by bench_compare and its tests). Supports the full JSON value grammar;
+// numbers are held as double, objects preserve insertion order. This is a
+// reader for our own well-formed multi-KB files, not a general-purpose
+// hardened parser (depth is bounded, errors carry byte offsets).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coradd {
+namespace benchkit {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(JsonArray items);
+  static JsonValue MakeObject(JsonMembers members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const JsonArray& AsArray() const { return array_; }
+  const JsonMembers& AsObject() const { return members_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Member as number with a default when absent / wrong type.
+  double NumberOr(const std::string& key, double def) const;
+  /// Member as string with a default when absent / wrong type.
+  std::string StringOr(const std::string& key, const std::string& def) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonMembers members_;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace benchkit
+}  // namespace coradd

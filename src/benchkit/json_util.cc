@@ -1,0 +1,68 @@
+#include "benchkit/json_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace coradd {
+namespace benchkit {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonQuote(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+std::string JsonNum(double v, int significant_digits) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", significant_digits, v);
+  // snprintf honors the process locale; a ',' decimal separator would make
+  // the emitted document unparseable, so normalize it back to '.'.
+  std::string out(buf);
+  for (char& c : out) {
+    if (c == ',') c = '.';
+  }
+  return out;
+}
+
+std::string JsonNum(double v) { return JsonNum(v, 17); }
+
+}  // namespace benchkit
+}  // namespace coradd

@@ -1,0 +1,30 @@
+// JSON emission helpers shared by the bench JSON writer and bench_compare:
+// string escaping per RFC 8259 and numeric formatting locked to the C
+// locale (a '.' decimal point regardless of the process locale), so
+// BENCH_*.json parses everywhere.
+#pragma once
+
+#include <string>
+
+namespace coradd {
+namespace benchkit {
+
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslash,
+/// control characters; non-ASCII bytes pass through untouched).
+std::string JsonEscape(const std::string& s);
+
+/// `JsonEscape` wrapped in double quotes — a complete JSON string token.
+std::string JsonQuote(const std::string& s);
+
+/// Formats `v` as a JSON number using up to 17 significant digits
+/// (round-trip exact for doubles). The decimal separator is forced to '.'
+/// even under a locale that prints ','; non-finite values — which JSON
+/// cannot represent — become null.
+std::string JsonNum(double v);
+
+/// Like JsonNum but with printf precision `%.<digits>g` (for compact
+/// config values where round-trip exactness is not needed).
+std::string JsonNum(double v, int significant_digits);
+
+}  // namespace benchkit
+}  // namespace coradd

@@ -1,0 +1,133 @@
+#include "benchkit/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace coradd {
+namespace benchkit {
+namespace {
+
+// Two-sided 97.5% Student t quantiles for df = 1..30.
+constexpr double kT975[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+// Consistency constants: sigma ~= 1.4826 * MAD for normal data, and
+// sigma ~= 1.2533 * mean-absolute-deviation (the MAD==0 fallback).
+constexpr double kMadToSigma = 1.4826;
+constexpr double kMeanAdToSigma = 1.2533;
+
+double Mean(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+double SampleVariance(const std::vector<double>& v, double mean) {
+  if (v.size() < 2) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += (x - mean) * (x - mean);
+  return s / static_cast<double>(v.size() - 1);
+}
+
+}  // namespace
+
+double StudentT975(double df) {
+  if (df <= 1.0) return kT975[0];
+  if (df <= 30.0) {
+    // Linear interpolation between the bracketing integer entries (exact
+    // at integers, which is what fixed-n CI fixtures exercise).
+    const int lo = static_cast<int>(df);
+    const double frac = df - lo;
+    const double a = kT975[lo - 1];
+    const double b = kT975[std::min(lo, 29)];
+    return a + frac * (b - a);
+  }
+  // Above the table, interpolate in 1/df toward the normal quantile: this
+  // reproduces the classic 40 / 60 / 120 / inf rows to ~1e-3.
+  const double t30 = kT975[29];
+  const double tinf = 1.960;
+  return tinf + (t30 - tinf) * (30.0 / df);
+}
+
+double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+std::vector<bool> MadOutlierMask(const std::vector<double>& samples,
+                                 double threshold) {
+  std::vector<bool> mask(samples.size(), false);
+  if (samples.size() < 3) return mask;
+  const double med = Median(samples);
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (double x : samples) dev.push_back(std::abs(x - med));
+  const double mad = Median(dev);
+  double sigma = kMadToSigma * mad;
+  if (sigma == 0.0) {
+    sigma = kMeanAdToSigma * Mean(dev);
+  }
+  if (sigma == 0.0) return mask;  // all samples identical
+  for (size_t i = 0; i < samples.size(); ++i) {
+    mask[i] = dev[i] / sigma > threshold;
+  }
+  return mask;
+}
+
+SampleStats Summarize(const std::vector<double>& samples) {
+  SampleStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.mean = Mean(samples);
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  s.median = Median(samples);
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (double x : samples) dev.push_back(std::abs(x - s.median));
+  s.mad = Median(dev);
+  if (samples.size() >= 2) {
+    s.stddev = std::sqrt(SampleVariance(samples, s.mean));
+    s.ci95_half = StudentT975(static_cast<double>(samples.size() - 1)) *
+                  s.stddev / std::sqrt(static_cast<double>(samples.size()));
+  }
+  const std::vector<bool> mask = MadOutlierMask(samples);
+  for (bool b : mask) s.outliers += b ? 1 : 0;
+  return s;
+}
+
+WelchResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  WelchResult r;
+  if (a.empty() || b.empty()) return r;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  const double va = SampleVariance(a, ma) / static_cast<double>(a.size());
+  const double vb = SampleVariance(b, mb) / static_cast<double>(b.size());
+  const double se2 = va + vb;
+  if (se2 == 0.0) {
+    // Zero variance on both sides: any mean difference is exact.
+    r.t = ma == mb ? 0.0 : std::numeric_limits<double>::infinity();
+    r.df = static_cast<double>(a.size() + b.size() - 2);
+    r.significant = ma != mb;
+    return r;
+  }
+  r.t = (ma - mb) / std::sqrt(se2);
+  // Welch–Satterthwaite; each variance term needs n >= 2 to contribute a
+  // denominator, so single-sample sides degrade to the other side's df.
+  double denom = 0.0;
+  if (a.size() >= 2) denom += va * va / static_cast<double>(a.size() - 1);
+  if (b.size() >= 2) denom += vb * vb / static_cast<double>(b.size() - 1);
+  r.df = denom > 0.0 ? se2 * se2 / denom : 1.0;
+  r.significant = std::abs(r.t) > StudentT975(r.df);
+  return r;
+}
+
+}  // namespace benchkit
+}  // namespace coradd

@@ -1,0 +1,66 @@
+// Statistics kernel for the benchmark harness: descriptive summaries
+// (mean / median / stddev / 95% confidence interval), MAD-based robust
+// outlier detection, and a Welch two-sample significance test. Everything
+// here is deterministic pure arithmetic so benches and unit tests share
+// one implementation (tests/benchkit_test.cc pins the numerics against
+// hand-computed fixtures).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace coradd {
+namespace benchkit {
+
+/// Descriptive summary of one metric's repetition samples.
+struct SampleStats {
+  size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample stddev (n-1 denominator); 0 when n < 2.
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double mad = 0.0;  ///< Raw median absolute deviation (unscaled).
+  /// Half-width of the 95% confidence interval on the mean
+  /// (t_{0.975,n-1} * stddev / sqrt(n)); 0 when n < 2.
+  double ci95_half = 0.0;
+  size_t outliers = 0;  ///< Count of samples flagged by MadOutlierMask.
+
+  double ci95_lo() const { return mean - ci95_half; }
+  double ci95_hi() const { return mean + ci95_half; }
+  /// Relative standard deviation (coefficient of variation); 0 for mean 0.
+  double rsd() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/// Two-sided 97.5th-percentile Student t critical value (the multiplier
+/// for a 95% CI) for `df` degrees of freedom. Exact table values for
+/// integer df <= 30, interpolated in 1/df above that, 1.96 asymptotically.
+double StudentT975(double df);
+
+/// Sample median (average of the two middle order statistics for even n).
+double Median(std::vector<double> samples);
+
+/// Per-sample outlier flags via the modified z-score: a sample is an
+/// outlier when |x - median| / (1.4826 * MAD) > threshold. When MAD is 0
+/// (over half the samples identical) the scale falls back to
+/// 1.2533 * mean-absolute-deviation, so a planted spike in otherwise
+/// constant samples is still flagged. All-equal samples have no outliers.
+std::vector<bool> MadOutlierMask(const std::vector<double>& samples,
+                                 double threshold = 3.5);
+
+/// Full descriptive summary (including the outlier count) of `samples`.
+SampleStats Summarize(const std::vector<double>& samples);
+
+/// Welch's unequal-variance two-sample t-test.
+struct WelchResult {
+  double t = 0.0;   ///< Welch t statistic (0 when either sample is empty).
+  double df = 0.0;  ///< Welch–Satterthwaite degrees of freedom.
+  /// True when |t| exceeds the two-sided 5%-level critical value. Two
+  /// zero-variance samples are significant iff their means differ.
+  bool significant = false;
+};
+WelchResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace benchkit
+}  // namespace coradd

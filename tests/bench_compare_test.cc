@@ -1,0 +1,169 @@
+// Golden tests for the bench_compare machinery: committed BENCH_*.json
+// pairs under tests/golden/bench_compare/ pin each verdict (regression /
+// improvement / no-change / too-noisy), its exit code, and the key report
+// phrases. The same pairs back the CLI-level ctest entries registered in
+// CMakeLists.txt (bench_compare_self / bench_compare_regression).
+#include <string>
+
+#include "benchkit/compare.h"
+#include "gtest/gtest.h"
+
+namespace coradd {
+namespace benchkit {
+namespace {
+
+std::string Golden(const std::string& name) {
+  return std::string(CORADD_TESTDATA_DIR) + "/golden/bench_compare/" + name;
+}
+
+const CompareOptions kDefaults;
+
+TEST(BenchCompareGolden, LoadsSchemaV2Document) {
+  const Result<BenchDoc> doc = LoadBenchDoc(Golden("base_fig11.json"));
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  EXPECT_EQ((*doc).bench, "fig11_ssb");
+  EXPECT_EQ((*doc).schema_version, 2);
+  const std::vector<double>* wall = (*doc).Samples("wall_seconds");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_GE(wall->size(), 3u);
+}
+
+TEST(BenchCompareGolden, SelfCompareIsNoChange) {
+  const auto report = CompareFiles(Golden("base_fig11.json"),
+                                   Golden("base_fig11.json"), kDefaults);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ((*report).overall, Verdict::kNoChange);
+  EXPECT_EQ(VerdictExitCode((*report).overall), 0);
+  ASSERT_EQ((*report).metrics.size(), 1u);
+  EXPECT_NEAR((*report).metrics[0].effect, 0.0, 1e-12);
+  EXPECT_NE(RenderReport(*report).find("verdict: NO-CHANGE"),
+            std::string::npos);
+}
+
+TEST(BenchCompareGolden, PlantedTwoXSlowdownIsRegression) {
+  const auto report = CompareFiles(Golden("base_fig11.json"),
+                                   Golden("regressed_fig11.json"), kDefaults);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ((*report).overall, Verdict::kRegression);
+  EXPECT_EQ(VerdictExitCode((*report).overall), 12);
+  ASSERT_EQ((*report).metrics.size(), 1u);
+  EXPECT_NEAR((*report).metrics[0].effect, 1.0, 1e-9);  // +100%
+  EXPECT_TRUE((*report).metrics[0].welch.significant);
+  const std::string text = RenderReport(*report);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("+100.0%"), std::string::npos);
+  EXPECT_NE(text.find("verdict: REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCompareGolden, PlantedSpeedupIsImprovement) {
+  const auto report = CompareFiles(Golden("base_fig11.json"),
+                                   Golden("improved_fig11.json"), kDefaults);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ((*report).overall, Verdict::kImprovement);
+  EXPECT_EQ(VerdictExitCode((*report).overall), 10);
+  EXPECT_NEAR((*report).metrics[0].effect, -0.5, 1e-9);
+  EXPECT_NE(RenderReport(*report).find("verdict: IMPROVEMENT"),
+            std::string::npos);
+}
+
+TEST(BenchCompareGolden, HighVarianceShiftIsTooNoisy) {
+  const auto report = CompareFiles(Golden("base_noisy.json"),
+                                   Golden("run_noisy.json"), kDefaults);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ((*report).overall, Verdict::kTooNoisy);
+  EXPECT_EQ(VerdictExitCode((*report).overall), 11);
+  EXPECT_FALSE((*report).metrics[0].welch.significant);
+  EXPECT_NE(
+      RenderReport(*report).find("effect above threshold but not significant"),
+      std::string::npos);
+}
+
+TEST(BenchCompareGolden, MissingFileIsError) {
+  EXPECT_FALSE(
+      CompareFiles(Golden("does_not_exist.json"), Golden("base_fig11.json"),
+                   kDefaults)
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// CompareMetric unit behavior (no files involved).
+// ---------------------------------------------------------------------------
+TEST(BenchCompareMetric, BelowNoiseFloorIsNoChange) {
+  // 5us vs 50us is a 10x shift but both sit under the 100us floor.
+  const MetricVerdict mv =
+      CompareMetric("b", "m", {5e-6, 5e-6, 5e-6}, {5e-5, 5e-5, 5e-5},
+                    kDefaults);
+  EXPECT_EQ(mv.verdict, Verdict::kNoChange);
+  EXPECT_EQ(mv.note, "below noise floor");
+}
+
+TEST(BenchCompareMetric, SingletonFallsBackToThreshold) {
+  // v1-style single samples: significance is impossible, only deltas past
+  // singleton_threshold (30%) are called.
+  EXPECT_EQ(CompareMetric("b", "m", {1.0}, {1.5}, kDefaults).verdict,
+            Verdict::kRegression);
+  EXPECT_EQ(CompareMetric("b", "m", {1.0}, {0.5}, kDefaults).verdict,
+            Verdict::kImprovement);
+  EXPECT_EQ(CompareMetric("b", "m", {1.0}, {1.2}, kDefaults).verdict,
+            Verdict::kNoChange);
+  EXPECT_EQ(CompareMetric("b", "m", {1.0}, {1.5}, kDefaults).note,
+            "single-shot, threshold only");
+}
+
+TEST(BenchCompareMetric, SignificantButTinyShiftIsNoChange) {
+  // +1% with microscopic variance: statistically significant, but below
+  // min_effect (5%) — not a practical change.
+  const MetricVerdict mv = CompareMetric(
+      "b", "m", {1.000, 1.0001, 0.9999}, {1.010, 1.0101, 1.0099}, kDefaults);
+  EXPECT_TRUE(mv.welch.significant);
+  EXPECT_EQ(mv.verdict, Verdict::kNoChange);
+}
+
+TEST(BenchCompareMetric, MinEffectIsConfigurable) {
+  CompareOptions loose = kDefaults;
+  loose.min_effect = 0.5;
+  // A significant +30% passes the default gate but not a 50% one.
+  const std::vector<double> base = {1.0, 1.01, 0.99};
+  const std::vector<double> cur = {1.3, 1.31, 1.29};
+  EXPECT_EQ(CompareMetric("b", "m", base, cur, kDefaults).verdict,
+            Verdict::kRegression);
+  EXPECT_EQ(CompareMetric("b", "m", base, cur, loose).verdict,
+            Verdict::kNoChange);
+}
+
+TEST(BenchCompareDocs, OverallIsMaxSeverity) {
+  BenchDoc base, cur;
+  base.bench = cur.bench = "b";
+  base.metrics = {{"a_seconds", {1.0, 1.01, 0.99}},
+                  {"b_seconds", {1.0, 1.01, 0.99}}};
+  cur.metrics = {{"a_seconds", {1.0, 1.01, 0.99}},     // no change
+                 {"b_seconds", {2.0, 2.01, 1.99}}};    // regression
+  CompareOptions all = kDefaults;
+  all.metrics = {"all"};
+  const CompareReport report = CompareDocs(base, cur, all);
+  EXPECT_EQ(report.metrics.size(), 2u);
+  EXPECT_EQ(report.overall, Verdict::kRegression);
+}
+
+TEST(BenchCompareDirs, GoldenDirectoryAggregates) {
+  // The golden dir compared against itself: every pair is identical, so
+  // the aggregate verdict is NO-CHANGE and nothing is NEW/MISSING — but
+  // only BENCH_-prefixed files participate, and the goldens are not
+  // BENCH_-named, so this degenerates to an empty (still valid) report.
+  const std::string dir = std::string(CORADD_TESTDATA_DIR) +
+                          "/golden/bench_compare";
+  const auto report = CompareDirs(dir, dir, kDefaults);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ((*report).overall, Verdict::kNoChange);
+  EXPECT_TRUE((*report).only_in_run.empty());
+  EXPECT_TRUE((*report).only_in_baseline.empty());
+}
+
+TEST(BenchCompareDirs, MissingDirectoryIsError) {
+  EXPECT_FALSE(CompareDirs("/nonexistent/base", "/nonexistent/run", kDefaults)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace benchkit
+}  // namespace coradd

@@ -1,0 +1,216 @@
+// Unit tests for the src/benchkit/ statistics kernel: descriptive
+// summaries and CIs against hand-computed fixtures, MAD outlier flagging
+// on planted spikes, Welch significance verdicts on known distributions,
+// JSON escaping / locale-locked number emission, and the JSON reader.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "benchkit/json_parser.h"
+#include "benchkit/json_util.h"
+#include "benchkit/stats.h"
+#include "gtest/gtest.h"
+
+namespace coradd {
+namespace benchkit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Descriptive statistics: {1,2,3,4,5} worked by hand.
+//   mean 3, sample stddev sqrt(2.5) = 1.5811388, median 3, MAD 1,
+//   ci95_half = t_{0.975,4} * stddev / sqrt(5) = 2.776 * 0.7071068.
+// ---------------------------------------------------------------------------
+TEST(BenchkitStats, HandComputedSummary) {
+  const SampleStats s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811388300841898, 1e-12);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mad, 1.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.ci95_half, 2.776 * 1.5811388300841898 / std::sqrt(5.0),
+              1e-9);
+  EXPECT_NEAR(s.ci95_lo(), 3.0 - s.ci95_half, 1e-12);
+  EXPECT_NEAR(s.ci95_hi(), 3.0 + s.ci95_half, 1e-12);
+  EXPECT_NEAR(s.rsd(), 1.5811388300841898 / 3.0, 1e-12);
+  EXPECT_EQ(s.outliers, 0u);
+}
+
+TEST(BenchkitStats, DegenerateSizes) {
+  const SampleStats empty = Summarize({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+
+  const SampleStats one = Summarize({4.25});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 4.25);
+  EXPECT_DOUBLE_EQ(one.median, 4.25);
+  EXPECT_EQ(one.stddev, 0.0);     // n-1 denominator undefined; pinned to 0
+  EXPECT_EQ(one.ci95_half, 0.0);  // no CI from a single sample
+}
+
+TEST(BenchkitStats, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);  // unsorted input
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+TEST(BenchkitStats, StudentTTable) {
+  EXPECT_NEAR(StudentT975(1), 12.706, 1e-9);
+  EXPECT_NEAR(StudentT975(4), 2.776, 1e-9);
+  EXPECT_NEAR(StudentT975(30), 2.042, 1e-9);
+  // Above the table: interpolated in 1/df, monotonically approaching 1.96.
+  const double t60 = StudentT975(60);
+  EXPECT_LT(t60, 2.042);
+  EXPECT_GT(t60, 1.96);
+  EXPECT_NEAR(StudentT975(1e9), 1.96, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Outlier detection.
+// ---------------------------------------------------------------------------
+TEST(BenchkitStats, PlantedSpikeIsFlagged) {
+  // median 1.025, MAD 0.075 -> modified z of the spike ~ 80.
+  const std::vector<double> samples = {1.0, 1.1, 0.9, 1.05, 0.95, 10.0};
+  const std::vector<bool> mask = MadOutlierMask(samples);
+  ASSERT_EQ(mask.size(), samples.size());
+  for (size_t i = 0; i + 1 < mask.size(); ++i) EXPECT_FALSE(mask[i]) << i;
+  EXPECT_TRUE(mask.back());
+  EXPECT_EQ(Summarize(samples).outliers, 1u);
+}
+
+TEST(BenchkitStats, ZeroMadFallsBackToMeanAbsoluteDeviation) {
+  // Over half the samples identical -> MAD 0; the meanAD fallback must
+  // still flag the spike instead of dividing by zero.
+  const std::vector<bool> mask =
+      MadOutlierMask({10.0, 10.0, 10.0, 10.0, 10.0, 100.0});
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask.back());
+}
+
+TEST(BenchkitStats, AllEqualSamplesHaveNoOutliers) {
+  for (bool flagged : MadOutlierMask({2.0, 2.0, 2.0, 2.0})) {
+    EXPECT_FALSE(flagged);
+  }
+}
+
+TEST(BenchkitStats, TightClusterHasNoOutliers) {
+  for (bool flagged : MadOutlierMask({1.0, 1.02, 0.98, 1.01, 0.99})) {
+    EXPECT_FALSE(flagged);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Welch's t-test.
+// ---------------------------------------------------------------------------
+TEST(BenchkitWelch, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {1.0, 1.1, 0.9};
+  const WelchResult r = WelchTTest(a, a);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_FALSE(r.significant);
+}
+
+TEST(BenchkitWelch, ClearSeparationIsSignificant) {
+  const WelchResult r =
+      WelchTTest({1.0, 1.01, 0.99}, {2.0, 2.01, 1.99});
+  EXPECT_GT(std::abs(r.t), 100.0);
+  EXPECT_TRUE(r.significant);
+  // Equal variances -> Welch df equals the pooled df (n1 + n2 - 2 = 4).
+  EXPECT_NEAR(r.df, 4.0, 1e-6);
+}
+
+TEST(BenchkitWelch, OverlappingNoiseNotSignificant) {
+  const WelchResult r =
+      WelchTTest({1.0, 2.4, 0.6, 3.0}, {2.9, 0.8, 4.1, 1.1});
+  EXPECT_FALSE(r.significant);
+}
+
+TEST(BenchkitWelch, ZeroVarianceBothSides) {
+  EXPECT_TRUE(WelchTTest({1.0, 1.0}, {2.0, 2.0}).significant);
+  EXPECT_FALSE(WelchTTest({2.0, 2.0}, {2.0, 2.0}).significant);
+}
+
+TEST(BenchkitWelch, DirectionOfT) {
+  // t has the sign of mean(first) - mean(second); CompareMetric passes
+  // (cur, base), so a slower current run yields positive t.
+  const WelchResult faster = WelchTTest({1.0, 1.1, 0.9}, {2.0, 2.1, 1.9});
+  const WelchResult slower = WelchTTest({2.0, 2.1, 1.9}, {1.0, 1.1, 0.9});
+  EXPECT_LT(faster.t, 0.0);
+  EXPECT_GT(slower.t, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission helpers.
+// ---------------------------------------------------------------------------
+TEST(BenchkitJson, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonQuote("x"), "\"x\"");
+}
+
+TEST(BenchkitJson, NumbersAreLocaleLockedAndFinite) {
+  EXPECT_EQ(JsonNum(0.25, 6), "0.25");
+  EXPECT_EQ(JsonNum(-3.0, 6), "-3");
+  EXPECT_EQ(JsonNum(std::nan(""), 6), "null");
+  EXPECT_EQ(JsonNum(INFINITY, 6), "null");
+  // Never a comma decimal separator, whatever the process locale.
+  EXPECT_EQ(JsonNum(1234.5, 9).find(','), std::string::npos);
+}
+
+TEST(BenchkitJson, RoundTripThroughParser) {
+  const std::string doc = "{\"name\": " + JsonQuote("a\"b\nc") +
+                          ", \"v\": " + JsonNum(0.125, 9) + "}";
+  const auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().StringOr("name", ""), "a\"b\nc");
+  EXPECT_DOUBLE_EQ(parsed.value().NumberOr("v", 0.0), 0.125);
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader.
+// ---------------------------------------------------------------------------
+TEST(BenchkitJsonParser, ParsesBenchShapedDocument) {
+  const auto parsed = ParseJson(
+      "{\"schema_version\": 2, \"bench\": \"x\", \"ok\": true,\n"
+      " \"metrics\": [{\"name\": \"wall_seconds\",\n"
+      "                \"samples\": [0.5, 1.5e0, -0.25]}],\n"
+      " \"nothing\": null}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& v = parsed.value();
+  EXPECT_DOUBLE_EQ(v.NumberOr("schema_version", 0), 2.0);
+  EXPECT_EQ(v.StringOr("bench", ""), "x");
+  ASSERT_NE(v.Find("ok"), nullptr);
+  EXPECT_TRUE(v.Find("ok")->AsBool());
+  EXPECT_TRUE(v.Find("nothing")->is_null());
+  const JsonValue* metrics = v.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  const JsonArray& samples =
+      metrics->AsArray()[0].Find("samples")->AsArray();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples[0].AsNumber(), 0.5);
+  EXPECT_DOUBLE_EQ(samples[1].AsNumber(), 1.5);
+  EXPECT_DOUBLE_EQ(samples[2].AsNumber(), -0.25);
+}
+
+TEST(BenchkitJsonParser, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1,}").ok());
+  EXPECT_FALSE(ParseJson("[1, 2").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing").ok());
+}
+
+TEST(BenchkitJsonParser, UnicodeEscapes) {
+  const auto parsed = ParseJson("{\"s\": \"a\\u0041\\n\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().StringOr("s", ""), "aA\n");
+}
+
+}  // namespace
+}  // namespace benchkit
+}  // namespace coradd
