@@ -22,12 +22,19 @@ using namespace coradd::bench;
 int main(int argc, char** argv) {
   Harness h("fig11_ssb", argc, argv);
   const double scale = FlagDouble(argc, argv, "scale", 0.005);
+  // --mine additionally runs dependency discovery on the fixture before
+  // designing (off by default: fig11 itself doesn't need it). The traced
+  // CI run uses it so one trace file covers every subsystem, discovery
+  // included. Deterministic, so it's safe under --trace bit-identity.
+  const bool mine = FlagBool(argc, argv, "mine");
   BenchJson& json = h.json();
   json.Config("scale", scale);
+  json.Config("mine", mine ? "true" : "false");
 
   h.Run([&](const RunPass& pass) {
     WallTimer timer;
     Fixture f = MakeSsbFixture(scale, 1024, /*augmented=*/true);
+    if (mine) f.context->MineAllDependencies();
     if (pass.reporting) {
       std::printf("Augmented SSB: %zu queries, %zu lineorder rows\n",
                   f.workload.queries.size(),

@@ -9,6 +9,12 @@
 // the earlier google-benchmark binary so the micro numbers flow through
 // the same schema-v2 BENCH_micro.json / bench_compare pipeline as every
 // other bench. `--fast` drops the large-table sizes for smoke/CI runs.
+//
+// The obs_* cases measure the tracing/metrics substrate itself:
+// obs_span_disabled is the cost every instrumented scope pays when tracing
+// is off, and `--assert-span-ns=N` turns its mean into a hard gate (exit 1
+// above N ns/span) — the obs_overhead_smoke ctest pins the <25 ns contract.
+// `--only=<substr>` runs just the matching cases.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -17,6 +23,8 @@
 #include "common/rng.h"
 #include "ilp/lp.h"
 #include "mv/kmeans.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/ae_estimator.h"
 #include "storage/clustered_table.h"
 #include "storage/layout.h"
@@ -57,10 +65,19 @@ std::string HumanPerIter(double seconds) {
   return StrFormat("%.3f s", seconds);
 }
 
+/// Case-name filter from --only=<substr>; empty matches everything.
+std::string g_only;
+
+bool CaseSelected(const std::string& name) {
+  return g_only.empty() || name.find(g_only) != std::string::npos;
+}
+
 /// Measures one micro case and records it as a metric named `name` in the
-/// shared BENCH_micro.json.
+/// shared BENCH_micro.json. Returns the mean seconds per iteration (0.0
+/// when the case was filtered out by --only).
 template <typename Fn>
-void RunCase(Harness& h, const std::string& name, Fn&& op) {
+double RunCase(Harness& h, const std::string& name, Fn&& op) {
+  if (!CaseSelected(name)) return 0.0;
   ThroughputOptions opts;
   opts.warmup = std::max(1, h.warmup());
   opts.repetitions = h.repetitions();
@@ -71,12 +88,16 @@ void RunCase(Harness& h, const std::string& name, Fn&& op) {
             StrFormat("%.1f%%", 100.0 * s.rsd()),
             std::to_string(r.iterations)});
   h.json().MetricSamples(name, "s", r.samples, r.warmup_samples);
+  return s.mean;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Harness h("micro", argc, argv);
+  g_only = FlagValue(argc, argv, "only", "");
+  const double assert_span_ns =
+      FlagDouble(argc, argv, "assert-span-ns", 0.0);
   const size_t big_rows = h.fast() ? 100000 : 1000000;
 
   PrintHeader("substrate microbenchmarks (per-iteration, 95% CI)",
@@ -149,5 +170,55 @@ int main(int argc, char** argv) {
             [&] { Consume(SolveLp(lp)); });
   }
 
-  return h.Finish();
+  // --- Observability substrate costs. Tracing state is set explicitly per
+  // case so the disabled number is the cost every instrumented scope in
+  // the codebase pays during normal (untraced) runs.
+  obs::Tracer::Global().Stop();
+  const double disabled_mean = RunCase(h, "obs_span_disabled", [] {
+    TRACE_SPAN("micro.probe", {{"k", 1}});
+    Consume(obs::TraceEnabled());
+  });
+  if (CaseSelected("obs_span_enabled")) {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().Start();
+    RunCase(h, "obs_span_enabled", [] {
+      TRACE_SPAN("micro.probe", {{"k", 1}});
+      Consume(obs::TraceEnabled());
+    });
+    obs::Tracer::Global().Stop();
+    obs::Tracer::Global().Clear();
+  }
+  {
+    static obs::Counter& c =
+        *obs::MetricsRegistry::Global().GetCounter("micro.probe_counter");
+    RunCase(h, "obs_counter_inc", [] {
+      c.Add(1);
+      Consume(c);
+    });
+  }
+
+  const int rc = h.Finish();
+  if (rc != 0) return rc;
+  if (assert_span_ns > 0.0 && CaseSelected("obs_span_disabled")) {
+    // Sanitizer builds intercept every memory access; the contract is for
+    // production builds, so the budget widens rather than gates noise.
+    double budget_ns = assert_span_ns;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    budget_ns *= 20.0;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    budget_ns *= 20.0;
+#endif
+#endif
+    const double got_ns = disabled_mean * 1e9;
+    if (got_ns > budget_ns) {
+      std::fprintf(stderr,
+                   "FAIL: disabled span costs %.1f ns/span, budget %.1f ns\n",
+                   got_ns, budget_ns);
+      return 1;
+    }
+    std::printf("disabled span %.1f ns/span within %.1f ns budget\n", got_ns,
+                budget_ns);
+  }
+  return 0;
 }

@@ -4,17 +4,20 @@
 // the Figure 9/11 methodology as a user-facing tool.
 //
 //   $ ./examples/budget_sweep
+//   $ ./examples/budget_sweep --trace=sweep_trace.json   # Perfetto file
 #include <cstdio>
 
 #include "common/string_util.h"
 #include "core/baseline_designers.h"
 #include "core/coradd_designer.h"
 #include "core/evaluator.h"
+#include "obs/trace.h"
 #include "ssb/ssb.h"
 
 using namespace coradd;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::TraceSession trace = obs::TraceSession::FromArgs(argc, argv);
   ssb::SsbOptions data_options;
   data_options.scale_factor = 0.01;
   auto catalog = ssb::MakeCatalog(data_options);

@@ -6,6 +6,7 @@
 // B+Trees (the A-1 People(city,state) example, on real SSB data).
 //
 //   $ ./examples/correlation_explorer
+//   $ ./examples/correlation_explorer --trace=explorer_trace.json
 #include <algorithm>
 #include <cstdio>
 
@@ -13,12 +14,14 @@
 #include "cm/cm_designer.h"
 #include "discovery/fd_miner.h"
 #include "exec/materialize.h"
+#include "obs/trace.h"
 #include "ssb/ssb.h"
 #include "stats/distinct_sampler.h"
 
 using namespace coradd;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::TraceSession trace = obs::TraceSession::FromArgs(argc, argv);
   ssb::SsbOptions options;
   options.scale_factor = 0.01;
   auto catalog = ssb::MakeCatalog(options);

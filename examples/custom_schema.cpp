@@ -5,12 +5,14 @@
 // determines state (Section 1).
 //
 //   $ ./examples/custom_schema
+//   $ ./examples/custom_schema --trace=custom_trace.json   # Perfetto file
 #include <cstdio>
 
 #include "common/string_util.h"
 #include "common/rng.h"
 #include "core/coradd_designer.h"
 #include "core/evaluator.h"
+#include "obs/trace.h"
 
 using namespace coradd;
 
@@ -25,7 +27,8 @@ ColumnDef Int(const std::string& name, uint32_t bytes = 4) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::TraceSession trace = obs::TraceSession::FromArgs(argc, argv);
   // --- 1. Schema: a sales fact with a geography dimension where
   // city -> state -> region is a hard hierarchy (50 cities per state).
   auto catalog = std::make_unique<Catalog>();

@@ -3,17 +3,20 @@
 // against it on the storage simulator.
 //
 //   $ ./examples/quickstart
+//   $ ./examples/quickstart --trace=quickstart_trace.json   # Perfetto file
 #include <cstdio>
 
 #include "common/string_util.h"
 #include "core/coradd_designer.h"
 #include "core/ddl_export.h"
 #include "core/evaluator.h"
+#include "obs/trace.h"
 #include "ssb/ssb.h"
 
 using namespace coradd;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::TraceSession trace = obs::TraceSession::FromArgs(argc, argv);
   // 1. Data + workload: the Star Schema Benchmark at a laptop-scale factor.
   ssb::SsbOptions data_options;
   data_options.scale_factor = 0.01;  // 60k lineorder rows

@@ -8,6 +8,7 @@
 #include "benchkit/flags.h"
 #include "benchkit/json_util.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/utsname.h>
@@ -164,6 +165,44 @@ void BenchJson::Write(double total_wall_seconds) const {
         JsonNum(s.ci95_lo(), 9).c_str(), JsonNum(s.ci95_hi(), 9).c_str(),
         JsonNum(s.min, 9).c_str(), JsonNum(s.max, 9).c_str(), s.outliers,
         i + 1 == metrics_.size() ? "" : ",");
+  }
+  // Process-wide observability counters, as of this write. Named
+  // "obs_metrics" because "metrics" above is the per-repetition sample
+  // section. Values include thread-pool worker attribution, so this section
+  // is *not* part of the deterministic surface the CI determinism job
+  // diffs (that job extracts "config"/"rows" only).
+  std::fprintf(f, "  ],\n  \"obs_metrics\": [\n");
+  const std::vector<obs::MetricSnapshot> snaps =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    const obs::MetricSnapshot& s = snaps[i];
+    std::fprintf(f, "    {\"name\": %s, ", JsonQuote(s.name).c_str());
+    switch (s.kind) {
+      case obs::MetricSnapshot::Kind::kCounter:
+        std::fprintf(f, "\"kind\": \"counter\", \"value\": %llu",
+                     static_cast<unsigned long long>(s.value));
+        break;
+      case obs::MetricSnapshot::Kind::kGauge:
+        std::fprintf(f, "\"kind\": \"gauge\", \"value\": %lld, \"max\": %lld",
+                     static_cast<long long>(s.gauge_value),
+                     static_cast<long long>(s.gauge_max));
+        break;
+      case obs::MetricSnapshot::Kind::kHistogram:
+        std::fprintf(
+            f,
+            "\"kind\": \"histogram\", \"count\": %llu, \"sum\": %llu, "
+            "\"mean\": %s, \"min\": %llu, \"max\": %llu, "
+            "\"p50\": %llu, \"p99\": %llu",
+            static_cast<unsigned long long>(s.count),
+            static_cast<unsigned long long>(s.sum),
+            JsonNum(s.mean, 6).c_str(),
+            static_cast<unsigned long long>(s.min),
+            static_cast<unsigned long long>(s.max),
+            static_cast<unsigned long long>(s.p50),
+            static_cast<unsigned long long>(s.p99));
+        break;
+    }
+    std::fprintf(f, "}%s\n", i + 1 == snaps.size() ? "" : ",");
   }
   std::fprintf(f, "  ],\n  \"rows\": [\n");
   for (size_t r = 0; r < rows_.size(); ++r) {

@@ -17,6 +17,8 @@
 //                  "mean": ..., "median": ..., "stddev": ..., "mad": ...,
 //                  "ci95_lo": ..., "ci95_hi": ..., "min": ..., "max": ...,
 //                  "outliers": 0}, ...],
+//     "obs_metrics": [{"name": "solver.nodes_expanded",
+//                      "kind": "counter", "value": ...}, ...],
 //     "rows": [{...}, ...]
 //   }
 //

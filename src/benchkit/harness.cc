@@ -3,6 +3,9 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace coradd {
 namespace benchkit {
@@ -13,6 +16,8 @@ Harness::Harness(std::string name, int argc, char** argv)
       warmup_(FlagInt(argc, argv, "warmup", 1)),
       fast_(FlagBool(argc, argv, "fast")),
       quiet_(FlagBool(argc, argv, "quiet")),
+      trace_path_(FlagValue(argc, argv, "trace", "")),
+      metrics_(FlagBool(argc, argv, "metrics")),
       json_(name_, argc, argv) {
   if (repetitions_ < 1) repetitions_ = 1;
   if (warmup_ < 0) warmup_ = 0;
@@ -51,6 +56,24 @@ void Harness::PrintSummary() const {
           : "");
 }
 
+void Harness::BeginTraceCapture() {
+  if (trace_path_.empty()) return;
+  obs::Tracer::SetCurrentThreadName("main");
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().Start();
+}
+
+void Harness::EndTraceCapture() {
+  if (trace_path_.empty()) return;
+  // Quiesce the shared pool so no worker is mid-Record while we flush.
+  ThreadPool::Shared().WaitIdle();
+  if (obs::Tracer::Global().StopAndWrite(trace_path_)) {
+    if (!quiet_) std::printf("trace written to %s\n", trace_path_.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write trace to %s\n", trace_path_.c_str());
+  }
+}
+
 int Harness::Finish() {
   // Benches that measure through MeasureThroughput() instead of Run()
   // (bench_micro) have no whole-pass wall samples; skip the empty metric.
@@ -60,6 +83,7 @@ int Harness::Finish() {
   for (auto& [metric, samples] : metric_samples_) {
     json_.MetricSamples(metric, "s", samples);
   }
+  if (metrics_) std::fputs(obs::DumpMetrics().c_str(), stdout);
   json_.Write(total_timer_.Seconds());
   return 0;
 }

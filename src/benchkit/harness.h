@@ -13,7 +13,14 @@
 // cold-start work and memo caches cannot leak across samples.
 //
 // Flags parsed (shared by every bench): --reps=N (default 3), --warmup=N
-// (default 1), --json, --fast, --quiet.
+// (default 1), --json, --fast, --quiet, --trace=<path>, --metrics.
+//
+// --trace captures spans during pass 0 only (the reporting pass, which is
+// a warmup pass under the default --warmup=1), so measured samples are
+// never polluted by trace recording; the Chrome trace JSON is written when
+// pass 0 ends. --metrics prints the obs::DumpMetrics() table at Finish().
+// When --json is also set, the full metrics snapshot lands in the
+// "obs_metrics" section of BENCH_<name>.json either way.
 #pragma once
 
 #include <chrono>
@@ -73,9 +80,11 @@ class Harness {
       rp.warmup = pass < warmup_;
       rp.reporting = pass == 0;
       in_measured_pass_ = !rp.warmup;
+      if (rp.reporting) BeginTraceCapture();
       const WallTimer t;
       body(static_cast<const RunPass&>(rp));
       const double wall = t.Seconds();
+      if (rp.reporting) EndTraceCapture();
       (rp.warmup ? wall_warmup_ : wall_samples_).push_back(wall);
       in_measured_pass_ = false;
     }
@@ -90,12 +99,18 @@ class Harness {
 
  private:
   void PrintSummary() const;
+  /// Starts span capture for pass 0 when --trace=<path> was given.
+  void BeginTraceCapture();
+  /// Stops capture and writes the Chrome trace file.
+  void EndTraceCapture();
 
   std::string name_;
   int repetitions_;
   int warmup_;
   bool fast_;
   bool quiet_;
+  std::string trace_path_;  ///< empty = tracing off
+  bool metrics_;            ///< print DumpMetrics() at Finish()
   BenchJson json_;
   WallTimer total_timer_;
   std::vector<double> wall_samples_;

@@ -5,15 +5,36 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace coradd {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, std::string name)
+    : name_(std::move(name)) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  worker_slots_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    auto slot = std::make_unique<WorkerSlot>();
+    if (!name_.empty()) {
+      auto& registry = obs::MetricsRegistry::Global();
+      const std::string prefix =
+          StrFormat("thread_pool.%s.w%zu.", name_.c_str(), i);
+      slot->registry_tasks = registry.GetCounter(prefix + "tasks");
+      slot->registry_busy_ns = registry.GetCounter(prefix + "busy_ns");
+    }
+    worker_slots_.push_back(std::move(slot));
+  }
+  if (!name_.empty()) {
+    registry_queue_depth_ = obs::MetricsRegistry::Global().GetGauge(
+        StrFormat("thread_pool.%s.queue_depth", name_.c_str()));
+  }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -28,9 +49,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  if (depth > queue_hwm_.load(std::memory_order_relaxed)) {
+    queue_hwm_.store(depth, std::memory_order_relaxed);
+  }
+  if (registry_queue_depth_ != nullptr) {
+    registry_queue_depth_->Set(static_cast<int64_t>(depth));
   }
   queue_cv_.notify_one();
 }
@@ -40,7 +69,38 @@ void ThreadPool::WaitIdle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::RunTimed(const std::function<void()>& task,
+                          WorkerSlot* slot) {
+  // Busy-ns accounting costs two clock reads per task; tasks here are
+  // chunky ParallelFor drains, so that is noise. Only worker tasks are
+  // credited — caller threads draining the queue count tasks only.
+  if (slot == nullptr) {
+    TRACE_SPAN("thread_pool.task");
+    task();
+    caller_tasks_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TRACE_SPAN("thread_pool.task");
+  const auto t0 = std::chrono::steady_clock::now();
+  task();
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  slot->tasks.fetch_add(1, std::memory_order_relaxed);
+  slot->busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  if (slot->registry_tasks != nullptr) {
+    slot->registry_tasks->Add(1);
+    slot->registry_busy_ns->Add(ns);
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  if (!name_.empty()) {
+    obs::Tracer::SetCurrentThreadName(
+        StrFormat("%s-worker-%zu", name_.c_str(), worker_index));
+  }
+  WorkerSlot* slot = worker_slots_[worker_index].get();
   for (;;) {
     std::function<void()> task;
     {
@@ -51,7 +111,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    RunTimed(task, slot);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
@@ -74,7 +134,7 @@ bool ThreadPool::RunOneQueuedTask() {
     queue_.pop_front();
     ++in_flight_;
   }
-  task();
+  RunTimed(task, nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
@@ -91,6 +151,8 @@ size_t ThreadPool::ChunkSize(size_t n, size_t num_threads) {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  TRACE_SPAN("thread_pool.parallel_for",
+             {{"n", static_cast<int64_t>(n)}});
   const size_t chunk = ChunkSize(n, num_threads());
 
   // Claim/progress state outlives this frame via shared_ptr: a helper task
@@ -125,14 +187,27 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   while (state->done.load() < n) RunOneQueuedTask();
 }
 
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(worker_slots_.size());
+  for (const auto& slot : worker_slots_) {
+    out.push_back(
+        WorkerStats{slot->tasks.load(std::memory_order_relaxed),
+                    slot->busy_ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("CORADD_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<size_t>(v);
-    }
-    return static_cast<size_t>(0);  // one per hardware thread
-  }());
+  static ThreadPool pool(
+      [] {
+        if (const char* env = std::getenv("CORADD_THREADS")) {
+          const long v = std::strtol(env, nullptr, 10);
+          if (v > 0) return static_cast<size_t>(v);
+        }
+        return static_cast<size_t>(0);  // one per hardware thread
+      }(),
+      "shared");
   return pool;
 }
 

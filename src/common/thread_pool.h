@@ -13,24 +13,41 @@
 // with writes confined to per-index state; callers merge results in index
 // order. Nothing about chunk scheduling leaks into results, so any pool size
 // (including the shared pool) yields bit-identical output.
+//
+// Observability: a pool constructed with a name (the shared pool is
+// "shared") registers per-worker tasks-executed / busy-ns counters and a
+// queue-depth high-water gauge in obs::MetricsRegistry — the utilization
+// baseline the work-stealing scheduler roadmap item needs — and worker
+// task execution shows up as "thread_pool.task" spans in traces.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace coradd {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 /// Fixed set of worker threads consuming a FIFO task queue.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 = one per hardware thread, minimum 1).
-  explicit ThreadPool(size_t num_threads = 0);
+  /// A non-empty `name` registers this pool's utilization metrics
+  /// (`thread_pool.<name>.*`) in the global metrics registry; anonymous
+  /// pools (tests pinning thread counts) keep local counters only.
+  explicit ThreadPool(size_t num_threads = 0, std::string name = "");
 
   /// Drains outstanding tasks, then joins every worker.
   ~ThreadPool();
@@ -62,20 +79,53 @@ class ThreadPool {
   /// all share it instead of churning their own pools.
   static ThreadPool& Shared();
 
+  /// Per-worker utilization, readable at any time (relaxed counters).
+  struct WorkerStats {
+    uint64_t tasks_executed = 0;
+    uint64_t busy_ns = 0;
+  };
+  std::vector<WorkerStats> worker_stats() const;
+  /// Deepest the task queue has been since construction.
+  size_t queue_depth_high_water() const {
+    return queue_hwm_.load(std::memory_order_relaxed);
+  }
+  /// Tasks executed by non-worker threads draining the queue while they
+  /// wait inside ParallelFor (the nest-safety path).
+  uint64_t caller_tasks_executed() const {
+    return caller_tasks_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void WorkerLoop();
+  /// One worker's counters, cache-line-isolated so neighbors don't false-
+  /// share, optionally mirrored into the global metrics registry.
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> tasks{0};
+    std::atomic<uint64_t> busy_ns{0};
+    obs::Counter* registry_tasks = nullptr;    ///< named pools only
+    obs::Counter* registry_busy_ns = nullptr;  ///< named pools only
+  };
+
+  void WorkerLoop(size_t worker_index);
 
   /// Pops and runs one queued task; returns false (after waiting at most
   /// ~1 ms) when the queue was empty.
   bool RunOneQueuedTask();
 
+  /// Times and runs `task`, crediting `slot` (null for caller threads).
+  void RunTimed(const std::function<void()>& task, WorkerSlot* slot);
+
+  std::string name_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerSlot>> worker_slots_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable queue_cv_;  ///< Signals workers: task or stop.
   std::condition_variable idle_cv_;   ///< Signals waiters: queue drained.
   size_t in_flight_ = 0;              ///< Tasks popped but not yet finished.
   bool stop_ = false;
+  std::atomic<size_t> queue_hwm_{0};
+  std::atomic<uint64_t> caller_tasks_{0};
+  obs::Gauge* registry_queue_depth_ = nullptr;  ///< named pools only
 };
 
 }  // namespace coradd

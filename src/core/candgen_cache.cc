@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace coradd {
 
@@ -63,6 +65,11 @@ std::string CandidateGenKey(const Workload& workload,
 std::shared_ptr<const CandidateSet> CandidateGenCache::GetOrGenerate(
     const std::string& key,
     const std::function<CandidateSet()>& generate) {
+  TRACE_SPAN("candgen.cache_lookup");
+  static obs::Counter& reg_hits =
+      *obs::MetricsRegistry::Global().GetCounter("candgen.cache_hits");
+  static obs::Counter& reg_misses =
+      *obs::MetricsRegistry::Global().GetCounter("candgen.cache_misses");
   std::promise<std::shared_ptr<const CandidateSet>> promise;
   std::shared_future<std::shared_ptr<const CandidateSet>> future;
   bool owner = false;
@@ -78,6 +85,11 @@ std::shared_ptr<const CandidateSet> CandidateGenCache::GetOrGenerate(
       future = promise.get_future().share();
       entries_.emplace(key, future);
     }
+  }
+  if (owner) {
+    reg_misses.Add(1);
+  } else {
+    reg_hits.Add(1);
   }
   if (owner) {
     // Generate outside the lock: other keys stay available, and same-key

@@ -5,6 +5,8 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace coradd {
 
@@ -45,6 +47,10 @@ WorkloadRunResult DesignEvaluator::Run(const DatabaseDesign& design,
 
 std::vector<WorkloadRunResult> DesignEvaluator::RunMany(
     const std::vector<EvalJob>& jobs) {
+  TRACE_SPAN("core.eval_many", {{"jobs", static_cast<int64_t>(jobs.size())}});
+  static obs::Counter& jobs_run =
+      *obs::MetricsRegistry::Global().GetCounter("core.eval_jobs");
+  jobs_run.Add(jobs.size());
   // Chunk the sweep so at most ~cache_capacity_ distinct objects are
   // pinned at once — the memory bound the serial per-job path had.
   // Signatures are built once per (job, routed object), not per query.
@@ -150,6 +156,7 @@ std::vector<WorkloadRunResult> DesignEvaluator::RunChunk(
     if (slots[i].mat == nullptr) missing.push_back(i);
   }
   const auto materialize = [&](size_t mi) {
+    TRACE_SPAN("core.materialize");
     Slot& s = slots[missing[mi]];
     const Universe* universe =
         context_->UniverseForFact(s.dobj->spec.fact_table);
@@ -158,6 +165,12 @@ std::vector<WorkloadRunResult> DesignEvaluator::RunChunk(
     s.mat = materializer.Materialize(s.dobj->spec, s.dobj->cms,
                                      s.dobj->btree_columns);
   };
+  static obs::Counter& materializations =
+      *obs::MetricsRegistry::Global().GetCounter("core.materializations");
+  static obs::Counter& eval_cache_hits =
+      *obs::MetricsRegistry::Global().GetCounter("core.eval_cache_hits");
+  materializations.Add(missing.size());
+  eval_cache_hits.Add(slots.size() - missing.size());
   if (missing.size() > 1 && pool->num_threads() > 1) {
     pool->ParallelFor(missing.size(), materialize);
   } else {

@@ -7,6 +7,8 @@
 #include "common/thread_pool.h"
 #include "discovery/flat_map.h"
 #include "discovery/lattice.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace coradd {
 
@@ -111,6 +113,14 @@ DiscoveredDependencies DependencyMiner::Mine(const MinerInput& input) const {
   if (n == 0 || m == 0) return report;
   CORADD_CHECK(n < (1ull << 32));  // dense group ids are 32-bit
 
+  TRACE_SPAN("discovery.mine", {{"rows", static_cast<int64_t>(n)},
+                                {"cols", static_cast<int64_t>(m)}});
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& levels_mined =
+      *reg.GetCounter("discovery.levels_mined");
+  static obs::Counter& nodes_mined = *reg.GetCounter("discovery.lattice_nodes");
+  static obs::Counter& fds_found = *reg.GetCounter("discovery.fds_found");
+
   std::unique_ptr<ThreadPool> local_pool;
   ThreadPool* pool = AcquirePool(options_.num_threads, &local_pool);
 
@@ -168,6 +178,11 @@ DiscoveredDependencies DependencyMiner::Mine(const MinerInput& input) const {
 
   for (size_t arity = 1; arity <= options_.max_lhs_arity; ++arity) {
     if (level.empty()) break;
+    TRACE_SPAN("discovery.level",
+               {{"arity", static_cast<int64_t>(arity)},
+                {"nodes", static_cast<int64_t>(level.size())}});
+    levels_mined.Add(1);
+    nodes_mined.Add(level.size());
 
     // Refine partitions (levels >= 2; singletons arrive pre-built) and
     // validate every eligible RHS, in parallel across nodes. Writes are
@@ -259,6 +274,7 @@ DiscoveredDependencies DependencyMiner::Mine(const MinerInput& input) const {
                             &report.soft_);
   }
 
+  fds_found.Add(report.fds_.size());
   report.Finish();
   return report;
 }
@@ -281,6 +297,8 @@ size_t DependencyMiner::VerifyExactFds(const MinerInput& full,
   CORADD_CHECK(report != nullptr);
   CORADD_CHECK(full.column_names == report->column_names());
   if (report->fds_.empty()) return 0;
+  TRACE_SPAN("discovery.verify_exact_fds",
+             {{"fds", static_cast<int64_t>(report->fds_.size())}});
 
   // Full-row singleton partitions, but only for columns some exact FD
   // touches. `full` may carry values for just those columns.

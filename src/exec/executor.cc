@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace coradd {
 
@@ -173,6 +175,8 @@ void AccumulateBatch(const ColumnBatch& batch,
 void AggregateRangePartition(const QueryExecutor::Resolved& rq,
                              const MaterializedObject& obj, RowRange part,
                              size_t batch_rows, PartialAgg* pa) {
+  TRACE_SPAN("exec.partition",
+             {{"rows", static_cast<int64_t>(part.Size())}});
   pa->acc.assign(rq.aggs.size(), 0.0);
   BatchScratch scratch;
   std::vector<uint32_t> sel(
@@ -207,6 +211,7 @@ void AggregateRangePartition(const QueryExecutor::Resolved& rq,
 void AggregateRidPartition(const QueryExecutor::Resolved& rq,
                            const MaterializedObject& obj, const RowId* rids,
                            size_t count, size_t batch_rows, PartialAgg* pa) {
+  TRACE_SPAN("exec.partition", {{"rows", static_cast<int64_t>(count)}});
   pa->acc.assign(rq.aggs.size(), 0.0);
   BatchScratch scratch;
   std::vector<uint32_t> sel(std::min(batch_rows, count));
@@ -235,6 +240,9 @@ void AggregateRidPartition(const QueryExecutor::Resolved& rq,
 void MergePartitions(size_t num_parts, ThreadPool* pool,
                      const std::function<void(size_t)>& run_part,
                      std::vector<PartialAgg>* partials, QueryRunResult* out) {
+  static obs::Counter& partitions =
+      *obs::MetricsRegistry::Global().GetCounter("exec.partitions");
+  partitions.Add(num_parts);
   if (num_parts > 1 && pool->num_threads() > 1) {
     pool->ParallelFor(num_parts, run_part);
   } else {
@@ -544,6 +552,10 @@ QueryRunResult QueryExecutor::Run(const Query& q,
                                   DiskModel* disk) const {
   CORADD_CHECK(disk != nullptr);
   CORADD_CHECK(MvCanServe(q, obj.spec));
+  TRACE_SPAN_NAMED(run_span, "exec.query");
+  static obs::Counter& queries_run =
+      *obs::MetricsRegistry::Global().GetCounter("exec.queries_run");
+  queries_run.Add(1);
 
   // --- Plan selection among physically available structures.
   enum class Plan { kFull, kClustered, kCm, kBTree };
@@ -640,6 +652,8 @@ QueryRunResult QueryExecutor::Run(const Query& q,
   out.seconds = disk->elapsed_seconds() - t0;
   out.pages_read = disk->pages_read() - p0;
   out.seeks = disk->seeks() - s0;
+  run_span.Arg("plan", static_cast<int64_t>(plan));
+  run_span.Arg("pages_read", static_cast<int64_t>(out.pages_read));
   return out;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/string_util.h"
 #include "cost/mv_spec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace coradd {
 
@@ -36,6 +38,14 @@ FeedbackOutcome RunIlpFeedback(const Workload& workload,
   FeedbackOutcome out;
   out.problem = std::move(initial);
 
+  TRACE_SPAN_NAMED(
+      fb_span, "feedback.run",
+      {{"candidates", static_cast<int64_t>(out.problem.specs.size())}});
+  static obs::Counter& iterations =
+      *obs::MetricsRegistry::Global().GetCounter("feedback.iterations");
+  static obs::Counter& candidates_added =
+      *obs::MetricsRegistry::Global().GetCounter("feedback.candidates_added");
+
   std::set<std::string> known;
   for (const auto& spec : out.problem.specs) {
     known.insert(MvSpecSignature(spec));
@@ -46,6 +56,8 @@ FeedbackOutcome RunIlpFeedback(const Workload& workload,
                             warm_chosen);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    TRACE_SPAN("feedback.iteration", {{"iter", iter}});
+    iterations.Add(1);
     std::vector<MvSpec> fresh;
     auto consider = [&](std::vector<MvSpec> specs) {
       for (auto& s : specs) {
@@ -140,6 +152,7 @@ FeedbackOutcome RunIlpFeedback(const Workload& workload,
 
     out.iterations = iter + 1;
     if (fresh.empty()) break;
+    candidates_added.Add(fresh.size());
     out.candidates_added += fresh.size();
     out.pairs_priced += fresh.size() * workload.queries.size();
 
@@ -154,6 +167,8 @@ FeedbackOutcome RunIlpFeedback(const Workload& workload,
     out.result = std::move(next);
     if (!improved) break;
   }
+  fb_span.Arg("iterations", out.iterations);
+  fb_span.Arg("added", static_cast<int64_t>(out.candidates_added));
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/string_util.h"
 #include "mv/fk_clustering.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace coradd {
 
@@ -75,6 +77,12 @@ std::vector<MvSpec> MvCandidateGenerator::DesignForGroup(
 
 CandidateSet MvCandidateGenerator::Generate(const Workload& workload) const {
   CandidateSet out;
+  TRACE_SPAN_NAMED(
+      gen_span, "candgen.generate",
+      {{"queries", static_cast<int64_t>(workload.queries.size())}});
+  static obs::Counter& groups_total = *obs::MetricsRegistry::Global()
+                                           .GetCounter(
+                                               "candgen.groups_designed");
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
   for (const auto& fact : workload.FactTables()) {
@@ -106,6 +114,7 @@ CandidateSet MvCandidateGenerator::Generate(const Workload& workload) const {
           index_designer_->DesignGroup(workload, groups[g], fact);
     });
     groups_designed_.fetch_add(groups.size(), std::memory_order_relaxed);
+    groups_total.Add(groups.size());
     for (auto& specs : per_group) {
       for (auto& spec : specs) out.mvs.push_back(std::move(spec));
     }
@@ -116,6 +125,7 @@ CandidateSet MvCandidateGenerator::Generate(const Workload& workload) const {
       out.mvs.push_back(std::move(spec));
     }
   }
+  gen_span.Arg("mvs", static_cast<int64_t>(out.mvs.size()));
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace coradd {
 
@@ -198,6 +200,8 @@ std::map<double, std::vector<std::string>> ClusteredIndexDesigner::ScoreTrials(
     const std::vector<std::vector<std::string>>& trials, size_t keep) const {
   std::map<double, std::vector<std::string>> scored;
   if (trials.empty()) return scored;
+  TRACE_SPAN("candgen.price_trials",
+             {{"trials", static_cast<int64_t>(trials.size())}});
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : ThreadPool::Shared();
   const size_t block = std::max<size_t>(size_t{1}, options_.pricing_block);
@@ -258,6 +262,12 @@ std::map<double, std::vector<std::string>> ClusteredIndexDesigner::ScoreTrials(
   }
   trials_priced_.fetch_add(n_priced, std::memory_order_relaxed);
   trials_pruned_.fetch_add(n_pruned, std::memory_order_relaxed);
+  static obs::Counter& reg_priced =
+      *obs::MetricsRegistry::Global().GetCounter("candgen.trials_priced");
+  static obs::Counter& reg_pruned =
+      *obs::MetricsRegistry::Global().GetCounter("candgen.trials_pruned");
+  reg_priced.Add(n_priced);
+  reg_pruned.Add(n_pruned);
   return scored;
 }
 
@@ -265,6 +275,8 @@ std::vector<MvSpec> ClusteredIndexDesigner::DesignGroup(
     const Workload& workload, const QueryGroup& group,
     const std::string& fact_table, int t_override) const {
   CORADD_CHECK(!group.empty());
+  TRACE_SPAN("candgen.group_design",
+             {{"queries", static_cast<int64_t>(group.size())}});
   const int t = t_override > 0 ? t_override : options_.t;
   const size_t keep = static_cast<size_t>(std::max(1, t));
   const UniverseStats* stats = registry_->ForFact(fact_table);

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace coradd {
+namespace obs {
+
+namespace {
+
+/// Bucket index = bit width of the value (0 -> bucket 0).
+size_t BucketOf(uint64_t v) { return static_cast<size_t>(std::bit_width(v)); }
+
+/// Inclusive upper bound of bucket b.
+uint64_t BucketUpper(size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return UINT64_MAX;
+  return (uint64_t{1} << b) - 1;
+}
+
+std::string HumanCount(uint64_t v) {
+  char buf[32];
+  if (v >= 10000000) {
+    std::snprintf(buf, sizeof(buf), "%llu.%lluM",
+                  static_cast<unsigned long long>(v / 1000000),
+                  static_cast<unsigned long long>(v % 1000000 / 100000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t v) {
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > rank) return BucketUpper(b);
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, MetricSnapshot::Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, e] : entries_) {
+    if (n == name) {
+      // A name identifies one metric of one kind; mixed lookups are bugs.
+      return e.kind == kind ? &e : nullptr;
+    }
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricSnapshot::Kind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricSnapshot::Kind::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.emplace_back(name, std::move(e));
+  return &entries_.back().second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Entry* e = FindOrCreate(name, MetricSnapshot::Kind::kCounter);
+  return e != nullptr ? e->counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Entry* e = FindOrCreate(name, MetricSnapshot::Kind::kGauge);
+  return e != nullptr ? e->gauge.get() : nullptr;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Entry* e = FindOrCreate(name, MetricSnapshot::Kind::kHistogram);
+  return e != nullptr ? e->histogram.get() : nullptr;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) {
+      MetricSnapshot s;
+      s.name = name;
+      s.kind = e.kind;
+      switch (e.kind) {
+        case MetricSnapshot::Kind::kCounter:
+          s.value = e.counter->Value();
+          break;
+        case MetricSnapshot::Kind::kGauge:
+          s.gauge_value = e.gauge->Value();
+          s.gauge_max = e.gauge->Max();
+          break;
+        case MetricSnapshot::Kind::kHistogram:
+          s.count = e.histogram->Count();
+          s.sum = e.histogram->Sum();
+          s.mean = e.histogram->Mean();
+          s.min = e.histogram->Min();
+          s.max = e.histogram->Max();
+          s.p50 = e.histogram->Quantile(0.50);
+          s.p99 = e.histogram->Quantile(0.99);
+          break;
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MetricsRegistry::Dump() const {
+  const std::vector<MetricSnapshot> snaps = Snapshot();
+  size_t width = 24;
+  for (const auto& s : snaps) width = std::max(width, s.name.size() + 2);
+  std::string out = "=== metrics ===\n";
+  char buf[192];
+  for (const auto& s : snaps) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-*s counter    %s\n",
+                      static_cast<int>(width), s.name.c_str(),
+                      HumanCount(s.value).c_str());
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-*s gauge      %lld (max %lld)\n",
+                      static_cast<int>(width), s.name.c_str(),
+                      static_cast<long long>(s.gauge_value),
+                      static_cast<long long>(s.gauge_max));
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      "%-*s histogram  n=%s sum=%s mean=%.1f "
+                      "p50<=%s p99<=%s max=%s\n",
+                      static_cast<int>(width), s.name.c_str(),
+                      HumanCount(s.count).c_str(), HumanCount(s.sum).c_str(),
+                      s.mean, HumanCount(s.p50).c_str(),
+                      HumanCount(s.p99).c_str(), HumanCount(s.max).c_str());
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        e.counter->Reset();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        e.gauge->Reset();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        e.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::string DumpMetrics() { return MetricsRegistry::Global().Dump(); }
+
+}  // namespace obs
+}  // namespace coradd

@@ -1,0 +1,156 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// shared by every subsystem. This is the home the scattered stats atomics
+// migrated to — SolverStats / CandGenStats remain as per-call views, but
+// the process totals (solver nodes, candgen trials, thread-pool worker
+// utilization, executor partitions, ...) all live here, dumpable as one
+// table (DumpMetrics) and exported into schema-v2 BENCH_*.json as the
+// "obs_metrics" section.
+//
+// Concurrency: every mutation is one relaxed atomic RMW; the registry
+// mutex guards only name -> metric creation. Call sites cache the returned
+// pointer (metrics are never deleted), so the hot path never takes a lock
+// or hashes a string:
+//
+//   static obs::Counter& nodes =
+//       *obs::MetricsRegistry::Global().GetCounter("solver.nodes_expanded");
+//   nodes.Add(wave_nodes);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coradd {
+namespace obs {
+
+/// Monotonically increasing counter.
+class alignas(64) Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge that also tracks its high-water mark (the queue-depth
+/// use case: Set() on every sample, Max() answers "how deep did it get").
+class alignas(64) Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  void Add(int64_t delta) {
+    UpdateMax(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  /// Raises the high-water mark without touching the current value.
+  void UpdateMax(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Power-of-two-bucket histogram over non-negative integer observations
+/// (typically nanoseconds or counts): bucket b holds values with bit width
+/// b, so quantiles are exact to within 2x. Observe() is two relaxed RMWs.
+class alignas(64) Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Observe(uint64_t v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// Upper bound of the bucket containing quantile `q` in [0, 1].
+  uint64_t Quantile(double q) const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time copy of one metric, for dumping/export.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  // Counter: value. Gauge: value + max. Histogram: count/sum/mean/min/max
+  // and the p50/p99 bucket bounds.
+  uint64_t value = 0;
+  int64_t gauge_value = 0;
+  int64_t gauge_max = 0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  double mean = 0.0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+};
+
+/// Name-keyed metric store. Get*() creates on first use and always returns
+/// the same object for a name; returned pointers stay valid for the
+/// process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Human-readable table of every registered metric (the bench --metrics
+  /// flag and DumpMetrics() free function).
+  std::string Dump() const;
+
+  /// Zeroes every metric's value, keeping registrations (and therefore
+  /// every cached pointer) intact. Test isolation only.
+  void ResetAllForTest();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Entry>> entries_;  ///< insertion order
+
+  Entry* FindOrCreate(const std::string& name, MetricSnapshot::Kind kind);
+};
+
+/// MetricsRegistry::Global().Dump() — the one-call process-health table.
+std::string DumpMetrics();
+
+}  // namespace obs
+}  // namespace coradd

@@ -1,0 +1,203 @@
+// Low-overhead span tracer: RAII TRACE_SPAN macros record complete-event
+// ("X") begin/duration pairs into per-thread lock-free ring buffers, flushed
+// on demand to Chrome trace-event JSON (loadable in chrome://tracing and
+// Perfetto). Every layer of the pipeline is instrumented — discovery
+// lattice levels, candidate generation and trial pricing, solver waves,
+// feedback iterations, executor partitions, evaluator jobs, thread-pool
+// tasks — so one trace file shows where a design run's time goes across
+// all threads.
+//
+// Cost contract: when tracing is disabled (the default) a span is one
+// relaxed atomic load and a branch — well under the 25 ns/span budget
+// bench_micro's obs_span_disabled case enforces in the smoke suite. When
+// enabled, recording is wait-free: each thread owns a private ring buffer
+// (drop-oldest on overflow, dropped events counted) and registration is
+// the only mutex-touching operation, once per thread.
+//
+// Determinism contract: spans observe, never steer. Enabling tracing must
+// not change any computed result (tests/obs_test.cc proves bit-identity of
+// a full design+evaluate pipeline with tracing on vs off).
+//
+// Enabling:
+//   - CORADD_TRACE=<path>   traces the whole process, written at exit.
+//   - benchkit --trace=<path> traces a bench's reporting pass (pass 0).
+//   - obs::Tracer::Global().Start() / StopAndWrite(path) programmatically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace coradd {
+namespace obs {
+
+/// One key/value span annotation; keys must be string literals (the
+/// recorder stores the pointer, never a copy).
+struct SpanArg {
+  const char* key;
+  int64_t value;
+};
+
+/// One complete span, fixed-size so ring slots never allocate. `name` must
+/// be a string literal; the Chrome "cat" field is derived at flush time
+/// from the name's dotted prefix ("solver.wave" -> cat "solver").
+struct TraceEvent {
+  static constexpr uint32_t kMaxArgs = 4;
+  const char* name = nullptr;
+  uint64_t ts_ns = 0;   ///< begin, relative to the tracer epoch
+  uint64_t dur_ns = 0;
+  uint32_t num_args = 0;
+  const char* arg_keys[kMaxArgs] = {};
+  int64_t arg_vals[kMaxArgs] = {};
+};
+
+namespace trace_internal {
+/// The global enabled flag, read directly by TRACE_SPAN's fast path.
+extern std::atomic<bool> g_enabled;
+}  // namespace trace_internal
+
+/// True when span recording is on. One relaxed load — the disabled span
+/// fast path in its entirety.
+inline bool TraceEnabled() {
+  return trace_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide trace recorder. Owns every thread's ring buffer (buffers
+/// outlive their threads so late flushes read completed work).
+class Tracer {
+ public:
+  /// Events kept per thread; older events are overwritten (drop-oldest).
+  static constexpr size_t kThreadBufferCapacity = 8192;
+
+  /// The singleton. Never destroyed (avoids shutdown-order races with
+  /// worker threads); reads CORADD_TRACE on first use and, when set,
+  /// starts tracing and registers an at-exit flush to that path.
+  static Tracer& Global();
+
+  /// Enables span recording. Previously recorded events are kept; call
+  /// Clear() first for a fresh capture.
+  void Start();
+
+  /// Disables span recording. In-flight spans on other threads may still
+  /// land; quiesce worker pools before flushing for an exact cut.
+  void Stop();
+
+  /// Drops all recorded events and resets the drop counters.
+  void Clear();
+
+  /// Stop() + WriteChromeTrace(path) + Clear(), the bench `--trace` flow.
+  bool StopAndWrite(const std::string& path);
+
+  /// Serializes every recorded event as a Chrome trace-event JSON document
+  /// ({"traceEvents":[...]} with "X" spans and "M" thread-name metadata;
+  /// ts/dur in microseconds, locale-independent formatting).
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`. Returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Events currently held across all thread buffers.
+  uint64_t recorded_events() const;
+  /// Events overwritten by drop-oldest overflow since the last Clear().
+  uint64_t dropped_events() const;
+
+  /// Records one finished span into the calling thread's ring buffer.
+  /// Wait-free after the thread's first call (which registers the buffer).
+  void Record(const TraceEvent& event);
+
+  /// Nanoseconds since the tracer epoch (steady clock).
+  static uint64_t NowNs();
+
+  /// Labels the calling thread in flushed traces ("M" thread_name
+  /// metadata). The thread pool names its workers; main is "main".
+  static void SetCurrentThreadName(const std::string& name);
+
+  /// One thread's ring buffer; defined in trace.cc (the thread_local cache
+  /// there needs to name the type, hence the public forward declaration).
+  struct ThreadBuffer;
+
+ private:
+  Tracer();
+  struct Impl;
+  Impl* impl_;  ///< leaked with the singleton
+};
+
+/// RAII span: stamps the begin time at construction, records the complete
+/// event at destruction. Construct via the TRACE_SPAN macros.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     std::initializer_list<SpanArg> args = {}) {
+    if (!TraceEnabled()) return;
+    active_ = true;
+    event_.name = name;
+    for (const SpanArg& a : args) {
+      if (event_.num_args >= TraceEvent::kMaxArgs) break;
+      event_.arg_keys[event_.num_args] = a.key;
+      event_.arg_vals[event_.num_args] = a.value;
+      ++event_.num_args;
+    }
+    event_.ts_ns = Tracer::NowNs();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an annotation whose value is only known mid-span (e.g. nodes
+  /// expanded by a solver wave). No-op when tracing was off at entry.
+  void Arg(const char* key, int64_t value) {
+    if (!active_ || event_.num_args >= TraceEvent::kMaxArgs) return;
+    event_.arg_keys[event_.num_args] = key;
+    event_.arg_vals[event_.num_args] = value;
+    ++event_.num_args;
+  }
+
+  ~TraceSpan() {
+    if (!active_) return;
+    event_.dur_ns = Tracer::NowNs() - event_.ts_ns;
+    Tracer::Global().Record(event_);
+  }
+
+ private:
+  TraceEvent event_;
+  bool active_ = false;
+};
+
+/// Scoped trace capture for binaries (examples, tools): when `path` is
+/// non-empty, starts tracing on construction and writes the file on
+/// destruction. See FromArgs() for the shared --trace=<path> handling.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path);
+  TraceSession(TraceSession&& other) noexcept;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  TraceSession& operator=(TraceSession&&) = delete;
+  ~TraceSession();
+
+  bool active() const { return !path_.empty(); }
+
+  /// Parses --trace=<path> from argv; inactive session when absent.
+  static TraceSession FromArgs(int argc, char** argv);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace obs
+}  // namespace coradd
+
+#define CORADD_OBS_CONCAT2(a, b) a##b
+#define CORADD_OBS_CONCAT(a, b) CORADD_OBS_CONCAT2(a, b)
+
+/// Traces the enclosing scope as one span:
+///   TRACE_SPAN("solver.wave");
+///   TRACE_SPAN("solver.wave", {{"nodes", n}, {"width", w}});
+#define TRACE_SPAN(...)                                      \
+  ::coradd::obs::TraceSpan CORADD_OBS_CONCAT(coradd_span_at_, \
+                                             __LINE__)(__VA_ARGS__)
+
+/// As TRACE_SPAN, but binds the span to `var` so the body can attach
+/// late-bound annotations via var.Arg(key, value).
+#define TRACE_SPAN_NAMED(var, ...) ::coradd::obs::TraceSpan var(__VA_ARGS__)

@@ -7,6 +7,8 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/subproblem.h"
 
 namespace coradd {
@@ -66,6 +68,9 @@ SelectionResult SolverEngine::Solve(const SelectionProblem& problem,
   SolverStats local;
   local.solves = 1;
 
+  TRACE_SPAN_NAMED(
+      solve_span, "solver.solve",
+      {{"candidates", static_cast<int64_t>(problem.NumCandidates())}});
   const CompiledProblem cp = solver_internal::CompileProblem(problem);
   const uint64_t nodes_per_task = options_.nodes_per_task > 0
                                       ? options_.nodes_per_task
@@ -138,10 +143,16 @@ SelectionResult SolverEngine::Solve(const SelectionProblem& problem,
           cp, std::move(wave[t]), wave_incumbent, task_budget,
           options_.relative_gap);
     };
-    if (pool != nullptr && width > 1) {
-      pool->ParallelFor(width, run_task);
-    } else {
-      for (size_t t = 0; t < width; ++t) run_task(t);
+    {
+      TRACE_SPAN("solver.wave",
+                 {{"wave", static_cast<int64_t>(local.waves)},
+                  {"tasks", static_cast<int64_t>(width)},
+                  {"open", static_cast<int64_t>(open.size())}});
+      if (pool != nullptr && width > 1) {
+        pool->ParallelFor(width, run_task);
+      } else {
+        for (size_t t = 0; t < width; ++t) run_task(t);
+      }
     }
 
     // Ordered merge: task order — never completion order — decides ties.
@@ -184,6 +195,38 @@ SelectionResult SolverEngine::Solve(const SelectionProblem& problem,
   local.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  solve_span.Arg("nodes", static_cast<int64_t>(local.nodes_expanded));
+  solve_span.Arg("waves", static_cast<int64_t>(local.waves));
+
+  // Process totals live in the registry; `local` stays the per-solve view
+  // (SolverStats consumers see unchanged per-call values). Pointers are
+  // cached — the post-solve mirror is a handful of relaxed adds.
+  {
+    auto& reg = obs::MetricsRegistry::Global();
+    static obs::Counter& solves = *reg.GetCounter("solver.solves");
+    static obs::Counter& nodes = *reg.GetCounter("solver.nodes_expanded");
+    static obs::Counter& prunes = *reg.GetCounter("solver.bound_prunes");
+    static obs::Counter& shortcuts = *reg.GetCounter("solver.leaf_shortcuts");
+    static obs::Counter& incumbents =
+        *reg.GetCounter("solver.incumbent_updates");
+    static obs::Counter& waves_total = *reg.GetCounter("solver.waves");
+    static obs::Counter& tasks_total = *reg.GetCounter("solver.tasks");
+    static obs::Counter& warm_solves = *reg.GetCounter("solver.warm_solves");
+    static obs::Counter& warm_wins = *reg.GetCounter("solver.warm_wins");
+    static obs::Histogram& solve_us =
+        *reg.GetHistogram("solver.solve_micros");
+    solves.Add(local.solves);
+    nodes.Add(local.nodes_expanded);
+    prunes.Add(local.bound_prunes);
+    shortcuts.Add(local.leaf_shortcuts);
+    incumbents.Add(local.incumbent_updates);
+    waves_total.Add(local.waves);
+    tasks_total.Add(local.tasks);
+    warm_solves.Add(local.warm_solves);
+    warm_wins.Add(local.warm_wins);
+    solve_us.Observe(static_cast<uint64_t>(local.wall_seconds * 1e6));
+  }
+
   if (stats != nullptr) stats->Accumulate(local);
   return out;
 }
