@@ -49,17 +49,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
-    depth = queue_.size();
-  }
-  if (depth > queue_hwm_.load(std::memory_order_relaxed)) {
-    queue_hwm_.store(depth, std::memory_order_relaxed);
-  }
-  if (registry_queue_depth_ != nullptr) {
-    registry_queue_depth_->Set(static_cast<int64_t>(depth));
+    const size_t depth = queue_.size();
+    // Published under mu_ so concurrent Submits can't lose a higher
+    // high-water value or publish depths out of order (Submit is the only
+    // writer of queue_hwm_, so a load+store suffices while serialized).
+    if (depth > queue_hwm_.load(std::memory_order_relaxed)) {
+      queue_hwm_.store(depth, std::memory_order_relaxed);
+    }
+    if (registry_queue_depth_ != nullptr) {
+      registry_queue_depth_->Set(static_cast<int64_t>(depth));
+    }
   }
   queue_cv_.notify_one();
 }

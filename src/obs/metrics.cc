@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <cstdlib>
 
 namespace coradd {
 namespace obs {
@@ -84,13 +85,39 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
-MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
-    const std::string& name, MetricSnapshot::Kind kind) {
+void* MetricsRegistry::FindOrCreate(const std::string& name,
+                                    MetricSnapshot::Kind kind) {
+  // The metric pointer is resolved before releasing mu_: emplace_back can
+  // reallocate entries_, so an Entry* held across the unlock would dangle
+  // under concurrent first-use registration (two pool workers creating
+  // different metrics at once). The metric objects themselves are
+  // heap-owned and never move.
+  auto metric_of = [](Entry& e) -> void* {
+    switch (e.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        return e.counter.get();
+      case MetricSnapshot::Kind::kGauge:
+        return e.gauge.get();
+      case MetricSnapshot::Kind::kHistogram:
+        return e.histogram.get();
+    }
+    return nullptr;
+  };
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [n, e] : entries_) {
     if (n == name) {
-      // A name identifies one metric of one kind; mixed lookups are bugs.
-      return e.kind == kind ? &e : nullptr;
+      if (e.kind != kind) {
+        // A name identifies one metric of one kind; every caller
+        // dereferences the result, so fail loudly at the naming bug
+        // instead of handing back a null or corrupt reinterpretation.
+        std::fprintf(stderr,
+                     "MetricsRegistry: metric '%s' requested as kind %d but "
+                     "already registered as kind %d\n",
+                     name.c_str(), static_cast<int>(kind),
+                     static_cast<int>(e.kind));
+        std::abort();
+      }
+      return metric_of(e);
     }
   }
   Entry e;
@@ -107,22 +134,21 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
       break;
   }
   entries_.emplace_back(name, std::move(e));
-  return &entries_.back().second;
+  return metric_of(entries_.back().second);
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  Entry* e = FindOrCreate(name, MetricSnapshot::Kind::kCounter);
-  return e != nullptr ? e->counter.get() : nullptr;
+  return static_cast<Counter*>(
+      FindOrCreate(name, MetricSnapshot::Kind::kCounter));
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  Entry* e = FindOrCreate(name, MetricSnapshot::Kind::kGauge);
-  return e != nullptr ? e->gauge.get() : nullptr;
+  return static_cast<Gauge*>(FindOrCreate(name, MetricSnapshot::Kind::kGauge));
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  Entry* e = FindOrCreate(name, MetricSnapshot::Kind::kHistogram);
-  return e != nullptr ? e->histogram.get() : nullptr;
+  return static_cast<Histogram*>(
+      FindOrCreate(name, MetricSnapshot::Kind::kHistogram));
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {

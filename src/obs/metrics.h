@@ -116,7 +116,9 @@ struct MetricSnapshot {
 
 /// Name-keyed metric store. Get*() creates on first use and always returns
 /// the same object for a name; returned pointers stay valid for the
-/// process lifetime.
+/// process lifetime. Requesting an existing name as a different kind is a
+/// naming bug and aborts with a diagnostic (every call site dereferences
+/// the result unconditionally).
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -146,7 +148,11 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, Entry>> entries_;  ///< insertion order
 
-  Entry* FindOrCreate(const std::string& name, MetricSnapshot::Kind kind);
+  /// Returns the metric object (Counter*/Gauge*/Histogram* per `kind`),
+  /// resolved while holding mu_ — entries_ may reallocate under concurrent
+  /// creation, so Entry pointers must never escape the lock. Aborts on a
+  /// name/kind collision.
+  void* FindOrCreate(const std::string& name, MetricSnapshot::Kind kind);
 };
 
 /// MetricsRegistry::Global().Dump() — the one-call process-health table.

@@ -73,13 +73,54 @@ void AppendQuoted(std::string* out, const char* s) {
 
 /// One thread's ring. `head` counts every push ever made; the newest
 /// min(head, capacity) slots are live, anything older was dropped-oldest.
+///
+/// Slots are seqlock-protected so a flusher on another thread (the
+/// CORADD_TRACE atexit hook, a --trace write while caller-owned pools are
+/// still running) never reads a torn event: every field is an atomic, and
+/// `seq` brackets each write with the slot's push number — odd while the
+/// owning thread is storing, 2*push+2 once complete. A reader that doesn't
+/// see the exact even value it expects discards the slot, which is just
+/// drop-oldest semantics surfacing at flush time.
 struct Tracer::ThreadBuffer {
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint32_t> num_args{0};
+    std::atomic<const char*> arg_keys[TraceEvent::kMaxArgs] = {};
+    std::atomic<int64_t> arg_vals[TraceEvent::kMaxArgs] = {};
+  };
+
   explicit ThreadBuffer(uint32_t tid_in) : tid(tid_in) {}
   const uint32_t tid;
   std::string name;  ///< set before the thread records (SetCurrentThreadName)
   std::atomic<uint64_t> head{0};
-  TraceEvent events[Tracer::kThreadBufferCapacity];
+  Slot events[Tracer::kThreadBufferCapacity];
 };
+
+namespace {
+
+/// Seqlock read of the slot holding push number `push`. Returns false (and
+/// leaves *out unspecified) when the slot was overwritten or mid-write.
+bool ReadSlot(const Tracer::ThreadBuffer::Slot& s, uint64_t push,
+              TraceEvent* out) {
+  const uint64_t want = 2 * push + 2;
+  if (s.seq.load(std::memory_order_acquire) != want) return false;
+  out->name = s.name.load(std::memory_order_relaxed);
+  out->ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+  out->dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+  out->num_args = std::min(s.num_args.load(std::memory_order_relaxed),
+                           TraceEvent::kMaxArgs);
+  for (uint32_t a = 0; a < out->num_args; ++a) {
+    out->arg_keys[a] = s.arg_keys[a].load(std::memory_order_relaxed);
+    out->arg_vals[a] = s.arg_vals[a].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return s.seq.load(std::memory_order_relaxed) == want;
+}
+
+}  // namespace
 
 struct Tracer::Impl {
   std::mutex registry_mu;
@@ -121,6 +162,15 @@ Tracer& Tracer::Global() {
   return *tracer;
 }
 
+namespace {
+/// Constructs the singleton before main(): TRACE_SPAN's fast path only
+/// reads g_enabled and never touches Global(), so without this a process
+/// that sets CORADD_TRACE but never names a pool worker or opens a
+/// TraceSession would silently trace nothing (and early main-thread spans
+/// would be lost even when it does).
+const bool g_tracer_bootstrap = (Tracer::Global(), true);
+}  // namespace
+
 void Tracer::Start() {
   trace_internal::g_enabled.store(true, std::memory_order_relaxed);
 }
@@ -158,12 +208,23 @@ void Tracer::SetCurrentThreadName(const std::string& name) {
 void Tracer::Record(const TraceEvent& event) {
   if (t_buffer == nullptr) t_buffer = impl_->RegisterCurrentThread();
   ThreadBuffer& b = *t_buffer;
-  // Single-writer ring: only the owning thread pushes, so a plain slot
-  // store ordered before the head bump is enough for flushers, which read
-  // head first and skip the (possibly in-flight) newest slot's race window
-  // only when a thread records concurrently with a flush.
+  // Single-writer ring: only the owning thread pushes. The seqlock write
+  // protocol (odd seq -> fields -> even seq) keeps concurrent flushers
+  // well-defined: they validate seq around their reads and discard any
+  // slot this store sequence is racing with.
   const uint64_t h = b.head.load(std::memory_order_relaxed);
-  b.events[h % kThreadBufferCapacity] = event;
+  ThreadBuffer::Slot& s = b.events[h % kThreadBufferCapacity];
+  s.seq.store(2 * h + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.name.store(event.name, std::memory_order_relaxed);
+  s.ts_ns.store(event.ts_ns, std::memory_order_relaxed);
+  s.dur_ns.store(event.dur_ns, std::memory_order_relaxed);
+  s.num_args.store(event.num_args, std::memory_order_relaxed);
+  for (uint32_t a = 0; a < event.num_args; ++a) {
+    s.arg_keys[a].store(event.arg_keys[a], std::memory_order_relaxed);
+    s.arg_vals[a].store(event.arg_vals[a], std::memory_order_relaxed);
+  }
+  s.seq.store(2 * h + 2, std::memory_order_release);
   b.head.store(h + 1, std::memory_order_release);
 }
 
@@ -211,8 +272,12 @@ std::string Tracer::ToChromeTraceJson() const {
     const uint64_t head = b->head.load(std::memory_order_acquire);
     const uint64_t kept = std::min<uint64_t>(head, kThreadBufferCapacity);
     for (uint64_t j = head - kept; j < head; ++j) {
-      const TraceEvent& e = b->events[j % kThreadBufferCapacity];
-      if (e.name == nullptr) continue;  // slot raced with a concurrent push
+      TraceEvent e;
+      // Seqlock-validated copy: a slot the owning thread is concurrently
+      // overwriting fails validation and is skipped (it was about to be
+      // dropped-oldest anyway).
+      if (!ReadSlot(b->events[j % kThreadBufferCapacity], j, &e)) continue;
+      if (e.name == nullptr) continue;
       out += ",\n{\"name\":";
       AppendQuoted(&out, e.name);
       // Category = the dotted subsystem prefix of the span name.

@@ -91,7 +91,9 @@ class Tracer {
 
   /// Serializes every recorded event as a Chrome trace-event JSON document
   /// ({"traceEvents":[...]} with "X" spans and "M" thread-name metadata;
-  /// ts/dur in microseconds, locale-independent formatting).
+  /// ts/dur in microseconds, locale-independent formatting). Safe against
+  /// threads still recording: slots are seqlock-versioned, so an event
+  /// being concurrently overwritten is discarded, never read torn.
   std::string ToChromeTraceJson() const;
 
   /// Writes ToChromeTraceJson() to `path`. Returns false on I/O failure.

@@ -210,11 +210,21 @@ TEST(ObsMetricsTest, CounterHammering) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(c->Value(), kThreads * kPerThread);
-  // Same name -> same object; mismatched kind -> nullptr, never a corrupt
-  // reinterpretation.
+  // Same name -> same object.
   EXPECT_EQ(reg.GetCounter("test.hammer_counter"), c);
-  EXPECT_EQ(reg.GetGauge("test.hammer_counter"), nullptr);
 }
+
+#if GTEST_HAS_DEATH_TEST
+TEST(ObsMetricsDeathTest, KindCollisionAborts) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("test.collision_counter");
+  // Requesting an existing name as a different kind is a naming bug; the
+  // registry aborts with a diagnostic rather than returning a pointer the
+  // call site would blindly dereference.
+  EXPECT_DEATH(reg.GetGauge("test.collision_counter"),
+               "already registered");
+}
+#endif
 
 TEST(ObsMetricsTest, HistogramHammering) {
   auto& reg = obs::MetricsRegistry::Global();
