@@ -15,12 +15,27 @@
 // is off, and `--assert-span-ns=N` turns its mean into a hard gate (exit 1
 // above N ns/span) — the obs_overhead_smoke ctest pins the <25 ns contract.
 // `--only=<substr>` runs just the matching cases.
+//
+// The parallel_for_* cases A/B the two ThreadPool::ParallelFor engines
+// (docs/SCHEDULER.md) on an 8-worker pool: a uniform spin loop where the
+// work-stealing path must match the fixed-chunk path (scheduling overhead
+// only — the lazy-split check is one relaxed load per iteration), and a
+// planted power-law-skewed loop (costs ~1/(n-i), heaviest last, so the
+// fat tail lands inside the final fixed chunk) where lazy binary splitting
+// must rebalance. Sleep-based skewed iterations overlap regardless of host
+// core count, so the imbalance signal survives 1-core CI runners.
+// `--assert-skew-speedup=X` gates steal-vs-fixed on the skewed case: exit 1
+// unless the speedup is >= X and Welch-significant at the 5% level — the
+// scheduler_bench_smoke ctest pins the >=1.5x contract from ISSUE 8.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ilp/lp.h"
 #include "mv/kmeans.h"
 #include "obs/metrics.h"
@@ -73,11 +88,11 @@ bool CaseSelected(const std::string& name) {
 }
 
 /// Measures one micro case and records it as a metric named `name` in the
-/// shared BENCH_micro.json. Returns the mean seconds per iteration (0.0
-/// when the case was filtered out by --only).
+/// shared BENCH_micro.json. Returns the per-repetition samples (empty when
+/// the case was filtered out by --only) for downstream Welch comparisons.
 template <typename Fn>
-double RunCase(Harness& h, const std::string& name, Fn&& op) {
-  if (!CaseSelected(name)) return 0.0;
+ThroughputResult RunCase(Harness& h, const std::string& name, Fn&& op) {
+  if (!CaseSelected(name)) return ThroughputResult{};
   ThroughputOptions opts;
   opts.warmup = std::max(1, h.warmup());
   opts.repetitions = h.repetitions();
@@ -88,7 +103,7 @@ double RunCase(Harness& h, const std::string& name, Fn&& op) {
             StrFormat("%.1f%%", 100.0 * s.rsd()),
             std::to_string(r.iterations)});
   h.json().MetricSamples(name, "s", r.samples, r.warmup_samples);
-  return s.mean;
+  return r;
 }
 
 }  // namespace
@@ -98,6 +113,8 @@ int main(int argc, char** argv) {
   g_only = FlagValue(argc, argv, "only", "");
   const double assert_span_ns =
       FlagDouble(argc, argv, "assert-span-ns", 0.0);
+  const double assert_skew_speedup =
+      FlagDouble(argc, argv, "assert-skew-speedup", 0.0);
   const size_t big_rows = h.fast() ? 100000 : 1000000;
 
   PrintHeader("substrate microbenchmarks (per-iteration, 95% CI)",
@@ -170,14 +187,68 @@ int main(int argc, char** argv) {
             [&] { Consume(SolveLp(lp)); });
   }
 
+  // --- ParallelFor engines: work-stealing vs legacy fixed-chunk on a
+  // dedicated 8-worker pool (the thread count the ISSUE 8 gate names; the
+  // shared pool stays untouched so CORADD_THREADS doesn't skew the A/B).
+  std::vector<double> skew_steal, skew_fixed;
+  {
+    ThreadPool pool(8, "micro");
+    const ParallelForOptions steal{ParallelForStrategy::kWorkStealing};
+    const ParallelForOptions fixed{ParallelForStrategy::kFixedChunk};
+
+    // Uniform: 8192 identical ~40 ns spin bodies. Both engines are bound by
+    // the body; the work-stealing path may only add its one-relaxed-load
+    // split check on top, which the bench-regress baseline gate pins.
+    constexpr size_t kUniformN = 8192;
+    auto spin_body = [](size_t i) {
+      double acc = static_cast<double>(i) + 1.0;
+      for (int k = 0; k < 16; ++k) acc = acc * 1.0000001 + 0.5;
+      Consume(acc);
+    };
+    RunCase(h, "parallel_for_uniform",
+            [&] { pool.ParallelFor(kUniformN, spin_body, steal); });
+    RunCase(h, "parallel_for_uniform_fixed",
+            [&] { pool.ParallelFor(kUniformN, spin_body, fixed); });
+
+    // Skewed: planted power-law sleep costs growing toward the end of the
+    // range — cost(i) = max(3500/(n-i), 40) us over 256 iterations (~20 ms
+    // total), the work-list-sorted-ascending-by-size shape where the fat
+    // tail lands in the final fixed chunk: iterations [248, 256) alone cost
+    // ~9.5 ms, serialized on whichever worker claims that chunk while the
+    // rest sit idle. Lazy splitting publishes the heavy *upper* half of a
+    // range before running the cheap half, so thieves peel the tail apart
+    // down to single iterations and the wall clock is bounded by the one
+    // 3.5 ms heaviest body. The 40 us floor keeps every sleep above
+    // timer-slack noise. (Heaviest-*first* power laws are the scheduler's
+    // worst case — the owner keeps the lower half, so the head chain
+    // serializes — which is exactly why the split rule gives away the
+    // unstarted upper half: sorted work lists put the fat items at one end,
+    // and the engine must win when that end is the stealable one.)
+    constexpr size_t kSkewN = 256;
+    std::vector<std::chrono::microseconds> cost(kSkewN);
+    for (size_t i = 0; i < kSkewN; ++i) {
+      cost[i] = std::chrono::microseconds(
+          std::max<int64_t>(3500 / static_cast<int64_t>(kSkewN - i), 40));
+    }
+    auto skew_body = [&](size_t i) { std::this_thread::sleep_for(cost[i]); };
+    skew_steal = RunCase(h, "parallel_for_skewed", [&] {
+                   pool.ParallelFor(kSkewN, skew_body, steal);
+                 }).samples;
+    skew_fixed = RunCase(h, "parallel_for_skewed_fixed", [&] {
+                   pool.ParallelFor(kSkewN, skew_body, fixed);
+                 }).samples;
+  }
+
   // --- Observability substrate costs. Tracing state is set explicitly per
   // case so the disabled number is the cost every instrumented scope in
   // the codebase pays during normal (untraced) runs.
   obs::Tracer::Global().Stop();
-  const double disabled_mean = RunCase(h, "obs_span_disabled", [] {
+  const ThroughputResult disabled_r = RunCase(h, "obs_span_disabled", [] {
     TRACE_SPAN("micro.probe", {{"k", 1}});
     Consume(obs::TraceEnabled());
   });
+  const double disabled_mean =
+      disabled_r.samples.empty() ? 0.0 : Summarize(disabled_r.samples).mean;
   if (CaseSelected("obs_span_enabled")) {
     obs::Tracer::Global().Clear();
     obs::Tracer::Global().Start();
@@ -199,6 +270,26 @@ int main(int argc, char** argv) {
 
   const int rc = h.Finish();
   if (rc != 0) return rc;
+  if (assert_skew_speedup > 0.0 && !skew_steal.empty() &&
+      !skew_fixed.empty()) {
+    const double steal_mean = Summarize(skew_steal).mean;
+    const double fixed_mean = Summarize(skew_fixed).mean;
+    const double speedup = steal_mean > 0.0 ? fixed_mean / steal_mean : 0.0;
+    const benchkit::WelchResult w =
+        benchkit::WelchTTest(skew_fixed, skew_steal);
+    if (speedup < assert_skew_speedup || !w.significant) {
+      std::fprintf(stderr,
+                   "FAIL: parallel_for_skewed steal-vs-fixed speedup %.2fx "
+                   "(need >= %.2fx, Welch %ssignificant, t=%.2f df=%.1f)\n",
+                   speedup, assert_skew_speedup, w.significant ? "" : "NOT ",
+                   w.t, w.df);
+      return 1;
+    }
+    std::printf(
+        "parallel_for_skewed speedup %.2fx over fixed-chunk (>= %.2fx, "
+        "Welch t=%.2f df=%.1f, significant)\n",
+        speedup, assert_skew_speedup, w.t, w.df);
+  }
   if (assert_span_ns > 0.0 && CaseSelected("obs_span_disabled")) {
     // Sanitizer builds intercept every memory access; the contract is for
     // production builds, so the budget widens rather than gates noise.

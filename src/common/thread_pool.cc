@@ -32,6 +32,7 @@ ThreadPool::ThreadPool(size_t num_threads, std::string name)
     registry_queue_depth_ = obs::MetricsRegistry::Global().GetGauge(
         StrFormat("thread_pool.%s.queue_depth", name_.c_str()));
   }
+  scheduler_ = std::make_unique<sched::Scheduler>(this, num_threads, name_);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -102,6 +103,7 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     obs::Tracer::SetCurrentThreadName(
         StrFormat("%s-worker-%zu", name_.c_str(), worker_index));
   }
+  scheduler_->BindWorkerThread(worker_index);
   WorkerSlot* slot = worker_slots_[worker_index].get();
   for (;;) {
     std::function<void()> task;
@@ -152,9 +154,38 @@ size_t ThreadPool::ChunkSize(size_t n, size_t num_threads) {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, fn, ParallelForOptions{});
+}
+
+ParallelForStrategy ThreadPool::DefaultStrategy() {
+  static const ParallelForStrategy strategy = [] {
+    if (const char* env = std::getenv("CORADD_SCHED")) {
+      if (std::string(env) == "fixed") return ParallelForStrategy::kFixedChunk;
+    }
+    return ParallelForStrategy::kWorkStealing;
+  }();
+  return strategy;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const ParallelForOptions& options) {
   if (n == 0) return;
   TRACE_SPAN("thread_pool.parallel_for",
              {{"n", static_cast<int64_t>(n)}});
+  ParallelForStrategy strategy = options.strategy;
+  if (strategy == ParallelForStrategy::kDefault) strategy = DefaultStrategy();
+  // The scheduler packs ranges into 32-bit bounds; loops beyond 4G
+  // iterations (nothing in the pipeline comes near) take the legacy path.
+  if (strategy == ParallelForStrategy::kFixedChunk ||
+      n > static_cast<size_t>(UINT32_MAX)) {
+    ParallelForFixedChunk(n, fn);
+    return;
+  }
+  scheduler_->ParallelFor(n, fn);
+}
+
+void ThreadPool::ParallelForFixedChunk(size_t n,
+                                       const std::function<void(size_t)>& fn) {
   const size_t chunk = ChunkSize(n, num_threads());
 
   // Claim/progress state outlives this frame via shared_ptr: a helper task

@@ -3,22 +3,34 @@
 // executor partitions large scans, and the design evaluator fans whole
 // (design, query) evaluations out over it.
 //
-// ParallelFor is nest-safe: the calling thread claims chunks itself and,
-// once its own iterations are exhausted, keeps draining the pool's task
-// queue until the loop completes. A worker that starts a nested ParallelFor
-// therefore still makes progress even when every other worker is blocked in
-// one — the deadlock that sinks naive fixed-size pools under nesting.
+// ParallelFor routes through the work-stealing scheduler (common/scheduler.h)
+// by default: each participant starts on one contiguous range and lazily
+// splits the unstarted half into a Chase–Lev deque only while idle workers
+// exist, so uniform loads pay near-zero scheduling overhead and skewed
+// loads rebalance at iteration granularity instead of chunk granularity.
+// The pre-scheduler fixed-chunk path (static ~4×threads chunks claimed off
+// an atomic cursor) is kept behind ParallelForStrategy::kFixedChunk — and
+// CORADD_SCHED=fixed for whole-pipeline A/B — as the comparison baseline.
+//
+// ParallelFor is nest-safe under both strategies: the calling thread
+// participates in its own loop, and while blocked on stragglers it steals
+// the loop's stealable subtasks and then parks on a condition variable
+// (work-stealing path) or keeps draining the pool's task queue (fixed-chunk
+// path). A worker that starts a nested ParallelFor therefore still makes
+// progress even when every other worker is blocked in one — the deadlock
+// that sinks naive fixed-size pools under nesting.
 //
 // Determinism contract: ParallelFor(n, fn) runs fn(i) exactly once per index
 // with writes confined to per-index state; callers merge results in index
-// order. Nothing about chunk scheduling leaks into results, so any pool size
-// (including the shared pool) yields bit-identical output.
+// order. Nothing about chunk or range scheduling leaks into results, so any
+// pool size and either strategy yields bit-identical output.
 //
 // Observability: a pool constructed with a name (the shared pool is
-// "shared") registers per-worker tasks-executed / busy-ns counters and a
-// queue-depth high-water gauge in obs::MetricsRegistry — the utilization
-// baseline the work-stealing scheduler roadmap item needs — and worker
-// task execution shows up as "thread_pool.task" spans in traces.
+// "shared") registers per-worker tasks-executed / busy-ns counters, the
+// scheduler's per-worker steal / split / local-pop counters, and a
+// queue-depth high-water gauge in obs::MetricsRegistry. Worker task
+// execution shows up as "thread_pool.task" spans and steal hunts as
+// "thread_pool.steal" spans in traces.
 #pragma once
 
 #include <atomic>
@@ -33,12 +45,26 @@
 #include <thread>
 #include <vector>
 
+#include "common/scheduler.h"
+
 namespace coradd {
 
 namespace obs {
 class Counter;
 class Gauge;
 }  // namespace obs
+
+/// Which engine a ParallelFor call runs on.
+enum class ParallelForStrategy {
+  kDefault,       ///< the pool default (CORADD_SCHED env, else work-stealing)
+  kWorkStealing,  ///< lazy-binary-splitting work stealing (common/scheduler.h)
+  kFixedChunk,    ///< legacy static ~4×threads chunks off an atomic cursor
+};
+
+/// Per-call ParallelFor knobs (the ExecOptions-style A/B surface).
+struct ParallelForOptions {
+  ParallelForStrategy strategy = ParallelForStrategy::kDefault;
+};
 
 /// Fixed set of worker threads consuming a FIFO task queue.
 class ThreadPool {
@@ -65,13 +91,27 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, n), spread across the pool, and blocks
   /// until all iterations complete. The caller participates (so a 1-thread
-  /// pool — or a call from inside another ParallelFor — still progresses)
-  /// and helps drain unrelated queued tasks while waiting. Writers must
-  /// target disjoint state per index.
+  /// pool — or a call from inside another ParallelFor — still progresses).
+  /// Writers must target disjoint state per index.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
-  /// Picks a chunk size that gives each worker several chunks to steal.
+  /// As above with an explicit strategy override (benchmark A/B surface).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const ParallelForOptions& options);
+
+  /// The process default strategy: CORADD_SCHED=fixed selects the legacy
+  /// fixed-chunk path, anything else (including unset) work stealing.
+  static ParallelForStrategy DefaultStrategy();
+
+  /// Picks a chunk size that gives each worker several chunks to steal
+  /// (fixed-chunk strategy only).
   static size_t ChunkSize(size_t n, size_t num_threads);
+
+  /// Pool-local work-stealing activity (steals/splits/local pops/parks/
+  /// re-summons), outside the determinism surface.
+  sched::SchedulerStats scheduler_stats() const {
+    return scheduler_->stats();
+  }
 
   /// The process-wide pool, created on first use. Sized from the
   /// CORADD_THREADS environment variable when set to a positive integer,
@@ -107,14 +147,20 @@ class ThreadPool {
 
   void WorkerLoop(size_t worker_index);
 
+  /// Legacy fixed-chunk ParallelFor (kept as the A/B baseline): static
+  /// ~4×threads chunks claimed off an atomic cursor, caller busy-helping
+  /// the queue while it waits.
+  void ParallelForFixedChunk(size_t n, const std::function<void(size_t)>& fn);
+
   /// Pops and runs one queued task; returns false (after waiting at most
-  /// ~1 ms) when the queue was empty.
+  /// ~1 ms) when the queue was empty. Fixed-chunk wait path only.
   bool RunOneQueuedTask();
 
   /// Times and runs `task`, crediting `slot` (null for caller threads).
   void RunTimed(const std::function<void()>& task, WorkerSlot* slot);
 
   std::string name_;
+  std::unique_ptr<sched::Scheduler> scheduler_;  ///< created before workers_
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<WorkerSlot>> worker_slots_;
   std::deque<std::function<void()>> queue_;
