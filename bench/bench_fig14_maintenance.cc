@@ -5,7 +5,9 @@
 // dirtied working set overflows the buffer pool. Runs under the benchkit
 // repetition harness; --json emits schema-v2 BENCH_fig14_maintenance.json.
 #include "bench/bench_util.h"
+#include "cost/correlation_cost_model.h"
 #include "exec/maintenance.h"
+#include "serving/serving.h"
 
 using namespace coradd;
 using namespace coradd::bench;
@@ -64,6 +66,56 @@ int main(int argc, char** argv) {
           "to 3 GB of MVs on a 4 GB machine)\n",
           at_double / std::max(1e-9, at_half));
       json.Config("blowup", at_double / std::max(1e-9, at_half));
+
+      // Cross-check against the serving engine (docs/SERVING.md): the same
+      // 0.5x-pool experiment routed through SubmitMaintenance in batches,
+      // interleaved with a reading client, must cost exactly what the
+      // isolated simulation above measured — split invariance keeps the
+      // live engine's maintenance numbers calibrated to this figure.
+      const uint64_t half_mv = pool_pages / 2;
+      std::vector<MaintainedObject> objects = {
+          MaintainedObject{base_heap, base_pk_index, true}};
+      for (int i = 0; i < 4; ++i) {
+        objects.push_back(MaintainedObject{half_mv / 4, half_mv / 40, false});
+      }
+      const MaintenanceResult isolated = SimulateInsertions(objects, options);
+
+      Fixture f = MakeSsbFixture(/*scale=*/0.001, /*page_size=*/1024);
+      DatabaseDesign design;
+      design.designer = "base-only";
+      DesignedObject base_obj;
+      base_obj.spec.name = "base";
+      base_obj.spec.fact_table = "lineorder";
+      const Universe* u = f.context->UniverseForFact("lineorder");
+      for (size_t c = 0; c < u->fact_table().schema().NumColumns(); ++c) {
+        base_obj.spec.columns.push_back(
+            u->fact_table().schema().Column(c).name);
+      }
+      base_obj.spec.clustered_key = {"lo_orderkey", "lo_linenumber"};
+      base_obj.spec.is_fact_recluster = true;
+      base_obj.spec.is_base = true;
+      design.objects.push_back(base_obj);
+      design.object_for_query.assign(f.workload.queries.size(), 0);
+      CorrelationCostModel planner(&f.context->registry());
+      serving::ServingEngine engine(f.context.get(), &design, &f.workload,
+                                    &planner, {});
+      engine.ConfigureMaintenance(objects, options);
+      engine.Start();
+      const uint64_t total = static_cast<uint64_t>(inserts);
+      for (int b = 0; b < 4; ++b) {
+        engine.Submit(0).get();  // reads interleave between writer epochs
+        engine.SubmitMaintenance(total / 4 + (b == 0 ? total % 4 : 0)).get();
+      }
+      const MaintenanceResult served = engine.FinishMaintenance();
+      engine.Stop();
+      const double ratio =
+          isolated.seconds > 0.0 ? served.seconds / isolated.seconds : 0.0;
+      std::printf(
+          "serving-engine cross-check (0.5x pool, 4 batches + interleaved "
+          "reads): %.1fs vs isolated %.1fs (ratio %.3f)\n",
+          served.seconds, isolated.seconds, ratio);
+      json.Config("serving_maintenance_seconds", served.seconds);
+      json.Config("serving_vs_isolated_ratio", ratio);
     }
   });
   return h.Finish();

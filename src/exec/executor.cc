@@ -8,231 +8,10 @@
 
 namespace coradd {
 
-/// One query resolved against one object: the unique columns each batch must
-/// expose, plus predicates and aggregates rewritten as indexes into that
-/// column list. Built once per executed plan — the batched kernels below
-/// never touch a column name again.
-struct QueryExecutor::Resolved {
-  std::vector<ResolvedColumn> cols;
-  /// When every column is stored in the object (the common MV case),
-  /// the table-column indexes, and range scans go straight through
-  /// ClusteredTable::ScanBatch with no provenance machinery.
-  std::vector<int> stored_cols;
-  bool all_stored = false;
-  std::vector<const Predicate*> preds;
-  std::vector<size_t> pred_col;  ///< preds[j] reads cols[pred_col[j]].
-  struct Agg {
-    int col_a = -1;
-    int col_b = -1;  ///< -1 => SUM(col_a); else SUM(col_a * col_b).
-  };
-  std::vector<Agg> aggs;
-};
+using exec::PartialAgg;
+using exec::ResolvedQuery;
 
 namespace {
-
-size_t InternColumn(const MaterializedObject& obj, const std::string& name,
-                    std::vector<ResolvedColumn>* cols) {
-  const ResolvedColumn rc = ResolveColumn(obj, name);
-  for (size_t i = 0; i < cols->size(); ++i) {
-    if ((*cols)[i].ucol == rc.ucol) return i;
-  }
-  cols->push_back(rc);
-  return cols->size() - 1;
-}
-
-QueryExecutor::Resolved ResolveQuery(const Query& q,
-                                     const MaterializedObject& obj) {
-  QueryExecutor::Resolved rq;
-  for (const auto& p : q.predicates) {
-    rq.preds.push_back(&p);
-    rq.pred_col.push_back(InternColumn(obj, p.column, &rq.cols));
-  }
-  for (const auto& a : q.aggregates) {
-    QueryExecutor::Resolved::Agg agg;
-    agg.col_a = static_cast<int>(InternColumn(obj, a.col_a, &rq.cols));
-    if (!a.col_b.empty()) {
-      agg.col_b = static_cast<int>(InternColumn(obj, a.col_b, &rq.cols));
-    }
-    rq.aggs.push_back(agg);
-  }
-  rq.all_stored = true;
-  for (const ResolvedColumn& c : rq.cols) {
-    if (c.table_col < 0) {
-      rq.all_stored = false;
-      rq.stored_cols.clear();
-      break;
-    }
-    rq.stored_cols.push_back(c.table_col);
-  }
-  return rq;
-}
-
-/// Fills `sel` with the batch-local indexes of rows matching `p`; the
-/// predicate type is dispatched once per batch, not once per row.
-size_t FilterFirst(const int64_t* col, size_t n, const Predicate& p,
-                   uint32_t* sel) {
-  size_t k = 0;
-  switch (p.type) {
-    case PredicateType::kEquality: {
-      const int64_t v = p.value;
-      for (size_t i = 0; i < n; ++i) {
-        if (col[i] == v) sel[k++] = static_cast<uint32_t>(i);
-      }
-      break;
-    }
-    case PredicateType::kRange: {
-      const int64_t lo = p.lo, hi = p.hi;
-      for (size_t i = 0; i < n; ++i) {
-        if (col[i] >= lo && col[i] <= hi) sel[k++] = static_cast<uint32_t>(i);
-      }
-      break;
-    }
-    case PredicateType::kIn: {
-      const auto& vals = p.in_values;  // sorted
-      for (size_t i = 0; i < n; ++i) {
-        if (std::binary_search(vals.begin(), vals.end(), col[i])) {
-          sel[k++] = static_cast<uint32_t>(i);
-        }
-      }
-      break;
-    }
-  }
-  return k;
-}
-
-/// Compacts `sel` in place to the survivors of `p` — the short circuit:
-/// each further predicate only touches rows still selected.
-size_t FilterNext(const int64_t* col, const Predicate& p, uint32_t* sel,
-                  size_t k) {
-  size_t out = 0;
-  switch (p.type) {
-    case PredicateType::kEquality: {
-      const int64_t v = p.value;
-      for (size_t j = 0; j < k; ++j) {
-        if (col[sel[j]] == v) sel[out++] = sel[j];
-      }
-      break;
-    }
-    case PredicateType::kRange: {
-      const int64_t lo = p.lo, hi = p.hi;
-      for (size_t j = 0; j < k; ++j) {
-        const int64_t v = col[sel[j]];
-        if (v >= lo && v <= hi) sel[out++] = sel[j];
-      }
-      break;
-    }
-    case PredicateType::kIn: {
-      const auto& vals = p.in_values;
-      for (size_t j = 0; j < k; ++j) {
-        if (std::binary_search(vals.begin(), vals.end(), col[sel[j]])) {
-          sel[out++] = sel[j];
-        }
-      }
-      break;
-    }
-  }
-  return out;
-}
-
-/// Per-partition partial result: one running sum per aggregate, accumulated
-/// in row order across batch boundaries (so batch size never regroups the
-/// floating-point additions), combined left-to-right at merge time.
-struct PartialAgg {
-  std::vector<double> acc;
-  uint64_t rows = 0;
-};
-
-void AccumulateBatch(const ColumnBatch& batch,
-                     const QueryExecutor::Resolved& rq, const uint32_t* sel,
-                     size_t k, bool all_rows, PartialAgg* pa) {
-  pa->rows += k;
-  for (size_t j = 0; j < rq.aggs.size(); ++j) {
-    const int64_t* a = batch.cols[static_cast<size_t>(rq.aggs[j].col_a)];
-    double s = pa->acc[j];
-    if (rq.aggs[j].col_b >= 0) {
-      const int64_t* b = batch.cols[static_cast<size_t>(rq.aggs[j].col_b)];
-      if (all_rows) {
-        for (size_t i = 0; i < k; ++i) {
-          s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-        }
-      } else {
-        for (size_t i = 0; i < k; ++i) {
-          s += static_cast<double>(a[sel[i]]) * static_cast<double>(b[sel[i]]);
-        }
-      }
-    } else {
-      if (all_rows) {
-        for (size_t i = 0; i < k; ++i) s += static_cast<double>(a[i]);
-      } else {
-        for (size_t i = 0; i < k; ++i) s += static_cast<double>(a[sel[i]]);
-      }
-    }
-    pa->acc[j] = s;
-  }
-}
-
-/// Scans one contiguous partition in batches of `batch_rows`.
-void AggregateRangePartition(const QueryExecutor::Resolved& rq,
-                             const MaterializedObject& obj, RowRange part,
-                             size_t batch_rows, PartialAgg* pa) {
-  TRACE_SPAN("exec.partition",
-             {{"rows", static_cast<int64_t>(part.Size())}});
-  pa->acc.assign(rq.aggs.size(), 0.0);
-  BatchScratch scratch;
-  std::vector<uint32_t> sel(
-      std::min<uint64_t>(batch_rows, part.Size()));
-  ColumnBatch batch;
-  for (uint64_t b = part.begin; b < part.end; b += batch_rows) {
-    const RowId begin = static_cast<RowId>(b);
-    const RowId end =
-        static_cast<RowId>(std::min<uint64_t>(part.end, b + batch_rows));
-    if (rq.all_stored) {
-      obj.table->ScanBatch(RowRange{begin, end}, rq.stored_cols, &batch);
-    } else {
-      ScanBatch(obj, RowRange{begin, end}, rq.cols, &scratch, &batch);
-    }
-    const size_t n = end - begin;
-    size_t k = n;
-    const bool all_rows = rq.preds.empty();
-    if (!all_rows) {
-      k = FilterFirst(batch.cols[rq.pred_col[0]], n, *rq.preds[0],
-                      sel.data());
-      for (size_t j = 1; j < rq.preds.size() && k > 0; ++j) {
-        k = FilterNext(batch.cols[rq.pred_col[j]], *rq.preds[j], sel.data(),
-                       k);
-      }
-    }
-    if (k == 0) continue;
-    AccumulateBatch(batch, rq, sel.data(), k, all_rows, pa);
-  }
-}
-
-/// Same over a slice of an explicit row-id list.
-void AggregateRidPartition(const QueryExecutor::Resolved& rq,
-                           const MaterializedObject& obj, const RowId* rids,
-                           size_t count, size_t batch_rows, PartialAgg* pa) {
-  TRACE_SPAN("exec.partition", {{"rows", static_cast<int64_t>(count)}});
-  pa->acc.assign(rq.aggs.size(), 0.0);
-  BatchScratch scratch;
-  std::vector<uint32_t> sel(std::min(batch_rows, count));
-  ColumnBatch batch;
-  for (size_t b = 0; b < count; b += batch_rows) {
-    const size_t n = std::min(batch_rows, count - b);
-    GatherBatch(obj, rids + b, n, rq.cols, &scratch, &batch);
-    size_t k = n;
-    const bool all_rows = rq.preds.empty();
-    if (!all_rows) {
-      k = FilterFirst(batch.cols[rq.pred_col[0]], n, *rq.preds[0],
-                      sel.data());
-      for (size_t j = 1; j < rq.preds.size() && k > 0; ++j) {
-        k = FilterNext(batch.cols[rq.pred_col[j]], *rq.preds[j], sel.data(),
-                       k);
-      }
-    }
-    if (k == 0) continue;
-    AccumulateBatch(batch, rq, sel.data(), k, all_rows, pa);
-  }
-}
 
 /// Runs `run_part(p)` for every partition, across `pool` when it pays, and
 /// merges partials into `out` in partition order — identical scheduling-
@@ -265,7 +44,7 @@ QueryExecutor::QueryExecutor(const StatsRegistry* registry,
   CORADD_CHECK(options_.partition_rows > 0);
 }
 
-void QueryExecutor::AggregateRows(const Resolved& rq,
+void QueryExecutor::AggregateRows(const ResolvedQuery& rq,
                                   const MaterializedObject& obj,
                                   RowRange range, QueryRunResult* out) const {
   if (range.Empty()) return;
@@ -280,15 +59,15 @@ void QueryExecutor::AggregateRows(const Resolved& rq,
       [&](size_t p) {
         const uint64_t begin = range.begin + p * pr;
         const uint64_t end = std::min<uint64_t>(range.end, begin + pr);
-        AggregateRangePartition(rq, obj,
-                                RowRange{static_cast<RowId>(begin),
-                                         static_cast<RowId>(end)},
-                                options_.batch_rows, &partials[p]);
+        exec::AggregateRangePartition(rq, obj,
+                                      RowRange{static_cast<RowId>(begin),
+                                               static_cast<RowId>(end)},
+                                      options_.batch_rows, &partials[p]);
       },
       &partials, out);
 }
 
-void QueryExecutor::AggregateRids(const Resolved& rq,
+void QueryExecutor::AggregateRids(const ResolvedQuery& rq,
                                   const MaterializedObject& obj,
                                   const std::vector<RowId>& rids,
                                   QueryRunResult* out) const {
@@ -303,34 +82,18 @@ void QueryExecutor::AggregateRids(const Resolved& rq,
       [&](size_t p) {
         const size_t begin = p * pr;
         const size_t count = std::min(pr, rids.size() - begin);
-        AggregateRidPartition(rq, obj, rids.data() + begin, count,
-                              options_.batch_rows, &partials[p]);
+        exec::AggregateRidPartition(rq, obj, rids.data() + begin, count,
+                                    options_.batch_rows, &partials[p]);
       },
       &partials, out);
 }
 
-QueryRunResult QueryExecutor::RunFullScan(const Query& q,
-                                          const MaterializedObject& obj,
-                                          DiskModel* disk) const {
-  QueryRunResult out;
-  out.path = AccessPath::kFullScan;
-  const uint64_t pages = obj.table->NumPages();
-  disk->Seek();
-  disk->SequentialRead(pages);
-  out.seeks = 1;
-  out.pages_read = pages;
-  out.fragments = 1;
-  const Resolved rq = ResolveQuery(q, obj);
-  AggregateRows(rq, obj,
-                RowRange{0, static_cast<RowId>(obj.table->NumRows())}, &out);
-  return out;
-}
-
-QueryRunResult QueryExecutor::RunClustered(const Query& q,
-                                           const MaterializedObject& obj,
-                                           DiskModel* disk) const {
-  QueryRunResult out;
-  out.path = AccessPath::kClusteredScan;
+void QueryExecutor::BuildClusteredPlan(const Query& q,
+                                       const MaterializedObject& obj,
+                                       const DiskParams& params,
+                                       ScanPlan* plan) const {
+  plan->kind = ScanPlan::Kind::kClustered;
+  plan->path = AccessPath::kClusteredScan;
   const auto& key_names = obj.spec.clustered_key;
 
   // Expand predicate prefixes along the clustered key.
@@ -367,7 +130,6 @@ QueryRunResult QueryExecutor::RunClustered(const Query& q,
   }
 
   // Resolve row ranges.
-  std::vector<RowRange> ranges;
   for (const auto& pre : prefixes) {
     RowRange r;
     if (range_pred != nullptr) {
@@ -377,39 +139,28 @@ QueryRunResult QueryExecutor::RunClustered(const Query& q,
     } else {
       r = RowRange{0, static_cast<RowId>(obj.table->NumRows())};
     }
-    if (!r.Empty()) ranges.push_back(r);
+    if (!r.Empty()) plan->ranges.push_back(r);
   }
 
   // Pages touched, coalesced into fragments.
   std::vector<uint64_t> pages;
-  for (const auto& r : ranges) {
+  for (const auto& r : plan->ranges) {
     const uint64_t first = obj.table->PageOfRow(r.begin);
     const uint64_t last = obj.table->PageOfRow(r.end - 1);
     for (uint64_t p = first; p <= last; ++p) pages.push_back(p);
   }
   std::sort(pages.begin(), pages.end());
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
-  const auto runs = CoalescePages(pages, disk->params().prefetch_pages);
-
-  const uint32_t height = obj.table->BTreeHeight();
-  for (const auto& run : runs) {
-    for (uint32_t h = 0; h < height; ++h) disk->Seek();
-    disk->SequentialRead(run.NumPages());
-    out.pages_read += run.NumPages();
-    out.seeks += height;
-  }
-  out.fragments = runs.size();
-  const Resolved rq = ResolveQuery(q, obj);
-  for (const auto& r : ranges) AggregateRows(rq, obj, r, &out);
-  return out;
+  plan->io_runs = CoalescePages(pages, params.prefetch_pages);
+  plan->seeks_per_run = obj.table->BTreeHeight();
 }
 
-QueryRunResult QueryExecutor::RunCm(const Query& q,
-                                    const MaterializedObject& obj,
-                                    const CorrelationMap& cm,
-                                    DiskModel* disk) const {
-  QueryRunResult out;
-  out.path = AccessPath::kSecondary;
+void QueryExecutor::BuildCmPlan(const Query& q, const MaterializedObject& obj,
+                                const CorrelationMap& cm,
+                                const DiskParams& params,
+                                ScanPlan* plan) const {
+  plan->kind = ScanPlan::Kind::kCm;
+  plan->path = AccessPath::kSecondary;
 
   // Bucket matchers per CM key column from the query's predicates.
   std::vector<std::function<bool(int64_t, int64_t)>> matchers;
@@ -425,7 +176,8 @@ QueryRunResult QueryExecutor::RunCm(const Query& q,
       matchers.push_back([](int64_t, int64_t) { return true; });
     } else if (pred->type == PredicateType::kEquality) {
       const int64_t v = pred->value;
-      matchers.push_back([v](int64_t lo, int64_t hi) { return v >= lo && v <= hi; });
+      matchers.push_back(
+          [v](int64_t lo, int64_t hi) { return v >= lo && v <= hi; });
     } else if (pred->type == PredicateType::kRange) {
       const int64_t plo = pred->lo, phi = pred->hi;
       matchers.push_back(
@@ -451,31 +203,26 @@ QueryRunResult QueryExecutor::RunCm(const Query& q,
   }
   std::sort(pages.begin(), pages.end());
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
-  const auto runs = CoalescePages(pages, disk->params().prefetch_pages);
+  plan->io_runs = CoalescePages(pages, params.prefetch_pages);
+  plan->seeks_per_run = obj.table->BTreeHeight();
 
-  const uint32_t height = obj.table->BTreeHeight();
+  // One aggregation range per coalesced run, in run order.
   const uint64_t rpp = obj.table->layout().RowsPerPage();
-  const Resolved rq = ResolveQuery(q, obj);
-  for (const auto& run : runs) {
-    for (uint32_t h = 0; h < height; ++h) disk->Seek();
-    disk->SequentialRead(run.NumPages());
-    out.pages_read += run.NumPages();
-    out.seeks += height;
+  for (const auto& run : plan->io_runs) {
     const RowId row_begin = static_cast<RowId>(run.first_page * rpp);
     const RowId row_end = static_cast<RowId>(std::min<uint64_t>(
         (run.last_page + 1) * rpp, obj.table->NumRows()));
-    AggregateRows(rq, obj, RowRange{row_begin, row_end}, &out);
+    plan->ranges.push_back(RowRange{row_begin, row_end});
   }
-  out.fragments = runs.size();
-  return out;
 }
 
-QueryRunResult QueryExecutor::RunBTree(const Query& q,
-                                       const MaterializedObject& obj,
-                                       size_t btree_idx,
-                                       DiskModel* disk) const {
-  QueryRunResult out;
-  out.path = AccessPath::kSecondary;
+void QueryExecutor::BuildBTreePlan(const Query& q,
+                                   const MaterializedObject& obj,
+                                   size_t btree_idx, const DiskParams& params,
+                                   ScanPlan* plan) const {
+  plan->kind = ScanPlan::Kind::kBTree;
+  plan->path = AccessPath::kSecondary;
+  plan->structure = btree_idx;
   const SecondaryBTreeIndex& index = *obj.btrees[btree_idx];
   const std::string& col = obj.btree_columns[btree_idx];
 
@@ -488,82 +235,43 @@ QueryRunResult QueryExecutor::RunBTree(const Query& q,
   }
   CORADD_CHECK(pred != nullptr);
 
-  std::vector<RowId> rids;
   switch (pred->type) {
     case PredicateType::kEquality:
-      rids = index.LookupEqual(pred->value);
+      plan->rids = index.LookupEqual(pred->value);
       break;
     case PredicateType::kRange:
-      rids = index.LookupRange(pred->lo, pred->hi);
+      plan->rids = index.LookupRange(pred->lo, pred->hi);
       break;
     case PredicateType::kIn:
-      rids = index.LookupIn(pred->in_values);
+      plan->rids = index.LookupIn(pred->in_values);
       break;
   }
-  std::sort(rids.begin(), rids.end());
+  std::sort(plan->rids.begin(), plan->rids.end());
 
   // Index I/O: descend once, then scan the touched fraction of the leaves.
-  const uint64_t leaf_pages = std::max<uint64_t>(
-      1, index.shape().leaf_pages * rids.size() /
+  plan->index_leaf_pages = std::max<uint64_t>(
+      1, index.shape().leaf_pages * plan->rids.size() /
              std::max<size_t>(1, obj.table->NumRows()));
-  for (uint32_t h = 0; h < index.Height(); ++h) disk->Seek();
-  disk->SequentialRead(leaf_pages);
-  out.seeks += index.Height();
-  out.pages_read += leaf_pages;
+  plan->index_height = index.Height();
 
   // Heap I/O: sorted-RID sweep (A-2.1), coalesced page runs.
   std::vector<uint64_t> pages;
-  pages.reserve(rids.size());
-  for (RowId r : rids) pages.push_back(obj.table->PageOfRow(r));
+  pages.reserve(plan->rids.size());
+  for (RowId r : plan->rids) pages.push_back(obj.table->PageOfRow(r));
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
-  const auto runs = CoalescePages(pages, disk->params().prefetch_pages);
-  for (const auto& run : runs) {
-    disk->Seek();
-    disk->SequentialRead(run.NumPages());
-    out.pages_read += run.NumPages();
-    ++out.seeks;
-  }
-  out.fragments = runs.size();
-
-  // Evaluate remaining predicates on exactly the fetched rows.
-  const Resolved rq = ResolveQuery(q, obj);
-  AggregateRids(rq, obj, rids, &out);
-  return out;
+  plan->io_runs = CoalescePages(pages, params.prefetch_pages);
 }
 
-QueryRunResult QueryExecutor::RunWithCm(const Query& q,
-                                        const MaterializedObject& obj,
-                                        size_t cm_index,
-                                        DiskModel* disk) const {
-  CORADD_CHECK(disk != nullptr);
-  CORADD_CHECK(cm_index < obj.cms.size());
-  const double t0 = disk->elapsed_seconds();
-  const uint64_t p0 = disk->pages_read();
-  const uint64_t s0 = disk->seeks();
-  QueryRunResult out = RunCm(q, obj, *obj.cms[cm_index], disk);
-  out.seconds = disk->elapsed_seconds() - t0;
-  out.pages_read = disk->pages_read() - p0;
-  out.seeks = disk->seeks() - s0;
-  return out;
-}
-
-QueryRunResult QueryExecutor::Run(const Query& q,
-                                  const MaterializedObject& obj,
-                                  DiskModel* disk) const {
-  CORADD_CHECK(disk != nullptr);
-  CORADD_CHECK(MvCanServe(q, obj.spec));
-  TRACE_SPAN_NAMED(run_span, "exec.query");
-  static obs::Counter& queries_run =
-      *obs::MetricsRegistry::Global().GetCounter("exec.queries_run");
-  queries_run.Add(1);
-
+ScanPlan QueryExecutor::SelectPlan(const Query& q,
+                                   const MaterializedObject& obj,
+                                   const DiskParams& params) const {
   // --- Plan selection among physically available structures.
-  enum class Plan { kFull, kClustered, kCm, kBTree };
-  Plan plan = Plan::kFull;
+  ScanPlan::Kind kind = ScanPlan::Kind::kFullScan;
   size_t structure = 0;
-  double best = MvFullScanSeconds(obj.spec, *registry_->ForFact(obj.spec.fact_table),
-                                  disk->params()) +
-                disk->params().seek_seconds;
+  double best =
+      MvFullScanSeconds(obj.spec, *registry_->ForFact(obj.spec.fact_table),
+                        params) +
+      params.seek_seconds;
 
   const ClusteredPrefixPlan prefix = AnalyzeClusteredPrefix(
       q, obj.spec.clustered_key, *registry_->ForFact(obj.spec.fact_table));
@@ -572,7 +280,7 @@ QueryRunResult QueryExecutor::Run(const Query& q,
     const CostBreakdown c = planner_->Cost(q, obj.spec);
     if (c.feasible() && c.path == AccessPath::kClusteredScan &&
         c.seconds < best) {
-      plan = Plan::kClustered;
+      kind = ScanPlan::Kind::kClustered;
       best = c.seconds;
     } else if (prefix.usable()) {
       // Even if the planner's overall pick was different, consider the
@@ -582,11 +290,10 @@ QueryRunResult QueryExecutor::Run(const Query& q,
                        static_cast<double>(obj.table->NumPages()),
                    prefix.num_ranges);
       const double est =
-          sel_pages * disk->params().PageReadSeconds() +
-          prefix.num_ranges * obj.table->BTreeHeight() *
-              disk->params().seek_seconds;
+          sel_pages * params.PageReadSeconds() +
+          prefix.num_ranges * obj.table->BTreeHeight() * params.seek_seconds;
       if (est < best) {
-        plan = Plan::kClustered;
+        kind = ScanPlan::Kind::kClustered;
         best = est;
       }
     }
@@ -611,7 +318,7 @@ QueryRunResult QueryExecutor::Run(const Query& q,
     const CostBreakdown c =
         planner_->SecondaryCost(q, obj.spec, obj.cms[i]->key_columns());
     if (c.feasible() && c.seconds * kSecondaryMargin < best) {
-      plan = Plan::kCm;
+      kind = ScanPlan::Kind::kCm;
       structure = i;
       best = c.seconds;
     }
@@ -624,35 +331,128 @@ QueryRunResult QueryExecutor::Run(const Query& q,
     const CostBreakdown c =
         planner_->SecondaryCost(q, obj.spec, {obj.btree_columns[i]});
     if (c.feasible() && c.seconds * kSecondaryMargin < best) {
-      plan = Plan::kBTree;
+      kind = ScanPlan::Kind::kBTree;
       structure = i;
       best = c.seconds;
     }
   }
 
-  // --- Execute.
+  // --- Resolve the winner to physical work.
+  ScanPlan plan;
+  switch (kind) {
+    case ScanPlan::Kind::kFullScan: {
+      plan.kind = ScanPlan::Kind::kFullScan;
+      plan.path = AccessPath::kFullScan;
+      plan.seeks_per_run = 1;
+      const uint64_t pages = obj.table->NumPages();
+      if (pages > 0) plan.io_runs.push_back(PageRun{0, pages - 1});
+      plan.ranges.push_back(
+          RowRange{0, static_cast<RowId>(obj.table->NumRows())});
+      break;
+    }
+    case ScanPlan::Kind::kClustered:
+      BuildClusteredPlan(q, obj, params, &plan);
+      break;
+    case ScanPlan::Kind::kCm:
+      plan.structure = structure;
+      BuildCmPlan(q, obj, *obj.cms[structure], params, &plan);
+      break;
+    case ScanPlan::Kind::kBTree:
+      BuildBTreePlan(q, obj, structure, params, &plan);
+      break;
+  }
+  return plan;
+}
+
+void QueryExecutor::ChargePlanIo(const ScanPlan& plan,
+                                 const MaterializedObject& obj,
+                                 DiskModel* disk, QueryRunResult* out) {
+  switch (plan.kind) {
+    case ScanPlan::Kind::kFullScan: {
+      const uint64_t pages = obj.table->NumPages();
+      disk->Seek();
+      disk->SequentialRead(pages);
+      out->seeks += 1;
+      out->pages_read += pages;
+      out->fragments = 1;
+      break;
+    }
+    case ScanPlan::Kind::kClustered:
+    case ScanPlan::Kind::kCm: {
+      for (const auto& run : plan.io_runs) {
+        for (uint32_t h = 0; h < plan.seeks_per_run; ++h) disk->Seek();
+        disk->SequentialRead(run.NumPages());
+        out->pages_read += run.NumPages();
+        out->seeks += plan.seeks_per_run;
+      }
+      out->fragments = plan.io_runs.size();
+      break;
+    }
+    case ScanPlan::Kind::kBTree: {
+      for (uint32_t h = 0; h < plan.index_height; ++h) disk->Seek();
+      disk->SequentialRead(plan.index_leaf_pages);
+      out->seeks += plan.index_height;
+      out->pages_read += plan.index_leaf_pages;
+      for (const auto& run : plan.io_runs) {
+        disk->Seek();
+        disk->SequentialRead(run.NumPages());
+        out->pages_read += run.NumPages();
+        ++out->seeks;
+      }
+      out->fragments = plan.io_runs.size();
+      break;
+    }
+  }
+}
+
+QueryRunResult QueryExecutor::RunPlan(const Query& q,
+                                      const MaterializedObject& obj,
+                                      const ScanPlan& plan,
+                                      DiskModel* disk) const {
+  CORADD_CHECK(disk != nullptr);
   QueryRunResult out;
+  out.path = plan.path;
   const double t0 = disk->elapsed_seconds();
   const uint64_t p0 = disk->pages_read();
   const uint64_t s0 = disk->seeks();
-  switch (plan) {
-    case Plan::kFull:
-      out = RunFullScan(q, obj, disk);
-      break;
-    case Plan::kClustered:
-      out = RunClustered(q, obj, disk);
-      break;
-    case Plan::kCm:
-      out = RunCm(q, obj, *obj.cms[structure], disk);
-      break;
-    case Plan::kBTree:
-      out = RunBTree(q, obj, structure, disk);
-      break;
+  ChargePlanIo(plan, obj, disk, &out);
+  const ResolvedQuery rq = exec::ResolveQuery(q, obj);
+  if (plan.range_based()) {
+    for (const auto& r : plan.ranges) AggregateRows(rq, obj, r, &out);
+  } else {
+    AggregateRids(rq, obj, plan.rids, &out);
   }
   out.seconds = disk->elapsed_seconds() - t0;
   out.pages_read = disk->pages_read() - p0;
   out.seeks = disk->seeks() - s0;
-  run_span.Arg("plan", static_cast<int64_t>(plan));
+  return out;
+}
+
+QueryRunResult QueryExecutor::RunWithCm(const Query& q,
+                                        const MaterializedObject& obj,
+                                        size_t cm_index,
+                                        DiskModel* disk) const {
+  CORADD_CHECK(disk != nullptr);
+  CORADD_CHECK(cm_index < obj.cms.size());
+  ScanPlan plan;
+  plan.structure = cm_index;
+  BuildCmPlan(q, obj, *obj.cms[cm_index], disk->params(), &plan);
+  return RunPlan(q, obj, plan, disk);
+}
+
+QueryRunResult QueryExecutor::Run(const Query& q,
+                                  const MaterializedObject& obj,
+                                  DiskModel* disk) const {
+  CORADD_CHECK(disk != nullptr);
+  CORADD_CHECK(MvCanServe(q, obj.spec));
+  TRACE_SPAN_NAMED(run_span, "exec.query");
+  static obs::Counter& queries_run =
+      *obs::MetricsRegistry::Global().GetCounter("exec.queries_run");
+  queries_run.Add(1);
+
+  const ScanPlan plan = SelectPlan(q, obj, disk->params());
+  QueryRunResult out = RunPlan(q, obj, plan, disk);
+  run_span.Arg("plan", static_cast<int64_t>(plan.kind));
   run_span.Arg("pages_read", static_cast<int64_t>(out.pages_read));
   return out;
 }

@@ -13,6 +13,11 @@
 // row ranges across a ThreadPool with per-partition partial aggregates
 // merged in fixed partition order — so every thread count and every batch
 // size produces bit-identical results (see docs/EXECUTION.md).
+//
+// Plan selection and plan execution are exposed separately (SelectPlan /
+// RunPlan) so the serving layer can group admitted queries whose plans scan
+// the same row ranges of the same object into one cooperative shared-scan
+// pass (see docs/SERVING.md); Run() composes the two.
 #pragma once
 
 #include <memory>
@@ -20,7 +25,9 @@
 #include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "exec/materialize.h"
+#include "exec/scan_kernels.h"
 #include "storage/disk_model.h"
+#include "storage/layout.h"
 
 namespace coradd {
 
@@ -51,6 +58,33 @@ struct ExecOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// A selected access plan, fully resolved to physical work: the row ranges
+/// to aggregate (in execution order — the determinism surface) and the
+/// coalesced page runs to charge against the DiskModel. Two queries whose
+/// plans agree on (object, ranges) aggregate over identical batches, which
+/// is exactly the condition the serving layer's shared-scan grouping keys
+/// on.
+struct ScanPlan {
+  enum class Kind { kFullScan, kClustered, kCm, kBTree };
+  Kind kind = Kind::kFullScan;
+  AccessPath path = AccessPath::kFullScan;
+  /// CM or secondary-B+Tree ordinal within the object (kCm / kBTree only).
+  size_t structure = 0;
+  /// Row ranges aggregated, in order. Empty ranges are never stored.
+  std::vector<RowRange> ranges;
+  /// Coalesced heap page runs charged to the disk, in order.
+  std::vector<PageRun> io_runs;
+  /// B+Tree descent seeks charged per run (clustered/CM paths).
+  uint32_t seeks_per_run = 0;
+  /// kBTree only: sorted row ids to fetch plus the index descent charge.
+  std::vector<RowId> rids;
+  uint64_t index_leaf_pages = 0;
+  uint32_t index_height = 0;
+  /// Range-based plans aggregate `ranges` and are shareable; kBTree plans
+  /// gather an explicit rid list and always execute solo.
+  bool range_based() const { return kind != Kind::kBTree; }
+};
+
 /// Executes queries with plan selection delegated to a cost model.
 class QueryExecutor {
  public:
@@ -62,12 +96,8 @@ class QueryExecutor {
 
   const ExecOptions& options() const { return options_; }
 
-  /// Columns + predicates + aggregates resolved against one object (opaque;
-  /// defined in executor.cc where the batch kernels live).
-  struct Resolved;
-
   /// Runs `q` cold (the paper discards caches between queries) against
-  /// `obj`, charging I/O to `disk`.
+  /// `obj`, charging I/O to `disk`. Equivalent to SelectPlan + RunPlan.
   QueryRunResult Run(const Query& q, const MaterializedObject& obj,
                      DiskModel* disk) const;
 
@@ -77,23 +107,44 @@ class QueryExecutor {
   QueryRunResult RunWithCm(const Query& q, const MaterializedObject& obj,
                            size_t cm_index, DiskModel* disk) const;
 
+  /// Picks the cheapest physically available plan for `q` on `obj` under
+  /// `params` and resolves it to ranges + page runs. Deterministic: depends
+  /// only on (q, obj, params).
+  ScanPlan SelectPlan(const Query& q, const MaterializedObject& obj,
+                      const DiskParams& params) const;
+
+  /// Executes a previously selected plan: charges its I/O to `disk` and
+  /// aggregates its ranges (or rid list) in order. Run(q, obj, disk) ==
+  /// RunPlan(q, obj, SelectPlan(q, obj, disk->params()), disk) bit-for-bit.
+  QueryRunResult RunPlan(const Query& q, const MaterializedObject& obj,
+                         const ScanPlan& plan, DiskModel* disk) const;
+
+  /// Charges only the plan's I/O (index descents, seeks, page runs) to
+  /// `disk`, accumulating pages_read/seeks/fragments into `out`. The
+  /// shared-scan pass uses this to bill each group member its solo I/O cost
+  /// while the data itself is read once.
+  static void ChargePlanIo(const ScanPlan& plan, const MaterializedObject& obj,
+                           DiskModel* disk, QueryRunResult* out);
+
  private:
-  QueryRunResult RunFullScan(const Query& q, const MaterializedObject& obj,
-                             DiskModel* disk) const;
-  QueryRunResult RunClustered(const Query& q, const MaterializedObject& obj,
-                              DiskModel* disk) const;
-  QueryRunResult RunCm(const Query& q, const MaterializedObject& obj,
-                       const CorrelationMap& cm, DiskModel* disk) const;
-  QueryRunResult RunBTree(const Query& q, const MaterializedObject& obj,
-                          size_t btree_idx, DiskModel* disk) const;
+  void BuildClusteredPlan(const Query& q, const MaterializedObject& obj,
+                          const DiskParams& params, ScanPlan* plan) const;
+  void BuildCmPlan(const Query& q, const MaterializedObject& obj,
+                   const CorrelationMap& cm, const DiskParams& params,
+                   ScanPlan* plan) const;
+  void BuildBTreePlan(const Query& q, const MaterializedObject& obj,
+                      size_t btree_idx, const DiskParams& params,
+                      ScanPlan* plan) const;
 
   /// Filters rows of [range] in fixed partitions (parallel when large) and
   /// accumulates the aggregate deterministically.
-  void AggregateRows(const Resolved& rq, const MaterializedObject& obj,
-                     RowRange range, QueryRunResult* out) const;
+  void AggregateRows(const exec::ResolvedQuery& rq,
+                     const MaterializedObject& obj, RowRange range,
+                     QueryRunResult* out) const;
 
   /// Same over an explicit row-id list (secondary B+Tree fetches).
-  void AggregateRids(const Resolved& rq, const MaterializedObject& obj,
+  void AggregateRids(const exec::ResolvedQuery& rq,
+                     const MaterializedObject& obj,
                      const std::vector<RowId>& rids,
                      QueryRunResult* out) const;
 

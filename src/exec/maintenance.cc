@@ -1,43 +1,59 @@
 #include "exec/maintenance.h"
 
-#include "common/rng.h"
+#include <utility>
+
 #include "common/status.h"
 
 namespace coradd {
 
-MaintenanceResult SimulateInsertions(
-    const std::vector<MaintainedObject>& objects,
-    const MaintenanceOptions& options) {
+InsertionSimulator::InsertionSimulator(std::vector<MaintainedObject> objects,
+                                       const MaintenanceOptions& options)
+    : objects_(std::move(objects)),
+      disk_(options.disk),
+      pool_(options.buffer_pool_pages, &disk_),
+      rng_(options.seed) {
   CORADD_CHECK(options.buffer_pool_pages > 0);
-  DiskModel disk(options.disk);
-  BufferPool pool(options.buffer_pool_pages, &disk);
-  Rng rng(options.seed);
+}
 
-  for (uint64_t i = 0; i < options.num_inserts; ++i) {
+void InsertionSimulator::ApplyInserts(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
     uint32_t object_id = 0;
-    for (const auto& obj : objects) {
+    for (const auto& obj : objects_) {
       ++object_id;
       if (obj.heap_pages == 0) continue;
       // Heap page the new row lands on.
       const uint64_t heap_page =
-          obj.append_only ? obj.heap_pages - 1 : rng.Uniform(obj.heap_pages);
-      pool.Write(PageKey{object_id, heap_page});
+          obj.append_only ? obj.heap_pages - 1 : rng_.Uniform(obj.heap_pages);
+      pool_.Write(PageKey{object_id, heap_page});
       // One leaf page of each secondary structure (PK index, dense B+Tree)
       // is dirtied per insert as well.
       if (obj.index_pages > 0) {
-        pool.Write(PageKey{object_id | 0x80000000u,
-                           rng.Uniform(obj.index_pages)});
+        pool_.Write(PageKey{object_id | 0x80000000u,
+                            rng_.Uniform(obj.index_pages)});
       }
     }
   }
-  pool.FlushAll();
+  inserts_applied_ += count;
+}
 
+void InsertionSimulator::Flush() { pool_.FlushAll(); }
+
+MaintenanceResult InsertionSimulator::Totals() const {
   MaintenanceResult out;
-  out.seconds = disk.elapsed_seconds();
-  out.dirty_evictions = pool.dirty_evictions();
-  out.pool_misses = pool.misses();
-  out.pages_written = disk.pages_written();
+  out.seconds = disk_.elapsed_seconds();
+  out.dirty_evictions = pool_.dirty_evictions();
+  out.pool_misses = pool_.misses();
+  out.pages_written = disk_.pages_written();
   return out;
+}
+
+MaintenanceResult SimulateInsertions(
+    const std::vector<MaintainedObject>& objects,
+    const MaintenanceOptions& options) {
+  InsertionSimulator sim(objects, options);
+  sim.ApplyInserts(options.num_inserts);
+  sim.Flush();
+  return sim.Totals();
 }
 
 }  // namespace coradd

@@ -1,0 +1,98 @@
+#include "serving/client_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace coradd::serving {
+
+namespace {
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+ServingRunStats RunClients(ServingEngine* engine,
+                           const std::vector<std::vector<size_t>>& streams,
+                           const ClientRunOptions& options) {
+  CORADD_CHECK(engine != nullptr);
+  ServingRunStats stats;
+  std::mutex collect_mu;
+
+  const auto client = [&](const std::vector<size_t>& stream) {
+    std::vector<TicketResult> results;
+    results.reserve(stream.size());
+    if (options.mode == ArrivalMode::kClosedLoop) {
+      for (size_t qi : stream) {
+        results.push_back(engine->Submit(qi).get());
+      }
+    } else {
+      std::vector<std::future<TicketResult>> futures;
+      futures.reserve(stream.size());
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto gap = std::chrono::duration<double>(options.think_seconds);
+      for (size_t i = 0; i < stream.size(); ++i) {
+        if (options.think_seconds > 0.0) {
+          std::this_thread::sleep_until(
+              t0 + std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(gap * i));
+        }
+        futures.push_back(engine->Submit(stream[i]));
+      }
+      for (auto& f : futures) results.push_back(f.get());
+    }
+    std::lock_guard<std::mutex> lock(collect_mu);
+    for (const TicketResult& r : results) {
+      stats.latencies.push_back(r.latency_seconds);
+      if (r.shared) {
+        ++stats.shared;
+      } else {
+        ++stats.solo;
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(streams.size());
+  for (const auto& stream : streams) {
+    threads.emplace_back(client, std::cref(stream));
+  }
+  for (auto& t : threads) t.join();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  stats.completed = stats.latencies.size();
+  if (stats.wall_seconds > 0.0) {
+    stats.qps = static_cast<double>(stats.completed) / stats.wall_seconds;
+  }
+  std::vector<double> sorted = stats.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  stats.p50_latency_seconds = Percentile(sorted, 0.50);
+  stats.p95_latency_seconds = Percentile(sorted, 0.95);
+  stats.p99_latency_seconds = Percentile(sorted, 0.99);
+  return stats;
+}
+
+std::vector<size_t> MakeLookalikeStream(size_t num_queries, size_t length,
+                                        uint64_t seed, double zipf_s) {
+  CORADD_CHECK(num_queries > 0);
+  Rng rng(seed);
+  std::vector<size_t> stream;
+  stream.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    stream.push_back(static_cast<size_t>(rng.Zipf(num_queries, zipf_s)));
+  }
+  return stream;
+}
+
+}  // namespace coradd::serving

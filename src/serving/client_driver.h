@@ -1,0 +1,56 @@
+// Client-session driver for the serving engine: spawns one thread per
+// client stream, each submitting its queries to a started ServingEngine
+// and collecting per-query latencies. Closed-loop clients wait for each
+// result before submitting the next query; open-loop clients submit on a
+// fixed-interval schedule regardless of completions (latency then includes
+// queueing delay when the engine can't keep up).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/serving.h"
+
+namespace coradd::serving {
+
+enum class ArrivalMode {
+  kClosedLoop,  ///< next submit waits for the previous result
+  kOpenLoop,    ///< submits paced by `think_seconds`, completions ignored
+};
+
+/// Knobs for RunClients.
+struct ClientRunOptions {
+  ArrivalMode mode = ArrivalMode::kClosedLoop;
+  /// Open-loop inter-arrival gap per client, in seconds. Ignored in
+  /// closed-loop mode.
+  double think_seconds = 0.0;
+};
+
+/// Aggregate outcome of one multi-client run.
+struct ServingRunStats {
+  double wall_seconds = 0.0;
+  uint64_t completed = 0;
+  double qps = 0.0;  ///< completed / wall_seconds
+  double p50_latency_seconds = 0.0;
+  double p95_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  /// Every per-query latency, in completion-collection order.
+  std::vector<double> latencies;
+  uint64_t shared = 0;  ///< results served via a shared pass
+  uint64_t solo = 0;
+};
+
+/// Runs one thread per stream against a STARTED engine; stream[i] is the
+/// sequence of workload query indexes client i submits. Returns once every
+/// submitted query has completed.
+ServingRunStats RunClients(ServingEngine* engine,
+                           const std::vector<std::vector<size_t>>& streams,
+                           const ClientRunOptions& options = {});
+
+/// Deterministic "lookalike-heavy" query stream: `length` workload query
+/// indexes drawn Zipf(s)-skewed over [0, num_queries) so a few hot queries
+/// dominate — the regime where shared-scan batching groups aggressively.
+std::vector<size_t> MakeLookalikeStream(size_t num_queries, size_t length,
+                                        uint64_t seed, double zipf_s = 1.2);
+
+}  // namespace coradd::serving

@@ -1,0 +1,147 @@
+#include "serving/shared_scan.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace coradd::serving {
+
+using exec::PartialAgg;
+using exec::ResolvedQuery;
+
+void RunSharedScan(const MaterializedObject& obj,
+                   const DiskParams& disk_params, const ExecOptions& options,
+                   std::vector<SharedMember>* members) {
+  CORADD_CHECK(members != nullptr && !members->empty());
+  const size_t num_members = members->size();
+  const ScanPlan& plan0 = *(*members)[0].plan;
+  CORADD_CHECK(plan0.range_based());
+  TRACE_SPAN("serving.shared_scan",
+             {{"members", static_cast<int64_t>(num_members)}});
+
+  // --- Union column list: every member resolves against the object as the
+  // solo executor would, then its column indexes are remapped into the
+  // union so one ColumnBatch feeds every member's kernels. Same stored
+  // values either way, so remapping never perturbs results.
+  std::vector<ResolvedColumn> ucols;
+  const auto intern = [&ucols](const ResolvedColumn& rc) -> size_t {
+    for (size_t i = 0; i < ucols.size(); ++i) {
+      if (ucols[i].ucol == rc.ucol) return i;
+    }
+    ucols.push_back(rc);
+    return ucols.size() - 1;
+  };
+  std::vector<ResolvedQuery> mrq(num_members);
+  for (size_t m = 0; m < num_members; ++m) {
+    // The engine groups by serialized ranges, so members always agree; this
+    // guards the API against a mis-grouped caller.
+    CORADD_CHECK((*members)[m].plan->range_based() &&
+                 (*members)[m].plan->ranges.size() == plan0.ranges.size());
+    ResolvedQuery rq = exec::ResolveQuery(*(*members)[m].query, obj);
+    std::vector<size_t> remap(rq.cols.size());
+    for (size_t i = 0; i < rq.cols.size(); ++i) remap[i] = intern(rq.cols[i]);
+    for (size_t j = 0; j < rq.pred_col.size(); ++j) {
+      rq.pred_col[j] = remap[rq.pred_col[j]];
+    }
+    for (auto& agg : rq.aggs) {
+      agg.col_a = static_cast<int>(remap[static_cast<size_t>(agg.col_a)]);
+      if (agg.col_b >= 0) {
+        agg.col_b = static_cast<int>(remap[static_cast<size_t>(agg.col_b)]);
+      }
+    }
+    mrq[m] = std::move(rq);
+  }
+  bool all_stored = true;
+  std::vector<int> stored_cols;
+  for (const ResolvedColumn& c : ucols) {
+    if (c.table_col < 0) {
+      all_stored = false;
+      stored_cols.clear();
+      break;
+    }
+    stored_cols.push_back(c.table_col);
+  }
+
+  // --- Decompose exactly as the solo executor does: per range, fixed
+  // partitions of partition_rows; tasks ordered range-major.
+  const uint64_t pr = options.partition_rows;
+  std::vector<RowRange> tasks;
+  for (const RowRange& r : plan0.ranges) {
+    if (r.Empty()) continue;
+    const size_t num_parts = static_cast<size_t>((r.Size() + pr - 1) / pr);
+    for (size_t p = 0; p < num_parts; ++p) {
+      const uint64_t begin = r.begin + p * pr;
+      const uint64_t end = std::min<uint64_t>(r.end, begin + pr);
+      tasks.push_back(
+          RowRange{static_cast<RowId>(begin), static_cast<RowId>(end)});
+    }
+  }
+
+  // partials[m * num_tasks + t]: member m's partial for task t. Tasks write
+  // disjoint slots; the merge walks them in (member, task) order.
+  const size_t num_tasks = tasks.size();
+  std::vector<PartialAgg> partials(num_members * num_tasks);
+
+  const auto run_task = [&](size_t t) {
+    TRACE_SPAN("serving.shared_partition",
+               {{"rows", static_cast<int64_t>(tasks[t].Size())}});
+    const RowRange part = tasks[t];
+    for (size_t m = 0; m < num_members; ++m) {
+      partials[m * num_tasks + t].acc.assign(mrq[m].aggs.size(), 0.0);
+    }
+    BatchScratch scratch;
+    std::vector<uint32_t> sel(
+        std::min<uint64_t>(options.batch_rows, part.Size()));
+    ColumnBatch batch;
+    for (uint64_t b = part.begin; b < part.end; b += options.batch_rows) {
+      const RowId begin = static_cast<RowId>(b);
+      const RowId end = static_cast<RowId>(
+          std::min<uint64_t>(part.end, b + options.batch_rows));
+      // The shared read: one ScanBatch (and one provenance gather for
+      // unstored columns) feeds every member.
+      if (all_stored) {
+        obj.table->ScanBatch(RowRange{begin, end}, stored_cols, &batch);
+      } else {
+        ScanBatch(obj, RowRange{begin, end}, ucols, &scratch, &batch);
+      }
+      const size_t n = end - begin;
+      for (size_t m = 0; m < num_members; ++m) {
+        const ResolvedQuery& rq = mrq[m];
+        const bool all_rows = rq.preds.empty();
+        const size_t k = exec::FilterBatch(rq, batch, n, sel.data());
+        if (k == 0) continue;
+        exec::AccumulateBatch(batch, rq, sel.data(), k, all_rows,
+                              &partials[m * num_tasks + t]);
+      }
+    }
+  };
+  ThreadPool* pool =
+      options.pool != nullptr ? options.pool : &ThreadPool::Shared();
+  if (num_tasks > 1 && pool->num_threads() > 1) {
+    pool->ParallelFor(num_tasks, run_task);
+  } else {
+    for (size_t t = 0; t < num_tasks; ++t) run_task(t);
+  }
+
+  // --- Per member: charge its own plan's I/O to a cold DiskModel (solo
+  // billing) and merge partials in task order (solo merge order).
+  for (size_t m = 0; m < num_members; ++m) {
+    SharedMember& sm = (*members)[m];
+    QueryRunResult out;
+    out.path = sm.plan->path;
+    DiskModel disk(disk_params);
+    QueryExecutor::ChargePlanIo(*sm.plan, obj, &disk, &out);
+    out.seconds = disk.elapsed_seconds();
+    out.pages_read = disk.pages_read();
+    out.seeks = disk.seeks();
+    for (size_t t = 0; t < num_tasks; ++t) {
+      const PartialAgg& pa = partials[m * num_tasks + t];
+      out.rows_output += pa.rows;
+      for (double s : pa.acc) out.aggregate += s;
+    }
+    sm.result = out;
+  }
+}
+
+}  // namespace coradd::serving

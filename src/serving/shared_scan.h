@@ -1,0 +1,42 @@
+// Cooperative shared-scan pass: several admitted queries whose selected
+// plans aggregate the SAME row ranges of the SAME materialized object are
+// executed in one pass that reads every ColumnBatch once (with the union of
+// the members' columns) and evaluates each member's predicate chain and
+// accumulators against it.
+//
+// Determinism contract: the pass replicates the solo executor's exact
+// decomposition — per-range partitions of `partition_rows` starting at
+// range.begin, batches of `batch_rows` from partition begin, per-member
+// per-partition partial accumulators merged range-major/partition-minor,
+// accumulator elements left-to-right — so every member's aggregate and row
+// count are bit-identical to a solo QueryExecutor::RunPlan with the same
+// ExecOptions, at any thread count (EXPECT_EQ on doubles holds). Each
+// member's I/O is still charged solo-style to its own cold DiskModel, so
+// simulated seconds match solo runs too; the wall-clock win comes from
+// reading and gathering each batch once instead of once per member.
+#pragma once
+
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace coradd::serving {
+
+/// One query participating in a shared pass. All members of a pass must
+/// have plans with identical `ranges` (the grouping key); `result` is
+/// written by RunSharedScan.
+struct SharedMember {
+  const Query* query = nullptr;
+  const ScanPlan* plan = nullptr;
+  QueryRunResult result;
+};
+
+/// Executes one cooperative pass over `obj` for every member, using
+/// `options` for batch/partition decomposition and the pool. `disk_params`
+/// seeds each member's cold per-query DiskModel (§7 methodology). Requires
+/// members->size() >= 1 and all plans range-based with identical ranges.
+void RunSharedScan(const MaterializedObject& obj, const DiskParams& disk_params,
+                   const ExecOptions& options,
+                   std::vector<SharedMember>* members);
+
+}  // namespace coradd::serving
