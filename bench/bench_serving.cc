@@ -20,6 +20,15 @@
 // and cross-checks the engine's cumulative cost against the isolated
 // SimulateInsertions run of the same total — split invariance makes the
 // ratio exactly 1.
+//
+// A pooled section switches to a per-query MV design (selective clustered
+// plans, so the working set is cacheable — the base-only full scans above
+// would just cycle any pool) and sweeps the engine's shared buffer pool
+// size, reporting warm hit rate, served QPS, and warm simulated
+// seconds-per-query vs the cold solo cost. `--assert-hit-rate=X` gates the
+// warm hit rate at `--pool-frac` (default 0.25: pool = 25% of the working
+// set): exit 1 unless the mean rate is >= X and Welch-distinguishable from
+// it. `--pool-pages=N` pins an absolute capacity instead of the sweep.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -68,6 +77,26 @@ DatabaseDesign BaseOnlyDesign(const Fixture& f) {
   return d;
 }
 
+/// Per-query MV design: one materialized view per query, clustered on the
+/// query's predicate columns, so selected plans are narrow clustered range
+/// scans. This is the regime where a shared pool pays off: a Zipf-skewed
+/// stream concentrates touches on the hot queries' page ranges.
+DatabaseDesign PerQueryMvDesign(const Fixture& f) {
+  DatabaseDesign d;
+  d.designer = "per-query-mv";
+  for (size_t qi = 0; qi < f.workload.queries.size(); ++qi) {
+    const Query& q = f.workload.queries[qi];
+    DesignedObject obj;
+    obj.spec.name = "mv_q" + std::to_string(qi);
+    obj.spec.fact_table = q.fact_table;
+    obj.spec.columns = q.AllColumns();
+    obj.spec.clustered_key = q.PredicateColumns();
+    d.objects.push_back(obj);
+    d.object_for_query.push_back(qi);
+  }
+  return d;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +109,9 @@ int main(int argc, char** argv) {
   const double zipf_s = FlagDouble(argc, argv, "zipf", 1.2);
   const double assert_shared_speedup =
       FlagDouble(argc, argv, "assert-shared-speedup", 0.0);
+  const double pool_frac = FlagDouble(argc, argv, "pool-frac", 0.25);
+  const int pool_pages_flag = FlagInt(argc, argv, "pool-pages", 0);
+  const double assert_hit_rate = FlagDouble(argc, argv, "assert-hit-rate", 0.0);
   const std::vector<size_t> thread_grid =
       h.fast() ? std::vector<size_t>{2} : std::vector<size_t>{1, 2, 4};
   const std::vector<size_t> client_grid =
@@ -90,9 +122,11 @@ int main(int argc, char** argv) {
   json.Config("queries_per_client", static_cast<double>(per_client));
   json.Config("zipf_s", zipf_s);
 
-  // Gate samples: QPS per measured pass at the largest client count.
+  // Gate samples: QPS per measured pass at the largest client count, and
+  // warm pool hit rate at the gate pool size.
   const size_t gate_clients = client_grid.back();
   std::vector<double> gate_qps_on, gate_qps_off;
+  std::vector<double> gate_hit_rate;
 
   PrintHeader(
       "served QPS and latency: threads x clients x shared-scan batching",
@@ -219,6 +253,89 @@ int main(int argc, char** argv) {
       }
     }
 
+    // --- Pooled serving: warm hit rate + served QPS vs pool size. The
+    // base-only design above full-scans one object, which cycles any pool
+    // smaller than the object; the per-query MV design gives selective
+    // clustered plans, so the Zipf stream revisits a cacheable working set
+    // and the shared pool's hit rate becomes the experiment.
+    {
+      const DatabaseDesign mv_design = PerQueryMvDesign(f);
+      ThreadPool pool(2);
+      std::vector<std::vector<size_t>> streams;
+      for (size_t c = 0; c < gate_clients; ++c) {
+        streams.push_back(MakeLookalikeStream(
+            f.workload.queries.size(), per_client, 700 + c, zipf_s));
+      }
+      const std::vector<double> fracs =
+          h.fast() ? std::vector<double>{pool_frac}
+                   : std::vector<double>{0.10, pool_frac, 0.50, 1.0};
+      if (pass.reporting) {
+        PrintHeader(
+            "pooled serving (per-query MV design): warm hit rate vs pool "
+            "size",
+            {"pool_frac", "pages", "wset", "hit_rate", "qps", "warm_spq[ms]",
+             "cold_spq[ms]"});
+      }
+      for (const double frac : fracs) {
+        ServingOptions options;
+        options.exec.pool = &pool;
+        if (pool_pages_flag > 0) {
+          options.pool_pages = static_cast<uint64_t>(pool_pages_flag);
+        } else {
+          options.pool_fraction = frac;
+        }
+        ServingEngine engine(f.context.get(), &mv_design, &f.workload,
+                             &planner, options);
+        const uint64_t ws = engine.WorkingSetPages();
+        const uint64_t pages = engine.page_pool()->capacity_pages();
+        engine.Start();
+        // Warm pass fills the pool; the measured pass quotes steady state.
+        RunClients(&engine, streams);
+        const ServingStats w0 = engine.stats();
+        const ServingRunStats run = RunClients(&engine, streams);
+        const ServingStats w1 = engine.stats();
+        const uint64_t d_touches = w1.pool.touches - w0.pool.touches;
+        const double hit_rate =
+            d_touches > 0
+                ? static_cast<double>(w1.pool.hits - w0.pool.hits) /
+                      static_cast<double>(d_touches)
+                : 0.0;
+        // Warm simulated seconds-per-query vs the cold solo reference, over
+        // one client's stream (sequential, so hits are the steady state's).
+        double warm_sim = 0.0, cold_sim = 0.0;
+        for (size_t qi : streams[0]) {
+          warm_sim += engine.Submit(qi).get().simulated_seconds;
+          cold_sim += engine.RunSolo(qi).seconds;
+        }
+        engine.Stop();
+        const double warm_spq = warm_sim / static_cast<double>(streams[0].size());
+        const double cold_spq = cold_sim / static_cast<double>(streams[0].size());
+
+        const std::string tag =
+            pool_pages_flag > 0 ? std::string("pinned")
+                                : StrFormat("f%.0f", 100.0 * frac);
+        h.Sample("pool_hit_rate_" + tag, hit_rate);
+        h.Sample("pool_qps_" + tag, run.qps);
+        h.Sample("pool_sim_spq_" + tag, warm_spq);
+        h.Sample("cold_sim_spq_" + tag, cold_spq);
+        const bool is_gate_size = pool_pages_flag > 0 || frac == pool_frac;
+        if (is_gate_size && !pass.warmup) gate_hit_rate.push_back(hit_rate);
+        if (!pass.reporting) continue;
+        PrintRow({StrFormat("%.2f", frac), std::to_string(pages),
+                  std::to_string(ws), StrFormat("%.3f", hit_rate),
+                  StrFormat("%.0f", run.qps), StrFormat("%.3f", 1e3 * warm_spq),
+                  StrFormat("%.3f", 1e3 * cold_spq)});
+        json.Row({{"pool_frac", BenchJson::Num(frac)},
+                  {"pool_pages", BenchJson::Num(static_cast<double>(pages))},
+                  {"working_set_pages",
+                   BenchJson::Num(static_cast<double>(ws))},
+                  {"hit_rate", BenchJson::Num(hit_rate)},
+                  {"pool_qps", BenchJson::Num(run.qps)},
+                  {"warm_spq_seconds", BenchJson::Num(warm_spq)},
+                  {"cold_spq_seconds", BenchJson::Num(cold_spq)}});
+      }
+    }
+
     // --- One open-loop row (fixed-interval arrivals): latency under an
     // offered load the engine must absorb rather than pace.
     if (pass.reporting) {
@@ -269,6 +386,25 @@ int main(int argc, char** argv) {
         "shared-scan batching speedup %.2fx at %zu clients (>= %.2fx, "
         "Welch t=%.2f df=%.1f, significant)\n",
         speedup, gate_clients, assert_shared_speedup, w.t, w.df);
+  }
+  if (assert_hit_rate > 0.0 && !gate_hit_rate.empty()) {
+    const double mean = Summarize(gate_hit_rate).mean;
+    const std::vector<double> threshold(gate_hit_rate.size(),
+                                        assert_hit_rate);
+    const benchkit::WelchResult w =
+        benchkit::WelchTTest(threshold, gate_hit_rate);
+    if (mean < assert_hit_rate || !w.significant) {
+      std::fprintf(stderr,
+                   "FAIL: warm pool hit rate %.3f at pool-frac %.2f (need "
+                   ">= %.3f, Welch %ssignificant, t=%.2f df=%.1f)\n",
+                   mean, pool_frac, assert_hit_rate,
+                   w.significant ? "" : "NOT ", w.t, w.df);
+      return 1;
+    }
+    std::printf(
+        "warm pool hit rate %.3f at pool-frac %.2f (>= %.3f, Welch t=%.2f "
+        "df=%.1f, significant)\n",
+        mean, pool_frac, assert_hit_rate, w.t, w.df);
   }
   return 0;
 }

@@ -145,9 +145,10 @@ void QueryExecutor::BuildClusteredPlan(const Query& q,
   // Pages touched, coalesced into fragments.
   std::vector<uint64_t> pages;
   for (const auto& r : plan->ranges) {
-    const uint64_t first = obj.table->PageOfRow(r.begin);
-    const uint64_t last = obj.table->PageOfRow(r.end - 1);
-    for (uint64_t p = first; p <= last; ++p) pages.push_back(p);
+    const PageRun run = obj.table->PagesOfRange(r);
+    for (uint64_t p = run.first_page; p <= run.last_page; ++p) {
+      pages.push_back(p);
+    }
   }
   std::sort(pages.begin(), pages.end());
   pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
@@ -253,6 +254,19 @@ void QueryExecutor::BuildBTreePlan(const Query& q,
       1, index.shape().leaf_pages * plan->rids.size() /
              std::max<size_t>(1, obj.table->NumRows()));
   plan->index_height = index.Height();
+  int64_t first_key = 0;
+  switch (pred->type) {
+    case PredicateType::kEquality:
+      first_key = pred->value;
+      break;
+    case PredicateType::kRange:
+      first_key = pred->lo;
+      break;
+    case PredicateType::kIn:
+      first_key = pred->in_values.empty() ? 0 : pred->in_values.front();
+      break;
+  }
+  plan->index_leaf_first = index.LeafPageOfKey(first_key);
 
   // Heap I/O: sorted-RID sweep (A-2.1), coalesced page runs.
   std::vector<uint64_t> pages;
@@ -405,6 +419,68 @@ void QueryExecutor::ChargePlanIo(const ScanPlan& plan,
   }
 }
 
+namespace {
+
+/// Touches pages [first, last] of pool object `object_id` for reading;
+/// every maximal run of non-resident pages costs one seek + sequential
+/// read on `disk` and counts as one fragment.
+void TouchRunPooled(SharedBufferPool* pool, uint32_t object_id, uint64_t first,
+                    uint64_t last, DiskModel* disk, QueryRunResult* out) {
+  uint64_t miss_run = 0;
+  const auto charge = [&] {
+    disk->Seek();
+    disk->SequentialRead(miss_run);
+    out->pages_read += miss_run;
+    ++out->seeks;
+    ++out->fragments;
+    miss_run = 0;
+  };
+  for (uint64_t p = first; p <= last; ++p) {
+    if (pool->Read(PageKey{object_id, p})) {
+      ++out->pool_hits;
+      if (miss_run > 0) charge();
+    } else {
+      ++miss_run;
+    }
+  }
+  if (miss_run > 0) charge();
+}
+
+}  // namespace
+
+void QueryExecutor::ChargePlanIoPooled(const ScanPlan& plan,
+                                       const MaterializedObject& obj,
+                                       SharedBufferPool* pool, DiskModel* disk,
+                                       QueryRunResult* out) {
+  const uint32_t id = obj.pool_object_id;
+  CORADD_CHECK(id != 0);
+  switch (plan.kind) {
+    case ScanPlan::Kind::kFullScan: {
+      const uint64_t pages = obj.table->NumPages();
+      if (pages > 0) TouchRunPooled(pool, id, 0, pages - 1, disk, out);
+      break;
+    }
+    case ScanPlan::Kind::kClustered:
+    case ScanPlan::Kind::kCm: {
+      for (const auto& run : plan.io_runs) {
+        TouchRunPooled(pool, id, run.first_page, run.last_page, disk, out);
+      }
+      break;
+    }
+    case ScanPlan::Kind::kBTree: {
+      if (plan.index_leaf_pages > 0) {
+        TouchRunPooled(pool, id | kIndexPageObjectFlag, plan.index_leaf_first,
+                       plan.index_leaf_first + plan.index_leaf_pages - 1, disk,
+                       out);
+      }
+      for (const auto& run : plan.io_runs) {
+        TouchRunPooled(pool, id, run.first_page, run.last_page, disk, out);
+      }
+      break;
+    }
+  }
+}
+
 QueryRunResult QueryExecutor::RunPlan(const Query& q,
                                       const MaterializedObject& obj,
                                       const ScanPlan& plan,
@@ -415,7 +491,11 @@ QueryRunResult QueryExecutor::RunPlan(const Query& q,
   const double t0 = disk->elapsed_seconds();
   const uint64_t p0 = disk->pages_read();
   const uint64_t s0 = disk->seeks();
-  ChargePlanIo(plan, obj, disk, &out);
+  if (options_.page_pool != nullptr) {
+    ChargePlanIoPooled(plan, obj, options_.page_pool, disk, &out);
+  } else {
+    ChargePlanIo(plan, obj, disk, &out);
+  }
   const ResolvedQuery rq = exec::ResolveQuery(q, obj);
   if (plan.range_based()) {
     for (const auto& r : plan.ranges) AggregateRows(rq, obj, r, &out);

@@ -26,6 +26,7 @@
 #include "cost/cost_model.h"
 #include "exec/materialize.h"
 #include "exec/scan_kernels.h"
+#include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
 #include "storage/layout.h"
 
@@ -41,6 +42,8 @@ struct QueryRunResult {
   /// Combined value of all aggregates (identical across designs).
   double aggregate = 0.0;
   uint64_t rows_output = 0;
+  /// Pages served from the shared buffer pool (pooled mode only; 0 cold).
+  uint64_t pool_hits = 0;
 };
 
 /// Batched-execution knobs. The defaults are what the benches run.
@@ -56,6 +59,13 @@ struct ExecOptions {
   size_t partition_rows = 16384;
   /// Pool for scan partitions; nullptr = ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+  /// Optional shared page pool. When set, RunPlan bills page touches
+  /// through it — resident pages cost nothing, each maximal run of missing
+  /// pages costs one seek + sequential read on the query's DiskModel, and
+  /// dirty write-backs are charged to the pool's own attached disk. The
+  /// object must carry a nonzero `pool_object_id`. Default off: billing is
+  /// the cold per-query model, bit-identical to every existing golden.
+  SharedBufferPool* page_pool = nullptr;
 };
 
 /// A selected access plan, fully resolved to physical work: the row ranges
@@ -80,6 +90,9 @@ struct ScanPlan {
   std::vector<RowId> rids;
   uint64_t index_leaf_pages = 0;
   uint32_t index_height = 0;
+  /// kBTree only: first leaf page of the touched span, so pooled accounting
+  /// touches concrete index pages (keyed under kIndexPageObjectFlag).
+  uint64_t index_leaf_first = 0;
   /// Range-based plans aggregate `ranges` and are shareable; kBTree plans
   /// gather an explicit rid list and always execute solo.
   bool range_based() const { return kind != Kind::kBTree; }
@@ -95,6 +108,12 @@ class QueryExecutor {
                 ExecOptions options = {});
 
   const ExecOptions& options() const { return options_; }
+
+  /// Attaches (or detaches, nullptr) the shared page pool after
+  /// construction — the serving engine sizes its pool from the materialized
+  /// working set, which only exists once the engine body runs. Not
+  /// thread-safe against concurrent Run/RunPlan.
+  void SetPagePool(SharedBufferPool* pool) { options_.page_pool = pool; }
 
   /// Runs `q` cold (the paper discards caches between queries) against
   /// `obj`, charging I/O to `disk`. Equivalent to SelectPlan + RunPlan.
@@ -125,6 +144,17 @@ class QueryExecutor {
   /// while the data itself is read once.
   static void ChargePlanIo(const ScanPlan& plan, const MaterializedObject& obj,
                            DiskModel* disk, QueryRunResult* out);
+
+  /// Pooled variant: touches every plan page (heap runs; index leaves for
+  /// kBTree) through `pool`, charging only the missing pages to `disk` —
+  /// one seek + sequential read per maximal missed run, hits free. A fully
+  /// warm plan therefore costs zero simulated seconds. Descent seeks are
+  /// folded into the per-run seek (a warm cache also keeps internal nodes
+  /// resident). Requires obj.pool_object_id != 0.
+  static void ChargePlanIoPooled(const ScanPlan& plan,
+                                 const MaterializedObject& obj,
+                                 SharedBufferPool* pool, DiskModel* disk,
+                                 QueryRunResult* out);
 
  private:
   void BuildClusteredPlan(const Query& q, const MaterializedObject& obj,

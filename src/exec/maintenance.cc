@@ -25,11 +25,14 @@ void InsertionSimulator::ApplyInserts(uint64_t count) {
       const uint64_t heap_page =
           obj.append_only ? obj.heap_pages - 1 : rng_.Uniform(obj.heap_pages);
       pool_.Write(PageKey{object_id, heap_page});
+      if (mirror_ != nullptr) mirror_->Write(PageKey{object_id, heap_page});
       // One leaf page of each secondary structure (PK index, dense B+Tree)
       // is dirtied per insert as well.
       if (obj.index_pages > 0) {
-        pool_.Write(PageKey{object_id | 0x80000000u,
-                            rng_.Uniform(obj.index_pages)});
+        const PageKey index_key{object_id | kIndexPageObjectFlag,
+                                rng_.Uniform(obj.index_pages)};
+        pool_.Write(index_key);
+        if (mirror_ != nullptr) mirror_->Write(index_key);
       }
     }
   }

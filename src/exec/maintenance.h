@@ -63,6 +63,14 @@ class InsertionSimulator {
   /// one index leaf page per maintained object.
   void ApplyInserts(uint64_t count);
 
+  /// Mirrors every dirtied PageKey into `pool` (nullptr to detach) without
+  /// touching the simulator's own pool, disk, or RNG — the isolated-cost
+  /// contract (SimulateInsertions == interleaved ApplyInserts + Flush,
+  /// ratio exactly 1.000) is preserved bit-for-bit. The serving engine uses
+  /// this so writer epochs invalidate/dirty the shared page pool the
+  /// concurrent scans read through.
+  void SetMirrorPool(SharedBufferPool* pool) { mirror_ = pool; }
+
   /// Writes back every dirty page still resident (end-of-experiment cost).
   void Flush();
 
@@ -77,6 +85,7 @@ class InsertionSimulator {
   DiskModel disk_;
   BufferPool pool_;
   Rng rng_;
+  SharedBufferPool* mirror_ = nullptr;
   uint64_t inserts_applied_ = 0;
 };
 

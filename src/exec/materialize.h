@@ -41,6 +41,12 @@ struct MaterializedObject {
   /// Actual bytes of dense secondary B+Trees.
   uint64_t btree_bytes = 0;
 
+  /// Identity of this object in a shared buffer pool (PageKey.object_id);
+  /// 0 = unassigned (pooled execution aborts). The serving engine assigns
+  /// slot + 1, matching the maintenance simulator's 1-based object ids so
+  /// writer-epoch dirty pages collide with scan touches of the same object.
+  uint32_t pool_object_id = 0;
+
   /// Value of universe column `ucol` for table row `row` (stored column if
   /// present, otherwise via provenance + dimension lookup).
   int64_t ValueOf(RowId row, int table_col, int ucol) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/string_util.h"
@@ -128,6 +129,31 @@ ServingEngine::ServingEngine(const DesignContext* context,
   } else {
     for (size_t i = 0; i < slots_.size(); ++i) materialize(i);
   }
+
+  // Pool identities: slot + 1, matching the maintenance simulator's 1-based
+  // object ids, so writer-epoch dirty pages land on exactly the PageKeys
+  // the scans read through.
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i]->pool_object_id = static_cast<uint32_t>(i) + 1;
+  }
+
+  uint64_t pool_pages = options_.pool_pages;
+  if (pool_pages == 0 && options_.pool_fraction > 0.0) {
+    pool_pages = std::max<uint64_t>(
+        1, static_cast<uint64_t>(options_.pool_fraction *
+                                 static_cast<double>(WorkingSetPages())));
+  }
+  if (pool_pages > 0) {
+    pool_disk_ = std::make_unique<DiskModel>(disk_params_);
+    BufferPoolOptions bp;
+    bp.capacity_pages = pool_pages;
+    bp.num_shards = options_.pool_shards;
+    bp.name = "serving";
+    page_pool_ = std::make_unique<SharedBufferPool>(bp, pool_disk_.get());
+    executor_.SetPagePool(page_pool_.get());
+    // Shared passes receive options_.exec directly — keep it in sync.
+    options_.exec.page_pool = page_pool_.get();
+  }
 }
 
 ServingEngine::~ServingEngine() { Stop(); }
@@ -204,6 +230,10 @@ void ServingEngine::ConfigureMaintenance(
   std::lock_guard<std::mutex> lock(mu_);
   maintenance_ =
       std::make_unique<InsertionSimulator>(std::move(objects), options);
+  // Writer epochs dirty the shared pool's pages too (mirror writes never
+  // touch the simulator's own pool/disk/RNG, so the isolated-cost ratio
+  // stays exactly 1.000).
+  if (page_pool_ != nullptr) maintenance_->SetMirrorPool(page_pool_.get());
 }
 
 std::future<MaintenanceResult> ServingEngine::SubmitMaintenance(
@@ -337,6 +367,7 @@ void ServingEngine::ExecuteEpoch(std::vector<std::unique_ptr<Ticket>> tickets) {
     out.pages_read = r.pages_read;
     out.path = r.path;
     out.shared = shared;
+    out.pool_hits = r.pool_hits;
     out.epoch = epoch;
     out.latency_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -438,6 +469,7 @@ ServingStats ServingEngine::stats() const {
   out.maintenance_inserts =
       maintenance_inserts_.load(std::memory_order_relaxed);
   out.queue_depth_high_water = queue_hwm_.load(std::memory_order_relaxed);
+  if (page_pool_ != nullptr) out.pool = page_pool_->stats();
   return out;
 }
 
@@ -445,8 +477,36 @@ QueryRunResult ServingEngine::RunSolo(size_t query_index) const {
   CORADD_CHECK(query_index < workload_->queries.size());
   const Query& q = workload_->queries[query_index];
   const MaterializedObject& obj = *slots_[slot_of_query_[query_index]];
+  // Reference runs must stay cold AND side-effect-free: a pooled run here
+  // would both bill differently and warm the engine's pool.
+  ExecOptions cold = options_.exec;
+  cold.page_pool = nullptr;
+  const QueryExecutor cold_executor(&context_->registry(), planner_, cold);
   DiskModel disk(disk_params_);
-  return executor_.Run(q, obj, &disk);
+  return cold_executor.Run(q, obj, &disk);
+}
+
+uint64_t ServingEngine::WorkingSetPages() const {
+  std::unordered_set<PageKey, PageKeyHash> pages;
+  for (size_t qi = 0; qi < workload_->queries.size(); ++qi) {
+    const size_t slot = slot_of_query_[qi];
+    const MaterializedObject& obj = *slots_[slot];
+    const uint32_t id = static_cast<uint32_t>(slot) + 1;
+    const ScanPlan plan =
+        executor_.SelectPlan(workload_->queries[qi], obj, disk_params_);
+    for (const PageRun& run : plan.io_runs) {
+      for (uint64_t p = run.first_page; p <= run.last_page; ++p) {
+        pages.insert(PageKey{id, p});
+      }
+    }
+    if (plan.kind == ScanPlan::Kind::kBTree && plan.index_leaf_pages > 0) {
+      for (uint64_t j = 0; j < plan.index_leaf_pages; ++j) {
+        pages.insert(
+            PageKey{id | kIndexPageObjectFlag, plan.index_leaf_first + j});
+      }
+    }
+  }
+  return pages.size();
 }
 
 const MaterializedObject& ServingEngine::ObjectForQuery(

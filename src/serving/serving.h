@@ -60,6 +60,19 @@ struct ServingOptions {
   /// Execute epoch units sequentially in formation order (reproducible
   /// counters/traces; results are bit-identical either way).
   bool deterministic = false;
+  /// Shared buffer pool capacity in pages; 0 = pooled serving off (cold
+  /// per-query billing, bit-identical to PR 9 behaviour). When on, the
+  /// engine owns a SharedBufferPool: reads bill only pool misses, shared
+  /// passes touch each page once per group, and maintenance writer epochs
+  /// mirror their dirtied pages into it. Aggregates/row counts are
+  /// unaffected either way — pooling changes costs, never results.
+  uint64_t pool_pages = 0;
+  /// Alternative sizing when pool_pages == 0: capacity as a fraction of the
+  /// workload's working set (distinct plan pages, WorkingSetPages()).
+  /// 0 = off.
+  double pool_fraction = 0.0;
+  /// Shards of the engine's pool; 0 = auto (see BufferPoolOptions).
+  size_t pool_shards = 0;
   ExecOptions exec;
 };
 
@@ -74,6 +87,8 @@ struct TicketResult {
   AccessPath path = AccessPath::kFullScan;
   /// True when served by a shared-scan group of >= 2 members.
   bool shared = false;
+  /// Pages served from the engine's shared pool (0 when pooling is off).
+  uint64_t pool_hits = 0;
   uint64_t epoch = 0;
   /// Wall-clock submit -> completion (queueing + execution).
   double latency_seconds = 0.0;
@@ -94,6 +109,8 @@ struct ServingStats {
   uint64_t maintenance_batches = 0;
   uint64_t maintenance_inserts = 0;
   size_t queue_depth_high_water = 0;
+  /// Shared-pool counters (all zero when pooling is off).
+  BufferPoolStats pool;
 };
 
 /// Concurrent query-serving engine over one installed design.
@@ -142,9 +159,24 @@ class ServingEngine {
   ServingStats stats() const;
 
   /// Reference solo execution of workload query `query_index` on its routed
-  /// object with this engine's ExecOptions and a cold DiskModel — what the
-  /// bit-identity tests compare shared-scan results against.
+  /// object with this engine's ExecOptions, a cold DiskModel, and NO pool —
+  /// what the bit-identity tests compare served results against. Never
+  /// touches (or warms) the engine's shared pool.
   QueryRunResult RunSolo(size_t query_index) const;
+
+  /// Distinct (object, page) pairs the workload's selected plans touch —
+  /// the working set pooled sizing is quoted against (pool_fraction, the
+  /// bench's hit-rate-vs-pool-size sweep).
+  uint64_t WorkingSetPages() const;
+
+  /// The engine's shared page pool; nullptr when pooling is off.
+  SharedBufferPool* page_pool() { return page_pool_.get(); }
+  const SharedBufferPool* page_pool() const { return page_pool_.get(); }
+  /// Disk the pool charges dirty write-backs to (pooling must be on).
+  const DiskModel& pool_disk() const {
+    CORADD_CHECK(pool_disk_ != nullptr);
+    return *pool_disk_;
+  }
 
   const MaterializedObject& ObjectForQuery(size_t query_index) const;
   const ServingOptions& options() const { return options_; }
@@ -185,6 +217,13 @@ class ServingEngine {
   /// to. Read-only after construction.
   std::vector<std::shared_ptr<MaterializedObject>> slots_;
   std::vector<size_t> slot_of_query_;
+
+  /// Shared page pool + the disk its dirty write-backs are charged to
+  /// (pool_pages/pool_fraction > 0 only). Created in the constructor body
+  /// after the slots exist (sizing needs the materialized working set),
+  /// then attached to executor_ via SetPagePool.
+  std::unique_ptr<DiskModel> pool_disk_;
+  std::unique_ptr<SharedBufferPool> page_pool_;
 
   std::mutex mu_;
   std::condition_variable cv_work_;   ///< dispatcher: queue non-empty / stop

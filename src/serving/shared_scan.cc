@@ -124,17 +124,40 @@ void RunSharedScan(const MaterializedObject& obj,
     for (size_t t = 0; t < num_tasks; ++t) run_task(t);
   }
 
-  // --- Per member: charge its own plan's I/O to a cold DiskModel (solo
-  // billing) and merge partials in task order (solo merge order).
+  // --- I/O billing.
+  // Pooled: the pass touches each page of the (shared) ranges ONCE through
+  // the pool — billed to one DiskModel via plan0 (identical ranges mean
+  // identical heap pages) — and every member reports that group cost, which
+  // is what makes batching's I/O win visible in simulated seconds.
+  // Cold (default): each member charges its own plan to its own cold
+  // DiskModel, solo billing bit-for-bit.
+  QueryRunResult pooled_io;
+  if (options.page_pool != nullptr) {
+    DiskModel disk(disk_params);
+    QueryExecutor::ChargePlanIoPooled(plan0, obj, options.page_pool, &disk,
+                                      &pooled_io);
+    pooled_io.seconds = disk.elapsed_seconds();
+  }
+
+  // --- Per member: I/O cost + merge partials in task order (solo merge
+  // order).
   for (size_t m = 0; m < num_members; ++m) {
     SharedMember& sm = (*members)[m];
     QueryRunResult out;
     out.path = sm.plan->path;
-    DiskModel disk(disk_params);
-    QueryExecutor::ChargePlanIo(*sm.plan, obj, &disk, &out);
-    out.seconds = disk.elapsed_seconds();
-    out.pages_read = disk.pages_read();
-    out.seeks = disk.seeks();
+    if (options.page_pool != nullptr) {
+      out.seconds = pooled_io.seconds;
+      out.pages_read = pooled_io.pages_read;
+      out.seeks = pooled_io.seeks;
+      out.fragments = pooled_io.fragments;
+      out.pool_hits = pooled_io.pool_hits;
+    } else {
+      DiskModel disk(disk_params);
+      QueryExecutor::ChargePlanIo(*sm.plan, obj, &disk, &out);
+      out.seconds = disk.elapsed_seconds();
+      out.pages_read = disk.pages_read();
+      out.seeks = disk.seeks();
+    }
     for (size_t t = 0; t < num_tasks; ++t) {
       const PartialAgg& pa = partials[m * num_tasks + t];
       out.rows_output += pa.rows;

@@ -1,6 +1,14 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+
 namespace coradd {
+
+// ---------------------------------------------------------------------------
+// BufferPool (serial LRU reference model / maintenance pool)
+// ---------------------------------------------------------------------------
 
 BufferPool::BufferPool(uint64_t capacity_pages, DiskModel* disk)
     : capacity_(capacity_pages), disk_(disk) {
@@ -65,6 +73,261 @@ void BufferPool::FlushAll() {
       disk_->WritePage();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// SharedBufferPool
+// ---------------------------------------------------------------------------
+
+SharedBufferPool::SharedBufferPool(const BufferPoolOptions& options,
+                                   DiskModel* writeback_disk)
+    : capacity_(options.capacity_pages),
+      policy_(options.policy),
+      writeback_disk_(writeback_disk) {
+  CORADD_CHECK(capacity_ > 0);
+  size_t n = options.num_shards != 0
+                 ? options.num_shards
+                 : static_cast<size_t>(std::min<uint64_t>(8, capacity_));
+  // Every shard needs at least one page of capacity.
+  n = static_cast<size_t>(std::min<uint64_t>(n, capacity_));
+
+  auto& reg = obs::MetricsRegistry::Global();
+  obs_touches_ = reg.GetCounter("bufferpool.touches");
+  obs_hits_ = reg.GetCounter("bufferpool.hits");
+  obs_misses_ = reg.GetCounter("bufferpool.misses");
+  obs_evictions_ = reg.GetCounter("bufferpool.evictions");
+  obs_dirty_writebacks_ = reg.GetCounter("bufferpool.dirty_writebacks");
+  obs_pinned_ = reg.GetGauge("bufferpool." + options.name + ".pinned");
+
+  const uint64_t base = capacity_ / n;
+  const uint64_t rem = capacity_ % n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < rem ? 1 : 0);
+    shard->probation_target = std::max<uint64_t>(1, shard->capacity / 4);
+    const std::string prefix =
+        "bufferpool." + options.name + ".s" + std::to_string(i) + ".";
+    shard->obs_hits = reg.GetCounter(prefix + "hits");
+    shard->obs_misses = reg.GetCounter(prefix + "misses");
+    shard->obs_evictions = reg.GetCounter(prefix + "evictions");
+    shards_.push_back(std::move(shard));
+  }
+}
+
+bool SharedBufferPool::Read(PageKey key) {
+  return Touch(key, /*dirty=*/false, /*pin=*/false);
+}
+
+bool SharedBufferPool::Write(PageKey key) {
+  return Touch(key, /*dirty=*/true, /*pin=*/false);
+}
+
+bool SharedBufferPool::Pin(PageKey key) {
+  return Touch(key, /*dirty=*/false, /*pin=*/true);
+}
+
+bool SharedBufferPool::Touch(PageKey key, bool dirty, bool pin) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.counters.touches;
+  obs_touches_->Add();
+
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    FrameList::iterator f = it->second;
+    if (dirty && !f->dirty) {
+      f->dirty = true;
+      ++shard.counters.resident_dirty;
+    }
+    if (pin && f->pins++ == 0) NotePin(&shard);
+    if (policy_ == EvictionPolicy::kTwoQ && f->probation) {
+      // Second touch: promote out of probation into the protected segment.
+      f->probation = false;
+      shard.main.splice(shard.main.begin(), shard.probation, f);
+    } else {
+      shard.main.splice(shard.main.begin(), shard.main, f);
+    }
+    ++shard.counters.hits;
+    shard.obs_hits->Add();
+    obs_hits_->Add();
+    return true;
+  }
+
+  ++shard.counters.misses;
+  shard.obs_misses->Add();
+  obs_misses_->Add();
+  const bool probation = policy_ == EvictionPolicy::kTwoQ;
+  FrameList& target = probation ? shard.probation : shard.main;
+  target.push_front(Frame{key, pin ? 1u : 0u, dirty, probation});
+  shard.map[key] = target.begin();
+  ++shard.counters.resident;
+  if (dirty) ++shard.counters.resident_dirty;
+  if (pin) NotePin(&shard);
+  EvictIfNeeded(&shard);
+  return false;
+}
+
+void SharedBufferPool::Unpin(PageKey key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  CORADD_CHECK(it != shard.map.end());
+  CORADD_CHECK(it->second->pins > 0);
+  if (--it->second->pins == 0) {
+    NoteUnpin(&shard);
+    // Pins can force the shard transiently over capacity; drain as soon as
+    // the last pin that caused it goes away.
+    EvictIfNeeded(&shard);
+  }
+}
+
+SharedBufferPool::FrameList::iterator SharedBufferPool::FindVictim(
+    FrameList* list) {
+  for (auto it = list->rbegin(); it != list->rend(); ++it) {
+    if (it->pins == 0) return std::prev(it.base());
+  }
+  return list->end();
+}
+
+void SharedBufferPool::EvictIfNeeded(Shard* shard) {
+  while (shard->counters.resident > shard->capacity) {
+    FrameList* first;
+    FrameList* second = nullptr;
+    if (policy_ == EvictionPolicy::kTwoQ) {
+      // Probation at (or above) target: a scan recycles its own window.
+      // Below target: let the protected segment give a page back.
+      if (shard->probation.size() >= shard->probation_target ||
+          shard->main.empty()) {
+        first = &shard->probation;
+        second = &shard->main;
+      } else {
+        first = &shard->main;
+        second = &shard->probation;
+      }
+    } else {
+      first = &shard->main;
+    }
+    FrameList::iterator victim = FindVictim(first);
+    FrameList* vlist = first;
+    if (victim == first->end() && second != nullptr) {
+      victim = FindVictim(second);
+      vlist = second;
+    }
+    // Every frame pinned: run transiently over capacity rather than evict
+    // a page a caller still holds.
+    if (victim == vlist->end()) break;
+    EvictFrame(shard, victim);
+  }
+}
+
+void SharedBufferPool::EvictFrame(Shard* shard, FrameList::iterator it) {
+  const bool dirty = it->dirty;
+  FrameList& list = it->probation ? shard->probation : shard->main;
+  shard->map.erase(it->key);
+  list.erase(it);
+  --shard->counters.resident;
+  ++shard->counters.evictions;
+  shard->obs_evictions->Add();
+  obs_evictions_->Add();
+  if (dirty) {
+    --shard->counters.resident_dirty;
+    ++shard->counters.dirty_writebacks;
+    obs_dirty_writebacks_->Add();
+    ChargeWriteback(shard);
+  }
+}
+
+void SharedBufferPool::ChargeWriteback(Shard* /*shard*/) {
+  if (writeback_disk_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(disk_mu_);
+  writeback_disk_->WritePage();
+}
+
+void SharedBufferPool::NotePin(Shard* shard) {
+  ++shard->counters.pinned;
+  const int64_t now = pinned_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t cur = pin_hwm_.load(std::memory_order_relaxed);
+  while (now > cur && !pin_hwm_.compare_exchange_weak(
+                          cur, now, std::memory_order_relaxed)) {
+  }
+  obs_pinned_->Add(1);
+}
+
+void SharedBufferPool::NoteUnpin(Shard* shard) {
+  --shard->counters.pinned;
+  pinned_.fetch_sub(1, std::memory_order_relaxed);
+  obs_pinned_->Add(-1);
+}
+
+void SharedBufferPool::FlushAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (FrameList* list : {&shard->main, &shard->probation}) {
+      for (Frame& frame : *list) {
+        if (!frame.dirty) continue;
+        frame.dirty = false;
+        --shard->counters.resident_dirty;
+        ++shard->counters.dirty_writebacks;
+        obs_dirty_writebacks_->Add();
+        ChargeWriteback(shard.get());
+      }
+    }
+  }
+}
+
+void SharedBufferPool::DropAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->main.clear();
+    shard->probation.clear();
+    shard->map.clear();
+    shard->counters.resident = 0;
+    shard->counters.resident_dirty = 0;
+    if (shard->counters.pinned > 0) {
+      pinned_.fetch_sub(static_cast<int64_t>(shard->counters.pinned),
+                        std::memory_order_relaxed);
+      obs_pinned_->Add(-static_cast<int64_t>(shard->counters.pinned));
+      shard->counters.pinned = 0;
+    }
+  }
+}
+
+BufferPoolStats SharedBufferPool::stats() const {
+  BufferPoolStats total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const BufferPoolStats s = shard_stats(i);
+    total.touches += s.touches;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.dirty_writebacks += s.dirty_writebacks;
+    total.resident += s.resident;
+    total.resident_dirty += s.resident_dirty;
+    total.pinned += s.pinned;
+  }
+  total.pin_high_water =
+      static_cast<uint64_t>(pin_hwm_.load(std::memory_order_relaxed));
+  return total;
+}
+
+BufferPoolStats SharedBufferPool::shard_stats(size_t s) const {
+  CORADD_CHECK(s < shards_.size());
+  const Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  BufferPoolStats out = shard.counters;
+  out.pin_high_water =
+      static_cast<uint64_t>(pin_hwm_.load(std::memory_order_relaxed));
+  return out;
+}
+
+uint64_t SharedBufferPool::resident_pages() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->counters.resident;
+  }
+  return total;
 }
 
 }  // namespace coradd

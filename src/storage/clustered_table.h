@@ -41,6 +41,14 @@ class ClusteredTable {
   uint64_t NumPages() const { return layout_.NumPages(); }
   uint64_t PageOfRow(RowId r) const { return layout_.PageOfRow(r); }
 
+  /// Heap pages (inclusive run) backing a non-empty row range — the one
+  /// place planner I/O charging and pooled page accounting both derive
+  /// page numbers from, so they can never disagree.
+  PageRun PagesOfRange(RowRange range) const {
+    CORADD_CHECK(!range.Empty());
+    return PageRun{PageOfRow(range.begin), PageOfRow(range.end - 1)};
+  }
+
   /// Heap + clustered-index size in bytes (what the space budget charges).
   uint64_t SizeBytes() const {
     return layout_.SizeBytes() + btree_.internal_pages * layout_.page_size_bytes;

@@ -82,6 +82,14 @@ std::vector<RowId> SecondaryBTreeIndex::LookupIn(
   return out;
 }
 
+uint64_t SecondaryBTreeIndex::LeafPageOfKey(int64_t v) const {
+  if (rids_.empty() || shape_.leaf_pages == 0) return 0;
+  const size_t k = KeyLowerBound(v);
+  const uint64_t entry = k < keys_.size() ? offsets_[k] : rids_.size();
+  const uint64_t page = entry * shape_.leaf_pages / rids_.size();
+  return std::min<uint64_t>(page, shape_.leaf_pages - 1);
+}
+
 std::string SecondaryBTreeIndex::ToString() const {
   return StrFormat(
       "SecondaryBTree{col=%s, entries=%zu, distinct=%zu, %s, height=%u}",

@@ -38,6 +38,12 @@ class SecondaryBTreeIndex {
   /// RIDs of rows whose value is any element of `values`.
   std::vector<RowId> LookupIn(const std::vector<int64_t>& values) const;
 
+  /// Leaf page (0-based, < shape().leaf_pages) holding the first entry with
+  /// key >= v; the last leaf if every key is smaller. Entries are spread
+  /// uniformly across leaves, matching the shape arithmetic the planner
+  /// charges with — this anchors pooled accounting of index-leaf touches.
+  uint64_t LeafPageOfKey(int64_t v) const;
+
   std::string ToString() const;
 
  private:

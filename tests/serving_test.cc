@@ -1,11 +1,15 @@
 // Tests for src/serving: shared-scan vs solo bit-identity, deterministic
 // grouping counters, admission backpressure, exactly-once delivery under
-// concurrent clients, and maintenance interleaved with reads (split
-// invariance vs the isolated simulator). The cheap ServingSmoke* cases run
-// as the `serving_smoke` ctest entry; ServingStress* interleaving-hungry
-// cases run in the full suite and the TSan CI leg.
+// concurrent clients, maintenance interleaved with reads (split invariance
+// vs the isolated simulator), and the engine's shared buffer pool (pooled
+// results bit-identical to solo at any thread count, warm reruns free,
+// maintenance ratio still exact, exactly-once dirty write-back under
+// concurrent scans + writer epochs). The cheap ServingSmoke* cases run as
+// the `serving_smoke` ctest entry; ServingStress* interleaving-hungry cases
+// run in the full suite and the TSan CI leg.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -407,6 +411,209 @@ TEST_F(ServingTest, ServingStressClientDriverStats) {
   EXPECT_GT(run.qps, 0.0);
   EXPECT_LE(run.p50_latency_seconds, run.p95_latency_seconds);
   EXPECT_LE(run.p95_latency_seconds, run.p99_latency_seconds);
+}
+
+// ---------- Shared buffer pool (engine-level) ----------
+
+// Pooling changes COSTS, never RESULTS: with the engine's shared pool on,
+// aggregates/rows/paths stay bit-identical to the cold solo reference, while
+// simulated seconds may drop (warm pages are free). Pool counters must stay
+// coherent, and pool_fraction sizing must quote the working set.
+TEST_F(ServingTest, ServingSmokePooledResultsBitIdenticalToSolo) {
+  const DatabaseDesign design = BaseOnlyDesign();
+  ServingOptions options;
+  options.pool_fraction = 0.25;
+  ServingEngine engine(context_, &design, workload_, planner_, options);
+
+  ASSERT_NE(engine.page_pool(), nullptr);
+  const uint64_t ws = engine.WorkingSetPages();
+  ASSERT_GT(ws, 0u);
+  EXPECT_EQ(engine.page_pool()->capacity_pages(),
+            std::max<uint64_t>(1, static_cast<uint64_t>(0.25 * ws)));
+
+  const std::vector<size_t> batch = {0, 1, 0, 2, 1, 0, 3, 2};
+  auto futures = engine.SubmitBatch(batch);
+  engine.Start();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const TicketResult r = futures[i].get();
+    const QueryRunResult want = engine.RunSolo(batch[i]);
+    EXPECT_EQ(r.aggregate, want.aggregate) << r.query_id;
+    EXPECT_EQ(r.rows_output, want.rows_output) << r.query_id;
+    EXPECT_EQ(r.path, want.path) << r.query_id;
+  }
+  engine.Stop();
+
+  const ServingStats stats = engine.stats();
+  EXPECT_GT(stats.pool.touches, 0u);
+  EXPECT_EQ(stats.pool.hits + stats.pool.misses, stats.pool.touches);
+  EXPECT_EQ(stats.pool.pinned, 0u);
+  EXPECT_LE(stats.pool.resident, engine.page_pool()->capacity_pages());
+}
+
+// An engine whose pool covers the whole working set serves a repeat of the
+// same queries entirely from memory: the second pass costs exactly zero
+// simulated seconds and reads zero pages — every touch is a pool hit.
+TEST_F(ServingTest, ServingSmokePooledWarmRerunIsFree) {
+  const DatabaseDesign design = BaseOnlyDesign();
+  ServingOptions options;
+  options.deterministic = true;
+  options.pool_fraction = 1.0;  // capacity == working set: fully cacheable
+  // One shard: capacity is split per shard, so at EXACT working-set fit the
+  // hash skew of a multi-shard split would overflow some shards and evict.
+  // A single shard makes "pool == working set" airtight (docs/SERVING.md
+  // recommends slack or fewer shards when full residency matters).
+  options.pool_shards = 1;
+  ServingEngine engine(context_, &design, workload_, planner_, options);
+  ASSERT_NE(engine.page_pool(), nullptr);
+
+  engine.Start();
+  const std::vector<size_t> batch = {0, 2, 3};
+  // Cold pass warms the pool (and must still cost real simulated time).
+  for (auto& f : engine.SubmitBatch(batch)) {
+    EXPECT_GT(f.get().simulated_seconds, 0.0);
+  }
+  // Warm pass: all resident, all free — and still bit-identical results.
+  std::vector<std::future<TicketResult>> warm = engine.SubmitBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const TicketResult r = warm[i].get();
+    EXPECT_EQ(r.simulated_seconds, 0.0) << r.query_id;
+    EXPECT_EQ(r.pages_read, 0u) << r.query_id;
+    EXPECT_GT(r.pool_hits, 0u) << r.query_id;
+    const QueryRunResult want = engine.RunSolo(batch[i]);
+    EXPECT_EQ(r.aggregate, want.aggregate) << r.query_id;
+    EXPECT_EQ(r.rows_output, want.rows_output) << r.query_id;
+  }
+  engine.Stop();
+}
+
+// Pooled aggregates are bit-identical at ANY thread count: hit/miss
+// interleavings (and therefore costs) may differ run to run, but results
+// must not — the pool sits on the billing path only.
+TEST_F(ServingTest, ServingSmokePooledResultsSameAtAnyThreadCount) {
+  const DatabaseDesign design = BaseOnlyDesign();
+  const std::vector<size_t> batch = {0, 1, 2, 3, 0, 1, 2, 3};
+
+  std::vector<std::vector<double>> aggs;
+  std::vector<std::vector<uint64_t>> rows;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ServingOptions options;
+    options.pool_pages = 64;
+    options.exec.pool = &pool;
+    ServingEngine engine(context_, &design, workload_, planner_, options);
+    auto futures = engine.SubmitBatch(batch);
+    engine.Start();
+    std::vector<double> a;
+    std::vector<uint64_t> n;
+    for (auto& f : futures) {
+      const TicketResult r = f.get();
+      a.push_back(r.aggregate);
+      n.push_back(r.rows_output);
+    }
+    engine.Stop();
+    aggs.push_back(std::move(a));
+    rows.push_back(std::move(n));
+  }
+  for (size_t i = 1; i < aggs.size(); ++i) {
+    EXPECT_EQ(aggs[i], aggs[0]);  // bit-identical doubles
+    EXPECT_EQ(rows[i], rows[0]);
+  }
+}
+
+// The maintenance mirror writes the same dirtied PageKeys into the shared
+// pool WITHOUT touching the simulator's own pool/disk/RNG, so the served
+// maintenance cost still equals the isolated simulation exactly (ratio
+// 1.000) even with pooling on.
+TEST_F(ServingTest, ServingSmokePooledMaintenanceRatioStillExact) {
+  const DatabaseDesign design = BaseOnlyDesign();
+  ServingOptions options;
+  options.pool_pages = 200;
+  ServingEngine engine(context_, &design, workload_, planner_, options);
+  ASSERT_NE(engine.page_pool(), nullptr);
+
+  MaintenanceOptions mopt;
+  mopt.buffer_pool_pages = 500;
+  const std::vector<MaintainedObject> objects =
+      engine.DerivedMaintainedObjects();
+  engine.ConfigureMaintenance(objects, mopt);
+  engine.Start();
+  engine.SubmitMaintenance(3000);
+  engine.SubmitMaintenance(7000);
+  const MaintenanceResult served = engine.FinishMaintenance();
+  engine.Stop();
+
+  MaintenanceOptions iso = mopt;
+  iso.num_inserts = 10000;
+  const MaintenanceResult isolated = SimulateInsertions(objects, iso);
+  EXPECT_EQ(served.seconds, isolated.seconds);
+  EXPECT_EQ(served.pages_written, isolated.pages_written);
+  EXPECT_EQ(served.pool_misses, isolated.pool_misses);
+  EXPECT_EQ(served.dirty_evictions, isolated.dirty_evictions);
+  // The mirror did reach the shared pool: writer epochs dirtied pages there.
+  EXPECT_GT(engine.stats().pool.touches, 0u);
+}
+
+// Concurrent pooled scans + maintenance writer epochs: results stay
+// bit-identical to solo references, the maintenance ratio stays exact, and
+// dirty write-backs are charged to the pool's disk exactly once (no lost or
+// doubled charges under concurrency) — verified by draining the pool with
+// FlushAll and comparing the disk's write counter against the pool's.
+TEST_F(ServingTest, ServingStressPooledScansVsMaintenanceWriter) {
+  const DatabaseDesign design = BaseOnlyDesign();
+  ThreadPool pool(4);
+  ServingOptions options;
+  options.pool_fraction = 0.5;
+  options.exec.pool = &pool;
+  ServingEngine engine(context_, &design, workload_, planner_, options);
+  ASSERT_NE(engine.page_pool(), nullptr);
+
+  MaintenanceOptions mopt;
+  mopt.buffer_pool_pages = 500;
+  const std::vector<MaintainedObject> objects =
+      engine.DerivedMaintainedObjects();
+  engine.ConfigureMaintenance(objects, mopt);
+
+  std::vector<QueryRunResult> solo(workload_->queries.size());
+  for (size_t qi = 0; qi < solo.size(); ++qi) solo[qi] = engine.RunSolo(qi);
+
+  engine.Start();
+  constexpr size_t kReaders = 4;
+  constexpr size_t kPerReader = 20;
+  std::vector<std::thread> readers;
+  for (size_t c = 0; c < kReaders; ++c) {
+    readers.emplace_back([&, c] {
+      const std::vector<size_t> stream = MakeLookalikeStream(
+          workload_->queries.size(), kPerReader, /*seed=*/4000 + c);
+      for (size_t qi : stream) {
+        const TicketResult r = engine.Submit(qi).get();
+        EXPECT_EQ(r.aggregate, solo[qi].aggregate) << r.query_id;
+        EXPECT_EQ(r.rows_output, solo[qi].rows_output) << r.query_id;
+      }
+    });
+  }
+  constexpr uint64_t kBatches = 5;
+  constexpr uint64_t kPerBatch = 1000;
+  for (uint64_t b = 0; b < kBatches; ++b) {
+    engine.SubmitMaintenance(kPerBatch).get();
+  }
+  for (auto& t : readers) t.join();
+  const MaintenanceResult served = engine.FinishMaintenance();
+  engine.Stop();
+
+  MaintenanceOptions iso = mopt;
+  iso.num_inserts = kBatches * kPerBatch;
+  const MaintenanceResult isolated = SimulateInsertions(objects, iso);
+  EXPECT_EQ(served.seconds, isolated.seconds);
+  EXPECT_EQ(served.pages_written, isolated.pages_written);
+
+  // Exactly-once write-back accounting: after draining every dirty page,
+  // the pool's disk has one WritePage per recorded write-back.
+  engine.page_pool()->FlushAll();
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.pool.hits + stats.pool.misses, stats.pool.touches);
+  EXPECT_EQ(stats.pool.resident_dirty, 0u);
+  EXPECT_EQ(engine.pool_disk().pages_written(), stats.pool.dirty_writebacks);
+  EXPECT_EQ(stats.completed, kReaders * kPerReader);
 }
 
 }  // namespace
